@@ -1,0 +1,120 @@
+//! Error handling shared across the workspace.
+//!
+//! Every fallible public operation in the ORCHESTRA reproduction returns
+//! [`Result<T>`], whose error type [`OrchestraError`] enumerates the
+//! failure classes the paper's system distinguishes: storage-level lookup
+//! failures (missing coordinators, index pages, or tuples), substrate and
+//! membership problems, query-execution failures, and plain configuration
+//! or workload-generation mistakes.
+
+use std::fmt;
+
+/// Convenience alias used across all `orchestra-*` crates.
+pub type Result<T> = std::result::Result<T, OrchestraError>;
+
+/// The unified error type for the ORCHESTRA reproduction.
+///
+/// Variants are deliberately coarse-grained: the paper's prototype reacts
+/// to failures at the granularity of "retry the request", "recover the
+/// query" or "abort", so a small set of categories with a descriptive
+/// message is sufficient and keeps error handling uniform across crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrchestraError {
+    /// A relation coordinator, index page, or tuple expected to exist at
+    /// some epoch could not be located anywhere in the system.
+    StorageMissing(String),
+    /// The storage layer was asked to do something inconsistent, e.g.
+    /// publishing to an epoch that has already been sealed.
+    StorageInvalid(String),
+    /// Substrate-level problems: empty membership, unknown node, a range
+    /// that no live node owns, or a malformed routing snapshot.
+    Substrate(String),
+    /// A message was addressed to a node that has failed or never existed.
+    NodeUnreachable(String),
+    /// Query planning failed (unknown relation/column, unsupported shape).
+    Planning(String),
+    /// Query execution failed in a way that recovery cannot mask, e.g. all
+    /// replicas of a required range are gone.
+    Execution(String),
+    /// The caller supplied an invalid configuration value.
+    Config(String),
+    /// Workload generation was asked for something impossible.
+    Workload(String),
+}
+
+impl OrchestraError {
+    /// Short machine-readable category name, useful in logs and tests.
+    pub fn category(&self) -> &'static str {
+        match self {
+            OrchestraError::StorageMissing(_) => "storage-missing",
+            OrchestraError::StorageInvalid(_) => "storage-invalid",
+            OrchestraError::Substrate(_) => "substrate",
+            OrchestraError::NodeUnreachable(_) => "node-unreachable",
+            OrchestraError::Planning(_) => "planning",
+            OrchestraError::Execution(_) => "execution",
+            OrchestraError::Config(_) => "config",
+            OrchestraError::Workload(_) => "workload",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            OrchestraError::StorageMissing(m)
+            | OrchestraError::StorageInvalid(m)
+            | OrchestraError::Substrate(m)
+            | OrchestraError::NodeUnreachable(m)
+            | OrchestraError::Planning(m)
+            | OrchestraError::Execution(m)
+            | OrchestraError::Config(m)
+            | OrchestraError::Workload(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for OrchestraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for OrchestraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = OrchestraError::StorageMissing("relation R at epoch 3".into());
+        let s = e.to_string();
+        assert!(s.contains("storage-missing"));
+        assert!(s.contains("relation R at epoch 3"));
+    }
+
+    #[test]
+    fn category_is_stable_per_variant() {
+        assert_eq!(
+            OrchestraError::Planning("x".into()).category(),
+            "planning"
+        );
+        assert_eq!(
+            OrchestraError::NodeUnreachable("x".into()).category(),
+            "node-unreachable"
+        );
+        assert_eq!(OrchestraError::Config("x".into()).category(), "config");
+    }
+
+    #[test]
+    fn errors_are_comparable_for_tests() {
+        let a = OrchestraError::Substrate("no nodes".into());
+        let b = OrchestraError::Substrate("no nodes".into());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn message_round_trips() {
+        let e = OrchestraError::Execution("join state lost".into());
+        assert_eq!(e.message(), "join state lost");
+    }
+}

@@ -1,0 +1,239 @@
+//! Participant identifiers and compact sets of participants.
+//!
+//! The paper's recovery machinery (Section V-D) tags every tuple flowing
+//! through the query engine with "the set of nodes that have processed it
+//! (or any tuple used to create it)".  With dozens to hundreds of
+//! participants — the paper's stated target scale — a fixed-size bitset is
+//! the natural representation: [`NodeSet`] supports up to
+//! [`NodeSet::CAPACITY`] (256) participants in 32 bytes, with O(1) insert,
+//! membership test, union and intersection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a participant (peer) in the CDSS.
+///
+/// Node IDs are dense small integers assigned by the cluster builder; the
+/// substrate separately derives each node's *ring position* by hashing its
+/// (simulated) network address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The dense index of this node, usable as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A synthetic network address for the node, hashed by the substrate
+    /// to obtain its ring position (the paper hashes the node's IP
+    /// address).
+    pub fn address(self) -> String {
+        format!("10.0.{}.{}:7800", self.0 / 256, self.0 % 256)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A set of participants, stored as a 256-bit bitset.
+///
+/// Used for provenance tags on tuples, aggregate sub-group keys, and the
+/// sets of failed nodes handed to the recovery machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct NodeSet {
+    words: [u64; 4],
+}
+
+impl NodeSet {
+    /// Maximum number of distinct participants representable.
+    pub const CAPACITY: usize = 256;
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        NodeSet::default()
+    }
+
+    /// A set containing a single node.
+    pub fn singleton(node: NodeId) -> Self {
+        let mut s = NodeSet::empty();
+        s.insert(node);
+        s
+    }
+
+    /// Build a set from an iterator of nodes.
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = NodeSet::empty();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// Insert a node.  Panics if the node index exceeds [`Self::CAPACITY`],
+    /// which would indicate a cluster larger than the system supports.
+    pub fn insert(&mut self, node: NodeId) {
+        let i = node.index();
+        assert!(
+            i < Self::CAPACITY,
+            "NodeSet supports at most {} nodes (got {i})",
+            Self::CAPACITY
+        );
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Remove a node (no-op if absent).
+    pub fn remove(&mut self, node: NodeId) {
+        let i = node.index();
+        if i < Self::CAPACITY {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Is `node` a member?
+    pub fn contains(&self, node: NodeId) -> bool {
+        let i = node.index();
+        i < Self::CAPACITY && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut out = *self;
+        for i in 0..4 {
+            out.words[i] |= other.words[i];
+        }
+        out
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        let mut out = *self;
+        for i in 0..4 {
+            out.words[i] &= other.words[i];
+        }
+        out
+    }
+
+    /// Does this set share any member with `other`?
+    ///
+    /// This is the core "taint" test of incremental recovery: a tuple is
+    /// tainted if the set of nodes that processed it intersects the set of
+    /// failed nodes.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterate over the members in ascending node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..Self::CAPACITY as u16)
+            .map(NodeId)
+            .filter(move |n| self.contains(*n))
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        NodeSet::from_iter(iter)
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for n in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeSet::empty();
+        assert!(s.is_empty());
+        s.insert(NodeId(3));
+        s.insert(NodeId(200));
+        assert!(s.contains(NodeId(3)));
+        assert!(s.contains(NodeId(200)));
+        assert!(!s.contains(NodeId(4)));
+        assert_eq!(s.len(), 2);
+        s.remove(NodeId(3));
+        assert!(!s.contains(NodeId(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = NodeSet::from_iter([NodeId(1), NodeId(2), NodeId(3)]);
+        let b = NodeSet::from_iter([NodeId(3), NodeId(4)]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert!(a.intersection(&b).contains(NodeId(3)));
+    }
+
+    #[test]
+    fn intersects_is_taint_test() {
+        let provenance = NodeSet::from_iter([NodeId(0), NodeId(5)]);
+        let failed = NodeSet::singleton(NodeId(5));
+        let unrelated = NodeSet::singleton(NodeId(9));
+        assert!(provenance.intersects(&failed));
+        assert!(!provenance.intersects(&unrelated));
+    }
+
+    #[test]
+    fn iter_yields_sorted_members() {
+        let s = NodeSet::from_iter([NodeId(9), NodeId(1), NodeId(255)]);
+        let got: Vec<u16> = s.iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![1, 9, 255]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn inserting_out_of_capacity_panics() {
+        let mut s = NodeSet::empty();
+        s.insert(NodeId(256));
+    }
+
+    #[test]
+    fn node_addresses_are_distinct() {
+        assert_ne!(NodeId(0).address(), NodeId(1).address());
+        assert_ne!(NodeId(1).address(), NodeId(257).address());
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic random-generation helpers.
+//!
+//! Every experiment in the benchmark harness must be exactly reproducible,
+//! so all randomness in the workspace flows from explicitly seeded
+//! [`rand::rngs::StdRng`] instances created here.  The helpers also cover
+//! the string shapes the workload generators need (STBenchmark's 25-char
+//! alphanumeric fields, TPC-H-style comment text).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Create a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Create a deterministic RNG derived from a base seed and a stream label,
+/// so independent generators (e.g. one per relation) never share a stream.
+pub fn seeded_stream(seed: u64, label: &str) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
+const ALPHANUMERIC: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// A random alphanumeric string of exactly `len` characters.
+pub fn alphanumeric(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| ALPHANUMERIC[rng.random_range(0..ALPHANUMERIC.len())] as char)
+        .collect()
+}
+
+/// A random lowercase "word" of length between `min_len` and `max_len`.
+pub fn word(rng: &mut StdRng, min_len: usize, max_len: usize) -> String {
+    let len = rng.random_range(min_len..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+        .collect()
+}
+
+/// A random "sentence" of `words` space-separated words, used for TPC-H
+/// style comment columns.
+pub fn sentence(rng: &mut StdRng, words: usize) -> String {
+    let mut s = String::new();
+    for i in 0..words {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&word(rng, 3, 9));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..16 {
+            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = seeded_stream(7, "lineitem");
+        let mut b = seeded_stream(7, "orders");
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn alphanumeric_has_requested_length_and_charset() {
+        let mut rng = seeded(1);
+        let s = alphanumeric(&mut rng, 25);
+        assert_eq!(s.len(), 25);
+        assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+    }
+
+    #[test]
+    fn word_and_sentence_shapes() {
+        let mut rng = seeded(2);
+        let w = word(&mut rng, 3, 9);
+        assert!((3..=9).contains(&w.len()));
+        let s = sentence(&mut rng, 5);
+        assert_eq!(s.split(' ').count(), 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! A small, self-contained SHA-1 implementation.
+//!
+//! The paper's substrate (Section III-A) uses SHA-1 to map node addresses,
+//! tuple keys, relation/epoch pairs and page identifiers into its 160-bit
+//! key space.  Cryptographic strength is irrelevant here — SHA-1 is used
+//! purely as a uniform hash into the ring — so a compact, dependency-free
+//! implementation is sufficient.  It is validated against the FIPS 180-1
+//! test vectors in the unit tests below.
+
+/// Output size of SHA-1 in bytes (160 bits).
+pub const DIGEST_LEN: usize = 20;
+
+/// Compute the SHA-1 digest of `data`.
+///
+/// ```
+/// use orchestra_common::sha1::sha1;
+/// let d = sha1(b"abc");
+/// assert_eq!(d[0], 0xa9);
+/// assert_eq!(d.len(), 20);
+/// ```
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut state: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Message padding: append 0x80, zeros, then the 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) =
+            (state[0], state[1], state[2], state[3], state[4]);
+
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, s) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&s.to_be_bytes());
+    }
+    out
+}
+
+/// Hexadecimal rendering of a SHA-1 digest, handy for debugging and tests.
+pub fn to_hex(digest: &[u8; DIGEST_LEN]) -> String {
+    let mut s = String::with_capacity(DIGEST_LEN * 2);
+    for b in digest {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-1 appendix A/B test vectors plus a couple of extras.
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            to_hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            to_hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            to_hex(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn length_exactly_at_block_boundary() {
+        // 64-byte input exercises the padding path that adds a whole block.
+        let data = vec![0x61u8; 64];
+        assert_eq!(
+            to_hex(&sha1(&data)),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+        );
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha1(b"node-1"), sha1(b"node-2"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Field values of relational tuples.
+//!
+//! The workloads the paper evaluates — STBenchmark mapping scenarios and
+//! TPC-H OLAP queries — need integers, decimals, dates and (many, long)
+//! strings.  [`Value`] covers those, plus `Null`, with:
+//!
+//! * total ordering and hashing (doubles are compared via their IEEE-754
+//!   total order so values can key hash tables in joins and aggregates),
+//! * serialized-size accounting, which is what the network-traffic
+//!   measurements of Figures 8/9/11/12/15/16/19/20 count, and
+//! * the scalar operations the `Compute-function` operator and the
+//!   aggregate operator need (concatenation, arithmetic, min/max/sum).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single field value.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer (also used for dates, encoded as days since
+    /// 1970-01-01, matching how TPC-H predicates compare dates).
+    Int(i64),
+    /// Double-precision float (TPC-H prices, discounts, aggregates).
+    Double(f64),
+    /// Variable-length string (STBenchmark's 25-character fields, TPC-H
+    /// comments, names, flags).
+    Str(String),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view (returns `None` for non-integers).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers are widened to doubles.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number of bytes this value occupies in the wire format used by the
+    /// engine's batched tuple shipping (a 1-byte type tag plus the payload;
+    /// strings carry a 4-byte length prefix).  Network-traffic figures are
+    /// sums of these sizes (before compression).
+    pub fn serialized_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 1 + 8,
+            Value::Double(_) => 1 + 8,
+            Value::Str(s) => 1 + 4 + s.len(),
+        }
+    }
+
+    /// Append the wire encoding of this value to `out`.  Used both for
+    /// real data shipping in the simulator and for computing stable hash
+    /// keys of composite tuple keys.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Value::Double(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Addition for numeric values (used by SUM); any NULL operand yields
+    /// the other operand, matching SQL aggregate semantics of ignoring
+    /// NULLs.
+    pub fn add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, v) | (v, Value::Null) => v.clone(),
+            (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Double(x + y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Multiplication for numeric values (used by compute-function
+    /// expressions such as `extendedprice * (1 - discount)`).
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(x), Some(y)) => match (self, other) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a * b),
+                _ => Value::Double(x * y),
+            },
+            _ => Value::Null,
+        }
+    }
+
+    /// Subtraction for numeric values.
+    pub fn sub(&self, other: &Value) -> Value {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(x), Some(y)) => match (self, other) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a - b),
+                _ => Value::Double(x - y),
+            },
+            _ => Value::Null,
+        }
+    }
+
+    /// String concatenation (the STBenchmark "Concatenate" scenario glues
+    /// three attributes together); non-string operands are rendered with
+    /// `Display`.
+    pub fn concat(&self, other: &Value) -> Value {
+        Value::Str(format!("{self}{other}"))
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Double(_) => 1, // numerics compare against each other
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Double(b)) => (*a as f64).total_cmp(b),
+            (Value::Double(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Value::Double(v) => {
+                // Hash the canonical integer form when the double is
+                // integral so Int(2) and Double(2.0) (which compare equal)
+                // also hash identically.
+                if v.fract() == 0.0 && v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64
+                {
+                    1u8.hash(state);
+                    (*v as i64).hash(state);
+                } else {
+                    2u8.hash(state);
+                    v.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_and_equal_double_compare_and_hash_alike() {
+        let a = Value::Int(42);
+        let b = Value::Double(42.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("abc") < Value::str("abd"));
+        assert!(Value::Double(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn serialized_size_counts_string_payload() {
+        assert_eq!(Value::Null.serialized_size(), 1);
+        assert_eq!(Value::Int(7).serialized_size(), 9);
+        assert_eq!(Value::str("hello").serialized_size(), 1 + 4 + 5);
+    }
+
+    #[test]
+    fn encode_is_prefix_free_per_value() {
+        let mut a = Vec::new();
+        Value::str("ab").encode_to(&mut a);
+        let mut b = Vec::new();
+        Value::str("a").encode_to(&mut b);
+        Value::str("b").encode_to(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arithmetic_and_concat() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).mul(&Value::Double(1.5)), Value::Double(3.0));
+        assert_eq!(Value::Int(7).sub(&Value::Int(2)), Value::Int(5));
+        assert_eq!(
+            Value::str("a").concat(&Value::Int(1)),
+            Value::str("a1")
+        );
+        // NULL behaves as the identity for add (SQL aggregates skip NULLs).
+        assert_eq!(Value::Null.add(&Value::Int(3)), Value::Int(3));
+    }
+
+    #[test]
+    fn as_views() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+}

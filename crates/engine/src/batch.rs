@@ -1,0 +1,176 @@
+//! Destination batching and lightweight compression.
+//!
+//! "For performance, the query processor batches tuples into blocks by
+//! destination, compressing them (using lightweight Zip-based compression)
+//! and marshalling them in a format that exploits their commonalities"
+//! (Section V-A).  [`TupleBatch`] is such a block; its wire size is
+//! computed with a per-column dictionary encoding that exploits exactly
+//! those commonalities (all tuples in a block come from the same operator
+//! and therefore share column domains), standing in for the paper's
+//! zip-based scheme.  Only the *size* of the encoding affects the
+//! simulation — the tuples themselves travel in-memory — so the encoder is
+//! deliberately simple and fast.
+
+use crate::provenance::{TaggedTuple, TAG_WIRE_BYTES};
+use orchestra_common::Value;
+use std::collections::HashMap;
+
+/// A block of tuples travelling to one destination operator instance.
+#[derive(Clone, Debug, Default)]
+pub struct TupleBatch {
+    /// The tuples in the block.
+    pub rows: Vec<TaggedTuple>,
+}
+
+impl TupleBatch {
+    /// An empty batch.
+    pub fn new() -> TupleBatch {
+        TupleBatch::default()
+    }
+
+    /// A batch made from the given rows.
+    pub fn from_rows(rows: Vec<TaggedTuple>) -> TupleBatch {
+        TupleBatch { rows }
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Uncompressed wire size: per-tuple encodings plus (optionally)
+    /// provenance tags, plus a small block header.
+    pub fn uncompressed_size(&self, with_tags: bool) -> usize {
+        16 + self
+            .rows
+            .iter()
+            .map(|r| r.wire_size(with_tags))
+            .sum::<usize>()
+    }
+
+    /// Compressed wire size under the dictionary encoding described in the
+    /// module docs.  Provenance tags, when carried, are not compressed
+    /// (they are high-entropy bitsets), matching the paper's observation
+    /// that recovery support adds at most ~2% traffic.
+    pub fn compressed_size(&self, with_tags: bool) -> usize {
+        if self.rows.is_empty() {
+            return 16;
+        }
+        let arity = self.rows[0].tuple.arity();
+        let mut total = 16 + 2 * arity; // header + per-column descriptors
+        for col in 0..arity {
+            total += Self::column_encoded_size(&self.rows, col);
+        }
+        if with_tags {
+            total += self.rows.len() * TAG_WIRE_BYTES;
+        }
+        // 2-byte per-row code vector entries are counted inside
+        // column_encoded_size; add a small per-row presence bitmap.
+        total += self.rows.len() / 8 + 1;
+        total
+    }
+
+    /// Wire size given whether compression and tagging are enabled.
+    pub fn wire_size(&self, compress: bool, with_tags: bool) -> usize {
+        if compress {
+            self.compressed_size(with_tags)
+                .min(self.uncompressed_size(with_tags))
+        } else {
+            self.uncompressed_size(with_tags)
+        }
+    }
+
+    fn column_encoded_size(rows: &[TaggedTuple], col: usize) -> usize {
+        // Dictionary of distinct values in the column plus a 2-byte code
+        // per row.  Columns whose rows are out of range (ragged tuples
+        // never occur in practice, but stay defensive) fall back to their
+        // plain encoding.
+        let mut dict_bytes = 0usize;
+        let mut seen: HashMap<&Value, ()> = HashMap::new();
+        let mut plain = 0usize;
+        for row in rows {
+            if col >= row.tuple.arity() {
+                plain += 16;
+                continue;
+            }
+            let v = row.tuple.value(col);
+            plain += v.serialized_size();
+            if !seen.contains_key(v) {
+                seen.insert(v, ());
+                dict_bytes += v.serialized_size();
+            }
+        }
+        let encoded = dict_bytes + 2 * rows.len();
+        encoded.min(plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_common::{NodeId, Tuple, Value};
+
+    fn row(key: i64, flag: &str, comment: &str) -> TaggedTuple {
+        TaggedTuple::scanned(
+            Tuple::new(vec![Value::Int(key), Value::str(flag), Value::str(comment)]),
+            NodeId(0),
+            0,
+        )
+    }
+
+    #[test]
+    fn empty_batch_has_header_only() {
+        let b = TupleBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.wire_size(true, true), 16);
+        assert_eq!(b.wire_size(false, false), 16);
+    }
+
+    #[test]
+    fn repetitive_columns_compress_well() {
+        // 1000 rows with only two distinct flag values and identical
+        // comments: the dictionary encoding should be much smaller than
+        // the plain encoding.
+        let rows: Vec<TaggedTuple> = (0..1000)
+            .map(|i| row(i, if i % 2 == 0 { "A" } else { "B" }, "same comment text"))
+            .collect();
+        let b = TupleBatch::from_rows(rows);
+        let plain = b.uncompressed_size(false);
+        let compressed = b.compressed_size(false);
+        assert!(compressed < plain / 2, "compressed {compressed} vs plain {plain}");
+        // wire_size never exceeds the plain encoding.
+        assert!(b.wire_size(true, false) <= plain);
+    }
+
+    #[test]
+    fn unique_columns_do_not_balloon() {
+        // All-distinct values: the dictionary cannot help, but the fallback
+        // keeps the size close to (never worse than) plain encoding.
+        let rows: Vec<TaggedTuple> = (0..500)
+            .map(|i| row(i, &format!("flag{i}"), &format!("comment {i}")))
+            .collect();
+        let b = TupleBatch::from_rows(rows);
+        assert!(b.compressed_size(false) <= b.uncompressed_size(false) + 1024);
+    }
+
+    #[test]
+    fn tags_add_fixed_overhead() {
+        let rows: Vec<TaggedTuple> = (0..100).map(|i| row(i, "A", "x")).collect();
+        let b = TupleBatch::from_rows(rows);
+        let without = b.compressed_size(false);
+        let with = b.compressed_size(true);
+        assert_eq!(with - without, 100 * TAG_WIRE_BYTES);
+    }
+
+    #[test]
+    fn len_reports_rows() {
+        let b = TupleBatch::from_rows(vec![row(1, "A", "x"), row(2, "B", "y")]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Scalar expressions, predicates and aggregate functions.
+//!
+//! The paper's engine evaluates sargable predicates at the leaf scans,
+//! arbitrary selections over intermediate results, scalar function
+//! evaluation (arithmetic, string concatenation — the STBenchmark
+//! `Concatenate` scenario), and the usual SQL aggregates.  All of those
+//! are expressed over column *indices* of the operator's input, which is
+//! how the physical plan refers to data (names are resolved by the
+//! optimizer).
+
+use orchestra_common::{Tuple, Value};
+use serde::{Deserialize, Serialize};
+
+/// Comparison operators usable in predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the comparison to two values (using the total order on
+    /// [`Value`]).
+    pub fn eval(&self, left: &Value, right: &Value) -> bool {
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+        }
+    }
+}
+
+/// A boolean predicate over a tuple.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (useful as a neutral element).
+    True,
+    /// Compare column `column` against a constant.
+    Compare {
+        /// Input column index.
+        column: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// Compare two columns of the same tuple.
+    CompareColumns {
+        /// Left column index.
+        left: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right column index.
+        right: usize,
+    },
+    /// `column BETWEEN low AND high` (inclusive).
+    Between {
+        /// Input column index.
+        column: usize,
+        /// Lower bound (inclusive).
+        low: Value,
+        /// Upper bound (inclusive).
+        high: Value,
+    },
+    /// Conjunction of predicates.
+    And(Vec<Predicate>),
+    /// Disjunction of predicates.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for `column op value`.
+    pub fn cmp(column: usize, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate::Compare {
+            column,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluate the predicate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Compare { column, op, value } => op.eval(tuple.value(*column), value),
+            Predicate::CompareColumns { left, op, right } => {
+                op.eval(tuple.value(*left), tuple.value(*right))
+            }
+            Predicate::Between { column, low, high } => {
+                let v = tuple.value(*column);
+                v >= low && v <= high
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(tuple)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(tuple)),
+            Predicate::Not(p) => !p.eval(tuple),
+        }
+    }
+
+    /// Estimated selectivity used by the optimizer's cost model when no
+    /// better statistics exist (textbook defaults).
+    pub fn estimated_selectivity(&self) -> f64 {
+        match self {
+            Predicate::True => 1.0,
+            Predicate::Compare { op, .. } | Predicate::CompareColumns { op, .. } => match op {
+                CmpOp::Eq => 0.1,
+                CmpOp::Ne => 0.9,
+                _ => 0.33,
+            },
+            Predicate::Between { .. } => 0.25,
+            Predicate::And(ps) => ps.iter().map(Predicate::estimated_selectivity).product(),
+            Predicate::Or(ps) => {
+                let none: f64 = ps
+                    .iter()
+                    .map(|p| 1.0 - p.estimated_selectivity())
+                    .product();
+                1.0 - none
+            }
+            Predicate::Not(p) => 1.0 - p.estimated_selectivity(),
+        }
+    }
+}
+
+/// A scalar expression producing one output value per input tuple — the
+/// engine's `Compute-function` operator evaluates a list of these.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ScalarExpr {
+    /// Pass through input column `usize`.
+    Column(usize),
+    /// A literal constant.
+    Literal(Value),
+    /// Addition of two expressions.
+    Add(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Subtraction.
+    Sub(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Multiplication.
+    Mul(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// String concatenation of any number of expressions.
+    Concat(Vec<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Shorthand for a column reference.
+    pub fn col(i: usize) -> ScalarExpr {
+        ScalarExpr::Column(i)
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Literal(v.into())
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Value {
+        match self {
+            ScalarExpr::Column(i) => tuple.value(*i).clone(),
+            ScalarExpr::Literal(v) => v.clone(),
+            ScalarExpr::Add(a, b) => a.eval(tuple).add(&b.eval(tuple)),
+            ScalarExpr::Sub(a, b) => a.eval(tuple).sub(&b.eval(tuple)),
+            ScalarExpr::Mul(a, b) => a.eval(tuple).mul(&b.eval(tuple)),
+            ScalarExpr::Concat(parts) => {
+                let mut out = String::new();
+                for p in parts {
+                    out.push_str(&p.eval(tuple).to_string());
+                }
+                Value::Str(out)
+            }
+        }
+    }
+}
+
+/// SQL aggregate functions supported by the aggregation operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)` (the input column is ignored).
+    Count,
+    /// `SUM(column)`.
+    Sum,
+    /// `MIN(column)`.
+    Min,
+    /// `MAX(column)`.
+    Max,
+    /// `AVG(column)` — carried as (sum, count) in partial aggregates.
+    Avg,
+}
+
+impl AggFunc {
+    /// Number of state columns this aggregate occupies in a *partial*
+    /// aggregate's output (AVG needs sum and count).
+    pub fn partial_width(&self) -> usize {
+        match self {
+            AggFunc::Avg => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn comparisons_follow_value_order() {
+        assert!(CmpOp::Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(CmpOp::Ge.eval(&Value::Double(2.0), &Value::Int(2)));
+        assert!(CmpOp::Ne.eval(&Value::str("a"), &Value::str("b")));
+    }
+
+    #[test]
+    fn predicate_evaluation() {
+        let row = t(vec![Value::Int(5), Value::str("abc"), Value::Double(1.5)]);
+        assert!(Predicate::cmp(0, CmpOp::Gt, 3i64).eval(&row));
+        assert!(!Predicate::cmp(0, CmpOp::Gt, 7i64).eval(&row));
+        assert!(Predicate::Between {
+            column: 2,
+            low: Value::Double(1.0),
+            high: Value::Double(2.0)
+        }
+        .eval(&row));
+        assert!(Predicate::And(vec![
+            Predicate::cmp(0, CmpOp::Eq, 5i64),
+            Predicate::cmp(1, CmpOp::Eq, "abc"),
+        ])
+        .eval(&row));
+        assert!(Predicate::Or(vec![
+            Predicate::cmp(0, CmpOp::Eq, 99i64),
+            Predicate::cmp(1, CmpOp::Eq, "abc"),
+        ])
+        .eval(&row));
+        assert!(Predicate::Not(Box::new(Predicate::cmp(0, CmpOp::Eq, 99i64))).eval(&row));
+        assert!(Predicate::CompareColumns {
+            left: 0,
+            op: CmpOp::Gt,
+            right: 2
+        }
+        .eval(&row));
+        assert!(Predicate::True.eval(&row));
+    }
+
+    #[test]
+    fn selectivity_estimates_are_probabilities() {
+        let preds = [
+            Predicate::True,
+            Predicate::cmp(0, CmpOp::Eq, 1i64),
+            Predicate::cmp(0, CmpOp::Lt, 1i64),
+            Predicate::And(vec![
+                Predicate::cmp(0, CmpOp::Eq, 1i64),
+                Predicate::cmp(1, CmpOp::Lt, 2i64),
+            ]),
+            Predicate::Or(vec![
+                Predicate::cmp(0, CmpOp::Eq, 1i64),
+                Predicate::cmp(1, CmpOp::Lt, 2i64),
+            ]),
+            Predicate::Not(Box::new(Predicate::cmp(0, CmpOp::Eq, 1i64))),
+        ];
+        for p in preds {
+            let s = p.estimated_selectivity();
+            assert!((0.0..=1.0).contains(&s), "{s} out of range for {p:?}");
+        }
+    }
+
+    #[test]
+    fn scalar_expressions_evaluate() {
+        let row = t(vec![Value::Int(10), Value::Double(0.1), Value::str("id")]);
+        // extendedprice * (1 - discount)
+        let expr = ScalarExpr::Mul(
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::Sub(
+                Box::new(ScalarExpr::lit(1.0)),
+                Box::new(ScalarExpr::col(1)),
+            )),
+        );
+        assert_eq!(expr.eval(&row), Value::Double(9.0));
+        let concat = ScalarExpr::Concat(vec![
+            ScalarExpr::col(2),
+            ScalarExpr::lit("-"),
+            ScalarExpr::col(0),
+        ]);
+        assert_eq!(concat.eval(&row), Value::str("id-10"));
+    }
+
+    #[test]
+    fn agg_partial_widths() {
+        assert_eq!(AggFunc::Avg.partial_width(), 2);
+        assert_eq!(AggFunc::Sum.partial_width(), 1);
+        assert_eq!(AggFunc::Count.partial_width(), 1);
+    }
+}

@@ -1,0 +1,613 @@
+//! Runtime state of the stateful operators.
+//!
+//! The executor (`exec`) owns one instance of every plan operator per
+//! participating node; this module holds the state those instances carry
+//! between messages:
+//!
+//! * [`JoinState`] — the two hash tables of the pipelined *symmetric* hash
+//!   join (the paper's "pipelined hash join"), whose entries are tagged
+//!   tuples so tainted build rows can be purged on failure.
+//! * [`AggState`] — the grouping operator's state, organised as
+//!   *sub-groups* keyed by `(group key, provenance set, phase)` exactly as
+//!   Section V-D prescribes, so that on failure the sub-groups derived
+//!   from a failed node can be dropped without touching the rest, and so
+//!   that re-emission after recovery never double-counts.
+//! * [`RehashState`] — per-destination output buffers plus the output
+//!   cache used by recovery stage 4 ("re-create data that was sent to the
+//!   failed nodes' hash key space ranges").
+
+use crate::expr::AggFunc;
+use crate::provenance::{Phase, TaggedTuple};
+use orchestra_common::{NodeId, NodeSet, Tuple, Value};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Symmetric hash join
+// ---------------------------------------------------------------------------
+
+/// State of one pipelined (symmetric) hash join instance.
+#[derive(Clone, Debug, Default)]
+pub struct JoinState {
+    left: HashMap<Vec<Value>, Vec<TaggedTuple>>,
+    right: HashMap<Vec<Value>, Vec<TaggedTuple>>,
+}
+
+impl JoinState {
+    /// Fresh, empty join state.
+    pub fn new() -> JoinState {
+        JoinState::default()
+    }
+
+    /// Number of buffered rows on both sides.
+    pub fn len(&self) -> usize {
+        self.left.values().map(Vec::len).sum::<usize>()
+            + self.right.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Is the state empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Process one input row arriving on `input` (0 = left, 1 = right):
+    /// insert it into its side's table, probe the other side, and return
+    /// the join results (left columns then right columns), tagged with the
+    /// union of the parents' provenance plus `node`.
+    pub fn process(
+        &mut self,
+        input: usize,
+        row: TaggedTuple,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        node: NodeId,
+    ) -> Vec<TaggedTuple> {
+        let mut out = Vec::new();
+        if input == 0 {
+            let key: Vec<Value> = left_keys.iter().map(|c| row.tuple.value(*c).clone()).collect();
+            if let Some(matches) = self.right.get(&key) {
+                for other in matches {
+                    let joined = row.tuple.concat(&other.tuple);
+                    out.push(TaggedTuple::derived(joined, &row, other, node));
+                }
+            }
+            self.left.entry(key).or_default().push(row);
+        } else {
+            let key: Vec<Value> = right_keys.iter().map(|c| row.tuple.value(*c).clone()).collect();
+            if let Some(matches) = self.left.get(&key) {
+                for other in matches {
+                    let joined = other.tuple.concat(&row.tuple);
+                    out.push(TaggedTuple::derived(joined, other, &row, node));
+                }
+            }
+            self.right.entry(key).or_default().push(row);
+        }
+        out
+    }
+
+    /// Drop every buffered row whose provenance intersects `failed`;
+    /// returns how many rows were dropped.
+    pub fn purge_tainted(&mut self, failed: &NodeSet) -> usize {
+        let mut dropped = 0;
+        for table in [&mut self.left, &mut self.right] {
+            for rows in table.values_mut() {
+                let before = rows.len();
+                rows.retain(|r| !r.is_tainted(failed));
+                dropped += before - rows.len();
+            }
+            table.retain(|_, v| !v.is_empty());
+        }
+        dropped
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Running state of one aggregate function for one sub-group.
+#[derive(Clone, Debug)]
+pub enum Accumulator {
+    /// COUNT(*) — number of input rows.
+    Count(i64),
+    /// SUM(col).
+    Sum(Value),
+    /// MIN(col).
+    Min(Option<Value>),
+    /// MAX(col).
+    Max(Option<Value>),
+    /// AVG(col) carried as (sum, count).
+    Avg(Value, i64),
+}
+
+impl Accumulator {
+    /// A fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Accumulator {
+        match func {
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Sum => Accumulator::Sum(Value::Null),
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Avg => Accumulator::Avg(Value::Null, 0),
+        }
+    }
+
+    /// Fold one raw input value into the accumulator.
+    pub fn update(&mut self, value: &Value) {
+        match self {
+            Accumulator::Count(c) => *c += 1,
+            Accumulator::Sum(s) => *s = s.add(value),
+            Accumulator::Min(m) => {
+                if m.as_ref().map(|cur| value < cur).unwrap_or(true) && !value.is_null() {
+                    *m = Some(value.clone());
+                }
+            }
+            Accumulator::Max(m) => {
+                if m.as_ref().map(|cur| value > cur).unwrap_or(true) && !value.is_null() {
+                    *m = Some(value.clone());
+                }
+            }
+            Accumulator::Avg(s, c) => {
+                if !value.is_null() {
+                    *s = s.add(value);
+                    *c += 1;
+                }
+            }
+        }
+    }
+
+    /// Merge a *partial state* (as produced by [`Self::partial_values`]) —
+    /// the re-aggregation path of a `Final` aggregate.
+    pub fn merge_partial(&mut self, state: &[Value]) {
+        match self {
+            Accumulator::Count(c) => *c += state[0].as_int().unwrap_or(0),
+            Accumulator::Sum(s) => *s = s.add(&state[0]),
+            Accumulator::Min(m) => {
+                if !state[0].is_null()
+                    && m.as_ref().map(|cur| &state[0] < cur).unwrap_or(true)
+                {
+                    *m = Some(state[0].clone());
+                }
+            }
+            Accumulator::Max(m) => {
+                if !state[0].is_null()
+                    && m.as_ref().map(|cur| &state[0] > cur).unwrap_or(true)
+                {
+                    *m = Some(state[0].clone());
+                }
+            }
+            Accumulator::Avg(s, c) => {
+                *s = s.add(&state[0]);
+                *c += state[1].as_int().unwrap_or(0);
+            }
+        }
+    }
+
+    /// The mergeable partial representation of the state.
+    pub fn partial_values(&self) -> Vec<Value> {
+        match self {
+            Accumulator::Count(c) => vec![Value::Int(*c)],
+            Accumulator::Sum(s) => vec![s.clone()],
+            Accumulator::Min(m) => vec![m.clone().unwrap_or(Value::Null)],
+            Accumulator::Max(m) => vec![m.clone().unwrap_or(Value::Null)],
+            Accumulator::Avg(s, c) => vec![s.clone(), Value::Int(*c)],
+        }
+    }
+
+    /// The final scalar result.
+    pub fn final_value(&self) -> Value {
+        match self {
+            Accumulator::Count(c) => Value::Int(*c),
+            Accumulator::Sum(s) => s.clone(),
+            Accumulator::Min(m) | Accumulator::Max(m) => m.clone().unwrap_or(Value::Null),
+            Accumulator::Avg(s, c) => {
+                if *c == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(s.as_f64().unwrap_or(0.0) / *c as f64)
+                }
+            }
+        }
+    }
+}
+
+/// One sub-group of an aggregate: the accumulators for a particular
+/// `(group key, provenance set, phase)` combination, plus whether it has
+/// already been emitted downstream.
+#[derive(Clone, Debug)]
+struct SubGroup {
+    accumulators: Vec<Accumulator>,
+    emitted: bool,
+}
+
+/// State of one aggregation operator instance.
+#[derive(Clone, Debug, Default)]
+pub struct AggState {
+    groups: HashMap<(Vec<Value>, NodeSet, Phase), SubGroup>,
+}
+
+impl AggState {
+    /// Fresh, empty aggregation state.
+    pub fn new() -> AggState {
+        AggState::default()
+    }
+
+    /// Number of sub-groups currently held.
+    pub fn subgroup_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Fold one raw input row (modes `Single` and `Partial`).
+    pub fn update_raw(&mut self, row: &TaggedTuple, group_by: &[usize], aggs: &[(AggFunc, usize)]) {
+        let key: Vec<Value> = group_by.iter().map(|c| row.tuple.value(*c).clone()).collect();
+        let entry = self
+            .groups
+            .entry((key, row.provenance, row.phase))
+            .or_insert_with(|| SubGroup {
+                accumulators: aggs.iter().map(|(f, _)| Accumulator::new(*f)).collect(),
+                emitted: false,
+            });
+        for (i, (_, col)) in aggs.iter().enumerate() {
+            entry.accumulators[i].update(row.tuple.value(*col));
+        }
+    }
+
+    /// Fold one partial-state row (mode `Final`): `aggs[i].1` is the
+    /// column at which the i-th aggregate's partial state begins.
+    pub fn update_partial(
+        &mut self,
+        row: &TaggedTuple,
+        group_by: &[usize],
+        aggs: &[(AggFunc, usize)],
+    ) {
+        let key: Vec<Value> = group_by.iter().map(|c| row.tuple.value(*c).clone()).collect();
+        let entry = self
+            .groups
+            .entry((key, row.provenance, row.phase))
+            .or_insert_with(|| SubGroup {
+                accumulators: aggs.iter().map(|(f, _)| Accumulator::new(*f)).collect(),
+                emitted: false,
+            });
+        for (i, (f, col)) in aggs.iter().enumerate() {
+            let width = f.partial_width();
+            let state: Vec<Value> = (0..width)
+                .map(|k| row.tuple.value(col + k).clone())
+                .collect();
+            entry.accumulators[i].merge_partial(&state);
+        }
+    }
+
+    /// Drop every sub-group whose provenance intersects `failed`; returns
+    /// the number of sub-groups dropped.
+    pub fn purge_tainted(&mut self, failed: &NodeSet) -> usize {
+        let before = self.groups.len();
+        self.groups.retain(|(_, prov, _), _| !prov.intersects(failed));
+        before - self.groups.len()
+    }
+
+    /// Emit every sub-group that has not been emitted yet, marking it
+    /// emitted.  `partial` selects between the mergeable partial layout
+    /// and the final scalar layout.  Output rows are tagged with the
+    /// sub-group's provenance plus `node`, at `phase`.
+    pub fn emit_unemitted(&mut self, partial: bool, node: NodeId, phase: Phase) -> Vec<TaggedTuple> {
+        let mut keys: Vec<(Vec<Value>, NodeSet, Phase)> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| !g.emitted)
+            .map(|(k, _)| k.clone())
+            .collect();
+        // Deterministic emission order (group key, then provenance order is
+        // irrelevant but stable via the sort on the full key tuple).
+        keys.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let group = self.groups.get_mut(&key).expect("subgroup exists");
+            group.emitted = true;
+            let mut values = key.0.clone();
+            for acc in &group.accumulators {
+                if partial {
+                    values.extend(acc.partial_values());
+                } else {
+                    values.push(acc.final_value());
+                }
+            }
+            let mut provenance = key.1;
+            provenance.insert(node);
+            out.push(TaggedTuple {
+                tuple: Tuple::new(values),
+                provenance,
+                phase,
+            });
+        }
+        out
+    }
+
+    /// Merge-and-finalise view used by the `Output`-side reporting in
+    /// tests: collapse all sub-groups (regardless of provenance/phase) by
+    /// group key and return final values.  This is *not* used during
+    /// distributed execution (the Final aggregate does the merging there);
+    /// it exists so unit tests can validate accumulator algebra directly.
+    pub fn collapsed_final(&self, aggs: &[(AggFunc, usize)]) -> Vec<Tuple> {
+        let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+        for ((key, _, _), group) in &self.groups {
+            let accs = merged
+                .entry(key.clone())
+                .or_insert_with(|| aggs.iter().map(|(f, _)| Accumulator::new(*f)).collect());
+            for (i, acc) in group.accumulators.iter().enumerate() {
+                accs[i].merge_partial(&acc.partial_values());
+            }
+        }
+        let mut out: Vec<Tuple> = merged
+            .into_iter()
+            .map(|(mut key, accs)| {
+                key.extend(accs.iter().map(Accumulator::final_value));
+                Tuple::new(key)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rehash / Ship buffering and output caching
+// ---------------------------------------------------------------------------
+
+/// State of one `Rehash` or `Ship` operator instance: the per-destination
+/// output buffers awaiting a full batch, and (when recovery support is
+/// enabled) the cache of everything sent, used to re-create data that had
+/// been sent to a failed node.
+#[derive(Clone, Debug, Default)]
+pub struct RehashState {
+    buffers: HashMap<NodeId, Vec<TaggedTuple>>,
+    cache: Vec<(NodeId, TaggedTuple)>,
+    cache_enabled: bool,
+}
+
+impl RehashState {
+    /// Fresh state; `cache_enabled` mirrors the engine's recovery-support
+    /// switch.
+    pub fn new(cache_enabled: bool) -> RehashState {
+        RehashState {
+            cache_enabled,
+            ..RehashState::default()
+        }
+    }
+
+    /// Append a row destined for `dest`, returning the buffer length after
+    /// insertion (the executor flushes when this reaches the batch size).
+    pub fn buffer(&mut self, dest: NodeId, row: TaggedTuple) -> usize {
+        if self.cache_enabled {
+            self.cache.push((dest, row.clone()));
+        }
+        let buf = self.buffers.entry(dest).or_default();
+        buf.push(row);
+        buf.len()
+    }
+
+    /// Take (and clear) the pending buffer for `dest`.
+    pub fn take_buffer(&mut self, dest: NodeId) -> Vec<TaggedTuple> {
+        self.buffers.remove(&dest).unwrap_or_default()
+    }
+
+    /// Destinations that currently have pending rows.
+    pub fn pending_destinations(&self) -> Vec<NodeId> {
+        let mut dests: Vec<NodeId> = self
+            .buffers
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(d, _)| *d)
+            .collect();
+        dests.sort_unstable();
+        dests
+    }
+
+    /// Rows cached as having been sent to `dest` that are *not* tainted —
+    /// exactly the rows recovery stage 4 must re-transmit.  The returned
+    /// rows stay in the cache (re-keyed by their new destination when the
+    /// executor re-buffers them).
+    pub fn cached_for(&self, dest: NodeId, failed: &NodeSet) -> Vec<TaggedTuple> {
+        self.cache
+            .iter()
+            .filter(|(d, row)| *d == dest && !row.is_tainted(failed))
+            .map(|(_, row)| row.clone())
+            .collect()
+    }
+
+    /// Drop tainted rows from the cache and from the pending buffers;
+    /// returns how many rows were dropped.
+    pub fn purge_tainted(&mut self, failed: &NodeSet) -> usize {
+        let mut dropped = 0;
+        let before = self.cache.len();
+        self.cache.retain(|(_, row)| !row.is_tainted(failed));
+        dropped += before - self.cache.len();
+        for buf in self.buffers.values_mut() {
+            let before = buf.len();
+            buf.retain(|row| !row.is_tainted(failed));
+            dropped += before - buf.len();
+        }
+        dropped
+    }
+
+    /// Number of rows currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_common::Value;
+
+    fn tagged(vals: Vec<Value>, node: u16) -> TaggedTuple {
+        TaggedTuple::scanned(Tuple::new(vals), NodeId(node), 0)
+    }
+
+    #[test]
+    fn symmetric_join_finds_matches_in_either_arrival_order() {
+        let mut j = JoinState::new();
+        let node = NodeId(9);
+        // Left arrives first: no match yet.
+        let out = j.process(0, tagged(vec![Value::Int(1), Value::str("a")], 0), &[0], &[0], node);
+        assert!(out.is_empty());
+        // Matching right arrives: one result.
+        let out = j.process(1, tagged(vec![Value::Int(1), Value::str("x")], 1), &[0], &[0], node);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].tuple.values(),
+            &[Value::Int(1), Value::str("a"), Value::Int(1), Value::str("x")]
+        );
+        assert!(out[0].provenance.contains(NodeId(0)));
+        assert!(out[0].provenance.contains(NodeId(1)));
+        assert!(out[0].provenance.contains(node));
+        // A second left with the same key joins against the stored right.
+        let out = j.process(0, tagged(vec![Value::Int(1), Value::str("b")], 2), &[0], &[0], node);
+        assert_eq!(out.len(), 1);
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn join_purge_drops_only_tainted_rows() {
+        let mut j = JoinState::new();
+        let node = NodeId(9);
+        j.process(0, tagged(vec![Value::Int(1)], 0), &[0], &[0], node);
+        j.process(0, tagged(vec![Value::Int(2)], 5), &[0], &[0], node);
+        j.process(1, tagged(vec![Value::Int(3)], 5), &[0], &[0], node);
+        let dropped = j.purge_tainted(&NodeSet::singleton(NodeId(5)));
+        assert_eq!(dropped, 2);
+        assert_eq!(j.len(), 1);
+        assert!(!j.is_empty());
+    }
+
+    #[test]
+    fn accumulators_compute_sql_semantics() {
+        let mut count = Accumulator::new(AggFunc::Count);
+        let mut sum = Accumulator::new(AggFunc::Sum);
+        let mut min = Accumulator::new(AggFunc::Min);
+        let mut max = Accumulator::new(AggFunc::Max);
+        let mut avg = Accumulator::new(AggFunc::Avg);
+        for v in [3i64, 1, 4, 1, 5] {
+            let val = Value::Int(v);
+            count.update(&val);
+            sum.update(&val);
+            min.update(&val);
+            max.update(&val);
+            avg.update(&val);
+        }
+        assert_eq!(count.final_value(), Value::Int(5));
+        assert_eq!(sum.final_value(), Value::Int(14));
+        assert_eq!(min.final_value(), Value::Int(1));
+        assert_eq!(max.final_value(), Value::Int(5));
+        assert_eq!(avg.final_value(), Value::Double(2.8));
+    }
+
+    #[test]
+    fn partial_then_merge_equals_direct_aggregation() {
+        // Split the input across two partial accumulators, merge, compare
+        // against a single accumulator over the whole input.
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let input: Vec<i64> = vec![10, -3, 7, 7, 0, 42];
+            let mut direct = Accumulator::new(func);
+            for v in &input {
+                direct.update(&Value::Int(*v));
+            }
+            let mut p1 = Accumulator::new(func);
+            let mut p2 = Accumulator::new(func);
+            for (i, v) in input.iter().enumerate() {
+                if i % 2 == 0 {
+                    p1.update(&Value::Int(*v));
+                } else {
+                    p2.update(&Value::Int(*v));
+                }
+            }
+            let mut merged = Accumulator::new(func);
+            merged.merge_partial(&p1.partial_values());
+            merged.merge_partial(&p2.partial_values());
+            assert_eq!(merged.final_value(), direct.final_value(), "{func:?}");
+        }
+    }
+
+    #[test]
+    fn agg_state_subgroups_by_provenance_and_emission_is_once() {
+        let mut agg = AggState::new();
+        let aggs = [(AggFunc::Sum, 1)];
+        // Two rows in the same group but with different provenance → two
+        // sub-groups.
+        agg.update_raw(&tagged(vec![Value::str("g"), Value::Int(10)], 0), &[0], &aggs);
+        agg.update_raw(&tagged(vec![Value::str("g"), Value::Int(5)], 1), &[0], &aggs);
+        assert_eq!(agg.subgroup_count(), 2);
+        let emitted = agg.emit_unemitted(true, NodeId(7), 0);
+        assert_eq!(emitted.len(), 2);
+        // Nothing new to emit on a second close.
+        assert!(agg.emit_unemitted(true, NodeId(7), 0).is_empty());
+        // New input after emission creates a fresh sub-group (new phase)
+        // and only that one is emitted next time.
+        let mut late = tagged(vec![Value::str("g"), Value::Int(1)], 2);
+        late.phase = 1;
+        agg.update_raw(&late, &[0], &aggs);
+        let emitted = agg.emit_unemitted(true, NodeId(7), 1);
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].phase, 1);
+    }
+
+    #[test]
+    fn agg_purge_drops_tainted_subgroups() {
+        let mut agg = AggState::new();
+        let aggs = [(AggFunc::Count, 0)];
+        agg.update_raw(&tagged(vec![Value::str("a")], 0), &[0], &aggs);
+        agg.update_raw(&tagged(vec![Value::str("b")], 3), &[0], &aggs);
+        assert_eq!(agg.purge_tainted(&NodeSet::singleton(NodeId(3))), 1);
+        assert_eq!(agg.subgroup_count(), 1);
+    }
+
+    #[test]
+    fn collapsed_final_merges_across_subgroups() {
+        let mut agg = AggState::new();
+        let aggs = [(AggFunc::Sum, 1), (AggFunc::Count, 1)];
+        agg.update_raw(&tagged(vec![Value::str("g"), Value::Int(10)], 0), &[0], &aggs);
+        agg.update_raw(&tagged(vec![Value::str("g"), Value::Int(5)], 1), &[0], &aggs);
+        agg.update_raw(&tagged(vec![Value::str("h"), Value::Int(2)], 1), &[0], &aggs);
+        let rows = agg.collapsed_final(&aggs);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].values(),
+            &[Value::str("g"), Value::Int(15), Value::Int(2)]
+        );
+        assert_eq!(
+            rows[1].values(),
+            &[Value::str("h"), Value::Int(2), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn rehash_buffers_and_cache() {
+        let mut r = RehashState::new(true);
+        for i in 0..5 {
+            let len = r.buffer(NodeId(1), tagged(vec![Value::Int(i)], 0));
+            assert_eq!(len, i as usize + 1);
+        }
+        r.buffer(NodeId(2), tagged(vec![Value::Int(99)], 3));
+        assert_eq!(r.pending_destinations(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(r.take_buffer(NodeId(1)).len(), 5);
+        assert!(r.take_buffer(NodeId(1)).is_empty());
+        assert_eq!(r.cache_len(), 6);
+
+        // Stage-4 retransmission: cached rows for a failed destination,
+        // excluding tainted ones.
+        let failed = NodeSet::singleton(NodeId(3));
+        let resend = r.cached_for(NodeId(2), &failed);
+        assert!(resend.is_empty(), "row destined to n2 is itself tainted");
+        let resend = r.cached_for(NodeId(1), &failed);
+        assert_eq!(resend.len(), 5);
+        // Purge drops the tainted cache entry.
+        assert_eq!(r.purge_tainted(&failed), 1);
+        assert_eq!(r.cache_len(), 5);
+    }
+
+    #[test]
+    fn rehash_without_cache_keeps_nothing() {
+        let mut r = RehashState::new(false);
+        r.buffer(NodeId(1), tagged(vec![Value::Int(1)], 0));
+        assert_eq!(r.cache_len(), 0);
+    }
+}

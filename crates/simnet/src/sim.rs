@@ -1,0 +1,372 @@
+//! The discrete-event simulator core.
+//!
+//! [`Simulator`] owns the virtual clock, the event queue, one
+//! [`LinkState`] and one CPU-availability time per node, the failure
+//! record, and the traffic counters.  It is generic over the message type
+//! `M`, so the query engine defines its own message enum and the
+//! simulator stays a pure transport/timing substrate.
+//!
+//! ### Determinism
+//!
+//! Events are ordered by `(delivery time, sequence number)`; the sequence
+//! number is assigned at enqueue time, so simultaneous events are
+//! delivered in the order they were produced.  Given identical inputs the
+//! simulation is bit-for-bit reproducible.
+//!
+//! ### Failures
+//!
+//! [`Simulator::fail_node`] marks a node dead from a virtual instant
+//! onwards.  Messages sent by a dead node are discarded at the send call;
+//! messages addressed to a node that is dead at delivery time are
+//! discarded at the pop.  Both kinds are counted in
+//! [`Simulator::dropped_messages`], and the engine — exactly like the
+//! paper's engine observing a TCP connection reset — learns of the failure
+//! synchronously (the failure is injected by the experiment driver, which
+//! then invokes the engine's recovery path).
+
+use crate::clock::SimTime;
+use crate::link::LinkState;
+use crate::profiles::ClusterProfile;
+use crate::stats::TrafficStats;
+use orchestra_common::{NodeId, NodeSet};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event delivered by the simulator.
+#[derive(Clone, Debug)]
+pub struct Delivery<M> {
+    /// Virtual time at which the event fires at the destination.
+    pub time: SimTime,
+    /// The node that produced the event.
+    pub from: NodeId,
+    /// The node at which the event fires.
+    pub to: NodeId,
+    /// The engine-defined payload.
+    pub payload: M,
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    payload: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event simulator over `node_count` nodes.
+pub struct Simulator<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event<M>>,
+    links: Vec<LinkState>,
+    cpu_free_at: Vec<SimTime>,
+    failed_at: Vec<Option<SimTime>>,
+    profile: ClusterProfile,
+    stats: TrafficStats,
+    dropped: u64,
+}
+
+impl<M> Simulator<M> {
+    /// Create a simulator for `node_count` nodes sharing `profile`.
+    pub fn new(node_count: usize, profile: ClusterProfile) -> Simulator<M> {
+        assert!(node_count > 0, "simulator needs at least one node");
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            links: vec![LinkState::idle(); node_count],
+            cpu_free_at: vec![SimTime::ZERO; node_count],
+            failed_at: vec![None; node_count],
+            profile,
+            stats: TrafficStats::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the most recently delivered
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of simulated nodes.
+    pub fn node_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The cluster profile in force.
+    pub fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+
+    /// Accumulated traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Number of messages dropped because the sender or receiver had
+    /// failed.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Are there pending events?
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Mark `node` as failed from `at` onwards.
+    pub fn fail_node(&mut self, node: NodeId, at: SimTime) {
+        let slot = &mut self.failed_at[node.index()];
+        match slot {
+            Some(existing) if *existing <= at => {}
+            _ => *slot = Some(at),
+        }
+    }
+
+    /// Has `node` failed as of `at`?
+    pub fn is_failed_at(&self, node: NodeId, at: SimTime) -> bool {
+        matches!(self.failed_at[node.index()], Some(t) if t <= at)
+    }
+
+    /// The set of nodes failed as of `at`.
+    pub fn failed_nodes_at(&self, at: SimTime) -> NodeSet {
+        let mut s = NodeSet::empty();
+        for i in 0..self.failed_at.len() {
+            if self.is_failed_at(NodeId(i as u16), at) {
+                s.insert(NodeId(i as u16));
+            }
+        }
+        s
+    }
+
+    /// Reserve CPU on `node`: work of length `duration` that cannot start
+    /// before `ready` completes at the returned time, and the node's CPU
+    /// is busy until then.
+    pub fn charge_cpu(&mut self, node: NodeId, ready: SimTime, duration: SimTime) -> SimTime {
+        let start = self.cpu_free_at[node.index()].max(ready);
+        let done = start + duration;
+        self.cpu_free_at[node.index()] = done;
+        done
+    }
+
+    /// The time `node`'s CPU becomes free.
+    pub fn cpu_free_at(&self, node: NodeId) -> SimTime {
+        self.cpu_free_at[node.index()]
+    }
+
+    /// Enqueue a purely local event at `node`, firing at `at` (no network
+    /// involvement, no traffic recorded).
+    pub fn schedule(&mut self, node: NodeId, at: SimTime, payload: M) {
+        let seq = self.next_seq();
+        self.push(Event {
+            time: at,
+            seq,
+            from: node,
+            to: node,
+            payload,
+        });
+    }
+
+    /// Send `bytes` of payload from `src` to `dst`, no earlier than
+    /// `ready`.  Returns the delivery time, or `None` if the sender had
+    /// already failed (the message is silently dropped, as with a crashed
+    /// process).
+    ///
+    /// Same-node sends are delivered after the sender's CPU is free at
+    /// `ready` with no link cost and no traffic recorded, matching the
+    /// paper's engine where co-located operators hand tuples over in
+    /// memory.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        ready: SimTime,
+        payload: M,
+    ) -> Option<SimTime> {
+        if self.is_failed_at(src, ready) {
+            self.dropped += 1;
+            return None;
+        }
+        let arrival = if src == dst {
+            ready
+        } else {
+            self.stats.record(src, dst, bytes);
+            let uplink_done = self.links[src.index()].reserve_uplink(ready, bytes, &self.profile);
+            let at_receiver = uplink_done + self.profile.latency();
+            self.links[dst.index()].reserve_downlink(at_receiver, bytes, &self.profile)
+        };
+        let seq = self.next_seq();
+        self.push(Event {
+            time: arrival,
+            seq,
+            from: src,
+            to: dst,
+            payload,
+        });
+        Some(arrival)
+    }
+
+    /// Pop the next event.  Events addressed to nodes that are failed at
+    /// the delivery instant are discarded (and counted); `None` means the
+    /// simulation has quiesced.
+    pub fn next(&mut self) -> Option<Delivery<M>> {
+        while let Some(ev) = self.queue.pop() {
+            self.now = self.now.max(ev.time);
+            if self.is_failed_at(ev.to, ev.time) {
+                self.dropped += 1;
+                continue;
+            }
+            return Some(Delivery {
+                time: ev.time,
+                from: ev.from,
+                to: ev.to,
+                payload: ev.payload,
+            });
+        }
+        None
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn push(&mut self, ev: Event<M>) {
+        self.queue.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(n: usize) -> Simulator<&'static str> {
+        Simulator::new(n, ClusterProfile::wan(1000.0, 10.0)) // 1 MB/s, 10 ms
+    }
+
+    #[test]
+    fn events_pop_in_time_then_fifo_order() {
+        let mut s = sim(2);
+        s.schedule(NodeId(0), SimTime::from_millis(5), "b");
+        s.schedule(NodeId(0), SimTime::from_millis(1), "a");
+        s.schedule(NodeId(0), SimTime::from_millis(5), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| s.next().map(|d| d.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(s.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn send_accounts_for_bandwidth_and_latency() {
+        let mut s = sim(2);
+        // 1000 bytes at 1 MB/s = 1 ms on the uplink, +10 ms latency,
+        // +1 ms on the receiver downlink.
+        let arrival = s
+            .send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "msg")
+            .unwrap();
+        assert_eq!(arrival, SimTime::from_millis(12));
+        assert_eq!(s.stats().total_bytes(), 1000);
+        let d = s.next().unwrap();
+        assert_eq!(d.to, NodeId(1));
+        assert_eq!(d.time, arrival);
+    }
+
+    #[test]
+    fn local_sends_are_free_and_unrecorded() {
+        let mut s = sim(2);
+        let arrival = s
+            .send(NodeId(1), NodeId(1), 1_000_000, SimTime::from_millis(3), "x")
+            .unwrap();
+        assert_eq!(arrival, SimTime::from_millis(3));
+        assert_eq!(s.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn consecutive_sends_share_the_uplink() {
+        let mut s = sim(3);
+        let a1 = s.send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "a").unwrap();
+        let a2 = s.send(NodeId(0), NodeId(2), 1000, SimTime::ZERO, "b").unwrap();
+        // The second message cannot start until the first left the uplink.
+        assert!(a2 > a1);
+        assert_eq!(a2, SimTime::from_millis(13));
+    }
+
+    #[test]
+    fn cpu_charges_serialize_per_node() {
+        let mut s = sim(2);
+        let d1 = s.charge_cpu(NodeId(0), SimTime::ZERO, SimTime::from_millis(4));
+        let d2 = s.charge_cpu(NodeId(0), SimTime::ZERO, SimTime::from_millis(4));
+        let other = s.charge_cpu(NodeId(1), SimTime::ZERO, SimTime::from_millis(4));
+        assert_eq!(d1, SimTime::from_millis(4));
+        assert_eq!(d2, SimTime::from_millis(8));
+        assert_eq!(other, SimTime::from_millis(4));
+        assert_eq!(s.cpu_free_at(NodeId(0)), SimTime::from_millis(8));
+    }
+
+    #[test]
+    fn failed_sender_drops_messages() {
+        let mut s = sim(2);
+        s.fail_node(NodeId(0), SimTime::from_millis(1));
+        assert!(s
+            .send(NodeId(0), NodeId(1), 10, SimTime::from_millis(2), "late")
+            .is_none());
+        // A send that was initiated before the failure still goes out.
+        assert!(s
+            .send(NodeId(0), NodeId(1), 10, SimTime::ZERO, "early")
+            .is_some());
+        assert_eq!(s.dropped_messages(), 1);
+    }
+
+    #[test]
+    fn failed_receiver_discards_at_delivery() {
+        let mut s = sim(2);
+        s.send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "doomed").unwrap();
+        s.fail_node(NodeId(1), SimTime::from_millis(1));
+        assert!(s.next().is_none());
+        assert_eq!(s.dropped_messages(), 1);
+        assert!(s.is_failed_at(NodeId(1), SimTime::from_millis(1)));
+        assert!(!s.is_failed_at(NodeId(1), SimTime::ZERO));
+        assert_eq!(s.failed_nodes_at(SimTime::from_secs(1)).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut s = sim(4);
+            for i in 0..50u16 {
+                let src = NodeId(i % 4);
+                let dst = NodeId((i + 1) % 4);
+                s.send(src, dst, 100 * (i as usize + 1), SimTime::ZERO, "m");
+            }
+            let mut trace = Vec::new();
+            while let Some(d) = s.next() {
+                trace.push((d.time, d.from, d.to));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

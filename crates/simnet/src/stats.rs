@@ -1,0 +1,155 @@
+//! Network traffic accounting.
+//!
+//! Half of the paper's figures plot network traffic — total across the
+//! system (Figures 8, 11, 15, 16, 19) or per node (Figures 9, 12, 20).
+//! The simulator counts the serialized size of every inter-node message at
+//! the moment it is handed to [`crate::sim::Simulator::send`], so the
+//! numbers reported by [`TrafficStats`] are exact for a given execution,
+//! not estimates.
+
+use orchestra_common::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Byte and message counters for one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    total_bytes: u64,
+    total_messages: u64,
+    sent_bytes: BTreeMap<NodeId, u64>,
+    received_bytes: BTreeMap<NodeId, u64>,
+    link_bytes: BTreeMap<(NodeId, NodeId), u64>,
+}
+
+impl TrafficStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> TrafficStats {
+        TrafficStats::default()
+    }
+
+    /// Record one inter-node message of `bytes` bytes from `src` to `dst`.
+    pub fn record(&mut self, src: NodeId, dst: NodeId, bytes: usize) {
+        let bytes = bytes as u64;
+        self.total_bytes += bytes;
+        self.total_messages += 1;
+        *self.sent_bytes.entry(src).or_default() += bytes;
+        *self.received_bytes.entry(dst).or_default() += bytes;
+        *self.link_bytes.entry((src, dst)).or_default() += bytes;
+    }
+
+    /// Total bytes shipped between distinct nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total bytes, in megabytes (the unit of the paper's traffic figures).
+    pub fn total_megabytes(&self) -> f64 {
+        self.total_bytes as f64 / 1e6
+    }
+
+    /// Total number of inter-node messages.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Bytes sent by `node`.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.sent_bytes.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Bytes received by `node`.
+    pub fn received_by(&self, node: NodeId) -> u64 {
+        self.received_bytes.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Bytes carried on the directed link `src -> dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.link_bytes.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Average traffic per node (sent + received, halved so each byte is
+    /// counted once), over `node_count` nodes, in megabytes.  This is the
+    /// quantity plotted in the paper's "per-node network traffic" figures.
+    pub fn per_node_megabytes(&self, node_count: usize) -> f64 {
+        if node_count == 0 {
+            0.0
+        } else {
+            self.total_megabytes() / node_count as f64
+        }
+    }
+
+    /// The node that received the most bytes, if any traffic flowed.
+    /// Useful for spotting the query-initiator bottleneck in result-heavy
+    /// queries.
+    pub fn busiest_receiver(&self) -> Option<(NodeId, u64)> {
+        self.received_bytes
+            .iter()
+            .max_by_key(|(_, b)| **b)
+            .map(|(n, b)| (*n, *b))
+    }
+
+    /// Merge another run's counters into this one (used when a harness
+    /// aggregates warm-up plus measured runs).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.total_bytes += other.total_bytes;
+        self.total_messages += other.total_messages;
+        for (n, b) in &other.sent_bytes {
+            *self.sent_bytes.entry(*n).or_default() += b;
+        }
+        for (n, b) in &other.received_bytes {
+            *self.received_bytes.entry(*n).or_default() += b;
+        }
+        for (l, b) in &other.link_bytes {
+            *self.link_bytes.entry(*l).or_default() += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TrafficStats::new();
+        s.record(NodeId(0), NodeId(1), 1000);
+        s.record(NodeId(0), NodeId(2), 500);
+        s.record(NodeId(1), NodeId(0), 250);
+        assert_eq!(s.total_bytes(), 1750);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.sent_by(NodeId(0)), 1500);
+        assert_eq!(s.received_by(NodeId(0)), 250);
+        assert_eq!(s.link(NodeId(0), NodeId(1)), 1000);
+        assert_eq!(s.link(NodeId(1), NodeId(2)), 0);
+    }
+
+    #[test]
+    fn per_node_average_and_busiest() {
+        let mut s = TrafficStats::new();
+        s.record(NodeId(0), NodeId(1), 4_000_000);
+        s.record(NodeId(2), NodeId(1), 2_000_000);
+        assert!((s.per_node_megabytes(3) - 2.0).abs() < 1e-9);
+        assert_eq!(s.busiest_receiver(), Some((NodeId(1), 6_000_000)));
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = TrafficStats::new();
+        a.record(NodeId(0), NodeId(1), 100);
+        let mut b = TrafficStats::new();
+        b.record(NodeId(0), NodeId(1), 50);
+        b.record(NodeId(1), NodeId(0), 25);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 175);
+        assert_eq!(a.link(NodeId(0), NodeId(1)), 150);
+        assert_eq!(a.total_messages(), 3);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TrafficStats::new();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.per_node_megabytes(0), 0.0);
+        assert_eq!(s.busiest_receiver(), None);
+    }
+}

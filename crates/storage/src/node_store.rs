@@ -1,0 +1,254 @@
+//! The local store held by one participant.
+//!
+//! Each node keeps the slices of the four distributed structures
+//! (coordinators, index pages, tuple data, inverse entries) whose ring
+//! positions fall in its ranges — plus replicas of its neighbours' slices.
+//! In the paper this state lives in BerkeleyDB; here it is an in-memory
+//! ordered map per relation, which preserves the access pattern the cost
+//! model charges for (point lookups by tuple ID, range scans by tuple-key
+//! hash).
+
+use crate::coordinator::{CoordinatorKey, RelationVersion};
+use crate::page::{IndexPage, PageId};
+use orchestra_common::{Key160, KeyRange, NodeId, Tuple, TupleId};
+use std::collections::{BTreeMap, HashMap};
+
+/// The state stored locally at a single node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStore {
+    node: Option<NodeId>,
+    coordinators: HashMap<CoordinatorKey, RelationVersion>,
+    index_pages: HashMap<PageId, IndexPage>,
+    /// Per relation: `(tuple-key hash, tuple ID) -> tuple`.  Ordered by
+    /// hash so partition scans walk a contiguous range, as the paper's
+    /// on-disk layout does ("tuples from each index page are stored nearby
+    /// on disk, and are retrieved in a single pass through the hash ID
+    /// range for that page").
+    data: HashMap<String, BTreeMap<(Key160, TupleId), Tuple>>,
+    /// Latest page version per (relation, partition) — the inverse-node
+    /// state used to find the page that lists the current version of a
+    /// tuple when applying a modification.
+    inverse: HashMap<(String, u32), PageId>,
+}
+
+impl NodeStore {
+    /// An empty store belonging to `node`.
+    pub fn new(node: NodeId) -> NodeStore {
+        NodeStore {
+            node: Some(node),
+            ..NodeStore::default()
+        }
+    }
+
+    /// The node this store belongs to, if known.
+    pub fn node(&self) -> Option<NodeId> {
+        self.node
+    }
+
+    // ----- relation coordinator state -------------------------------------
+
+    /// Store a relation-version record.
+    pub fn put_coordinator(&mut self, version: RelationVersion) {
+        self.coordinators.insert(version.key.clone(), version);
+    }
+
+    /// Fetch a relation-version record.
+    pub fn coordinator(&self, key: &CoordinatorKey) -> Option<&RelationVersion> {
+        self.coordinators.get(key)
+    }
+
+    // ----- index node state ------------------------------------------------
+
+    /// Store an index page body.
+    pub fn put_index_page(&mut self, page: IndexPage) {
+        self.index_pages.insert(page.id.clone(), page);
+    }
+
+    /// Fetch an index page body.
+    pub fn index_page(&self, id: &PageId) -> Option<&IndexPage> {
+        self.index_pages.get(id)
+    }
+
+    // ----- data storage node state ------------------------------------------
+
+    /// Store a tuple version under its ID.
+    pub fn put_tuple(&mut self, relation: &str, hash: Key160, id: TupleId, tuple: Tuple) {
+        self.data
+            .entry(relation.to_string())
+            .or_default()
+            .insert((hash, id), tuple);
+    }
+
+    /// Fetch a tuple version by its ID (and pre-computed key hash).
+    pub fn tuple(&self, relation: &str, hash: Key160, id: &TupleId) -> Option<&Tuple> {
+        self.data
+            .get(relation)?
+            .get(&(hash, id.clone()))
+    }
+
+    /// Iterate over all tuple versions of `relation` whose key hash falls
+    /// in `range` (every version ever stored — callers intersect with an
+    /// index page to get a consistent snapshot).
+    pub fn scan_hash_range<'a>(
+        &'a self,
+        relation: &str,
+        range: &KeyRange,
+    ) -> Box<dyn Iterator<Item = (&'a Key160, &'a TupleId, &'a Tuple)> + 'a> {
+        let Some(map) = self.data.get(relation) else {
+            return Box::new(std::iter::empty());
+        };
+        let range = *range;
+        Box::new(
+            map.iter()
+                .filter(move |((h, _), _)| range.contains(*h))
+                .map(|((h, id), t)| (h, id, t)),
+        )
+    }
+
+    /// All tuple versions of `relation` stored locally.
+    pub fn all_tuples<'a>(
+        &'a self,
+        relation: &str,
+    ) -> Box<dyn Iterator<Item = (&'a TupleId, &'a Tuple)> + 'a> {
+        let Some(map) = self.data.get(relation) else {
+            return Box::new(std::iter::empty());
+        };
+        Box::new(map.iter().map(|((_, id), t)| (id, t)))
+    }
+
+    // ----- inverse node state -----------------------------------------------
+
+    /// Record that `page` is the latest version of `(relation, partition)`.
+    pub fn put_inverse(&mut self, relation: &str, partition: u32, page: PageId) {
+        self.inverse.insert((relation.to_string(), partition), page);
+    }
+
+    /// The latest page version of `(relation, partition)` known here.
+    pub fn inverse(&self, relation: &str, partition: u32) -> Option<&PageId> {
+        self.inverse.get(&(relation.to_string(), partition))
+    }
+
+    // ----- bookkeeping --------------------------------------------------------
+
+    /// Number of coordinator records held.
+    pub fn coordinator_count(&self) -> usize {
+        self.coordinators.len()
+    }
+
+    /// Number of index pages held.
+    pub fn index_page_count(&self) -> usize {
+        self.index_pages.len()
+    }
+
+    /// Number of tuple versions held (across all relations).
+    pub fn tuple_count(&self) -> usize {
+        self.data.values().map(BTreeMap::len).sum()
+    }
+
+    /// Drop everything — used to model the permanent loss of a failed
+    /// node's local storage.
+    pub fn clear(&mut self) {
+        self.coordinators.clear();
+        self.index_pages.clear();
+        self.data.clear();
+        self.inverse.clear();
+    }
+
+    /// Iterate over every coordinator record (used by anti-entropy
+    /// replication).
+    pub fn coordinators(&self) -> impl Iterator<Item = &RelationVersion> {
+        self.coordinators.values()
+    }
+
+    /// Iterate over every index page (used by anti-entropy replication).
+    pub fn index_pages(&self) -> impl Iterator<Item = &IndexPage> {
+        self.index_pages.values()
+    }
+
+    /// Iterate over every stored tuple with its relation, hash and ID
+    /// (used by anti-entropy replication).
+    pub fn tuples_with_relation(
+        &self,
+    ) -> impl Iterator<Item = (&str, &Key160, &TupleId, &Tuple)> {
+        self.data.iter().flat_map(|(rel, map)| {
+            map.iter()
+                .map(move |((h, id), t)| (rel.as_str(), h, id, t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{partition_range, PageId};
+    use orchestra_common::{Epoch, Value};
+
+    fn tuple(k: i64) -> (Key160, TupleId, Tuple) {
+        let t = Tuple::new(vec![Value::Int(k), Value::str(format!("v{k}"))]);
+        let id = t.id(1, Epoch(0));
+        (id.hash_key(), id, t)
+    }
+
+    #[test]
+    fn tuple_storage_and_lookup() {
+        let mut s = NodeStore::new(NodeId(0));
+        let (h, id, t) = tuple(5);
+        s.put_tuple("R", h, id.clone(), t.clone());
+        assert_eq!(s.tuple("R", h, &id), Some(&t));
+        assert_eq!(s.tuple("S", h, &id), None);
+        assert_eq!(s.tuple_count(), 1);
+        let missing = TupleId::new(vec![Value::Int(6)], Epoch(0));
+        assert_eq!(s.tuple("R", missing.hash_key(), &missing), None);
+    }
+
+    #[test]
+    fn hash_range_scan_filters_by_range() {
+        let mut s = NodeStore::new(NodeId(0));
+        let mut inside = 0;
+        let range = partition_range(0, 2);
+        for k in 0..50 {
+            let (h, id, t) = tuple(k);
+            if range.contains(h) {
+                inside += 1;
+            }
+            s.put_tuple("R", h, id, t);
+        }
+        let scanned = s.scan_hash_range("R", &range).count();
+        assert_eq!(scanned, inside);
+        assert_eq!(s.all_tuples("R").count(), 50);
+        assert_eq!(s.scan_hash_range("T", &range).count(), 0);
+    }
+
+    #[test]
+    fn coordinator_index_and_inverse_round_trip() {
+        let mut s = NodeStore::new(NodeId(1));
+        let key = CoordinatorKey::new("R", Epoch(0));
+        let page = IndexPage::new(PageId::new("R", Epoch(0), 0), partition_range(0, 4), vec![]);
+        s.put_coordinator(RelationVersion::new(key.clone(), vec![page.descriptor()]));
+        s.put_index_page(page.clone());
+        s.put_inverse("R", 0, page.id.clone());
+        assert!(s.coordinator(&key).is_some());
+        assert!(s.coordinator(&CoordinatorKey::new("R", Epoch(1))).is_none());
+        assert_eq!(s.index_page(&page.id), Some(&page));
+        assert_eq!(s.inverse("R", 0), Some(&page.id));
+        assert_eq!(s.inverse("R", 1), None);
+        assert_eq!(s.coordinator_count(), 1);
+        assert_eq!(s.index_page_count(), 1);
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let mut s = NodeStore::new(NodeId(0));
+        let (h, id, t) = tuple(1);
+        s.put_tuple("R", h, id, t);
+        s.put_index_page(IndexPage::new(
+            PageId::new("R", Epoch(0), 0),
+            partition_range(0, 1),
+            vec![],
+        ));
+        s.clear();
+        assert_eq!(s.tuple_count(), 0);
+        assert_eq!(s.index_page_count(), 0);
+        assert_eq!(s.coordinator_count(), 0);
+    }
+}

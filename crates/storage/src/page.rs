@@ -1,0 +1,284 @@
+//! Versioned index pages.
+//!
+//! "Relations are divided into versioned pages, each of which represents a
+//! partition over the space of possible tuple keys' hash values"
+//! (Section IV).  A [`PageId`] names one *version* of one such partition:
+//! the relation, the epoch in which the page was last modified, and the
+//! partition's ordinal within the relation.  The [`IndexPage`] is the page
+//! body — the list of tuple IDs present in that partition in that version
+//! — and a [`PageDescriptor`] is the coordinator-side summary (ID, hash
+//! range, storage position, cardinality).
+//!
+//! The page is *stored* at the midpoint of the hash range it covers, so
+//! that with contiguous per-node ranges the page and the majority of the
+//! tuples it references live on the same node ("the vast majority of tuple
+//! keys are never sent over the network").
+
+use orchestra_common::{Epoch, Key160, KeyRange, TupleId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one version of one index page.
+///
+/// Matches the paper's example: "The index page ID consists of the
+/// relation name, the epoch in which it was last modified, and a unique
+/// identifier for that relation and epoch."
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId {
+    /// Relation the page belongs to.
+    pub relation: String,
+    /// Epoch in which this version of the page was created.
+    pub epoch: Epoch,
+    /// Ordinal of the partition within the relation (stable across
+    /// versions: version `e` of partition 3 supersedes version `e' < e` of
+    /// partition 3).
+    pub partition: u32,
+}
+
+impl PageId {
+    /// Build a page ID.
+    pub fn new(relation: impl Into<String>, epoch: Epoch, partition: u32) -> PageId {
+        PageId {
+            relation: relation.into(),
+            epoch,
+            partition,
+        }
+    }
+
+    /// The ring position at which the *page lookup* for this page is
+    /// addressed (hash of the full ID) — used for inverse-node placement.
+    pub fn hash(&self) -> Key160 {
+        Key160::hash_parts(&[
+            self.relation.as_bytes(),
+            &self.epoch.0.to_be_bytes(),
+            &self.partition.to_be_bytes(),
+        ])
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}#{}", self.relation, self.epoch, self.partition)
+    }
+}
+
+/// Coordinator-side summary of one page version.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageDescriptor {
+    /// Which page version this describes.
+    pub id: PageId,
+    /// The tuple-key hash range the partition covers.
+    pub range: KeyRange,
+    /// The ring position at which the page body is stored: the midpoint of
+    /// `range`, so the page is co-located with most of its tuples.
+    pub storage_key: Key160,
+    /// Number of tuple IDs listed in the page (for planner statistics).
+    pub tuple_count: usize,
+}
+
+impl PageDescriptor {
+    /// Describe a page covering `range`.
+    pub fn new(id: PageId, range: KeyRange, tuple_count: usize) -> PageDescriptor {
+        PageDescriptor {
+            storage_key: range.midpoint(),
+            id,
+            range,
+            tuple_count,
+        }
+    }
+
+    /// Approximate wire size of the descriptor when a coordinator ships
+    /// its page list to a requester.
+    pub fn serialized_size(&self) -> usize {
+        self.id.relation.len() + 8 + 4 + 40 + 8
+    }
+}
+
+/// The body of one page version: the tuple IDs present in the partition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexPage {
+    /// Which page version this is.
+    pub id: PageId,
+    /// The tuple-key hash range the partition covers.
+    pub range: KeyRange,
+    /// Tuple IDs in the partition for this version, sorted for
+    /// deterministic iteration and efficient membership tests.
+    pub tuple_ids: Vec<TupleId>,
+}
+
+impl IndexPage {
+    /// Create a page body, sorting the IDs.
+    pub fn new(id: PageId, range: KeyRange, mut tuple_ids: Vec<TupleId>) -> IndexPage {
+        tuple_ids.sort();
+        IndexPage {
+            id,
+            range,
+            tuple_ids,
+        }
+    }
+
+    /// Number of tuple IDs listed.
+    pub fn len(&self) -> usize {
+        self.tuple_ids.len()
+    }
+
+    /// Is the page empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuple_ids.is_empty()
+    }
+
+    /// Does the page list this exact tuple version?
+    pub fn contains(&self, id: &TupleId) -> bool {
+        self.tuple_ids.binary_search(id).is_ok()
+    }
+
+    /// The descriptor summarising this page version.
+    pub fn descriptor(&self) -> PageDescriptor {
+        PageDescriptor::new(self.id.clone(), self.range, self.tuple_ids.len())
+    }
+
+    /// Derive the next version of this page at `epoch`: remove the IDs in
+    /// `remove` (superseded or deleted versions) and add the IDs in `add`.
+    pub fn next_version(&self, epoch: Epoch, remove: &[TupleId], add: Vec<TupleId>) -> IndexPage {
+        let mut ids: Vec<TupleId> = self
+            .tuple_ids
+            .iter()
+            .filter(|t| !remove.contains(t))
+            .cloned()
+            .collect();
+        ids.extend(add);
+        IndexPage::new(
+            PageId::new(self.id.relation.clone(), epoch, self.id.partition),
+            self.range,
+            ids,
+        )
+    }
+
+    /// Approximate wire size of the page body (what an index node ships
+    /// when asked for the page's tuple IDs).
+    pub fn serialized_size(&self) -> usize {
+        64 + self
+            .tuple_ids
+            .iter()
+            .map(TupleId::serialized_size)
+            .sum::<usize>()
+    }
+}
+
+/// Compute the hash range of partition `partition` out of `partitions`
+/// equal divisions of the key space.
+pub fn partition_range(partition: u32, partitions: u32) -> KeyRange {
+    assert!(partitions > 0, "a relation must have at least one partition");
+    assert!(partition < partitions);
+    if partitions == 1 {
+        return KeyRange::full();
+    }
+    let width = Key160::space_divided_by(partitions as u64);
+    let start = width.wrapping_mul_small(partition as u64);
+    let end = if partition == partitions - 1 {
+        Key160::ZERO
+    } else {
+        width.wrapping_mul_small(partition as u64 + 1)
+    };
+    KeyRange::new(start, end)
+}
+
+/// Which partition (of `partitions`) a tuple-key hash belongs to.
+pub fn partition_of(hash: Key160, partitions: u32) -> u32 {
+    if partitions == 1 {
+        return 0;
+    }
+    let width = Key160::space_divided_by(partitions as u64);
+    // Binary search over the partition boundaries.
+    let mut lo = 0u32;
+    let mut hi = partitions - 1;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if hash >= width.wrapping_mul_small(mid as u64) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_common::Value;
+    use proptest::prelude::*;
+
+    fn tid(k: i64, e: u64) -> TupleId {
+        TupleId::new(vec![Value::Int(k)], Epoch(e))
+    }
+
+    #[test]
+    fn page_id_display_and_hash() {
+        let id = PageId::new("R", Epoch(2), 0);
+        assert_eq!(id.to_string(), "R@e2#0");
+        assert_ne!(id.hash(), PageId::new("R", Epoch(2), 1).hash());
+        assert_ne!(id.hash(), PageId::new("R", Epoch(3), 0).hash());
+    }
+
+    #[test]
+    fn index_page_membership_and_versioning() {
+        let range = partition_range(0, 4);
+        let page = IndexPage::new(PageId::new("R", Epoch(0), 0), range, vec![tid(1, 0), tid(2, 0)]);
+        assert_eq!(page.len(), 2);
+        assert!(page.contains(&tid(1, 0)));
+        assert!(!page.contains(&tid(1, 1)));
+
+        // Epoch 1 replaces tuple 1 with a new version and adds tuple 3.
+        let next = page.next_version(Epoch(1), &[tid(1, 0)], vec![tid(1, 1), tid(3, 1)]);
+        assert_eq!(next.id, PageId::new("R", Epoch(1), 0));
+        assert_eq!(next.len(), 3);
+        assert!(next.contains(&tid(1, 1)));
+        assert!(!next.contains(&tid(1, 0)));
+        assert!(next.contains(&tid(2, 0)));
+        // The original version is untouched (full versioning).
+        assert!(page.contains(&tid(1, 0)));
+    }
+
+    #[test]
+    fn descriptor_summarises_page() {
+        let range = partition_range(1, 4);
+        let page = IndexPage::new(PageId::new("R", Epoch(0), 1), range, vec![tid(7, 0)]);
+        let d = page.descriptor();
+        assert_eq!(d.id, page.id);
+        assert_eq!(d.tuple_count, 1);
+        assert_eq!(d.storage_key, range.midpoint());
+        assert!(d.serialized_size() > 0);
+        assert!(page.serialized_size() > 0);
+    }
+
+    #[test]
+    fn partition_ranges_tile_and_lookup_agrees() {
+        let parts = 16u32;
+        for probe in 0..200u64 {
+            let h = Key160::hash(&probe.to_be_bytes());
+            let via_lookup = partition_of(h, parts);
+            let covering: Vec<u32> = (0..parts)
+                .filter(|p| partition_range(*p, parts).contains(h))
+                .collect();
+            assert_eq!(covering.len(), 1);
+            assert_eq!(covering[0], via_lookup);
+        }
+    }
+
+    #[test]
+    fn single_partition_covers_everything() {
+        assert!(partition_range(0, 1).is_full());
+        assert_eq!(partition_of(Key160::hash(b"x"), 1), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn partition_of_is_consistent_with_ranges(parts in 1u32..64, seed in any::<u64>()) {
+            let h = Key160::hash(&seed.to_be_bytes());
+            let p = partition_of(h, parts);
+            prop_assert!(p < parts);
+            prop_assert!(partition_range(p, parts).contains(h));
+        }
+    }
+}

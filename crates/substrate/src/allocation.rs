@@ -1,0 +1,207 @@
+//! Range allocation schemes (paper Figure 2).
+//!
+//! Given the set of participants, an allocation scheme decides which
+//! contiguous arc of the key ring each node *owns* (i.e. which keys it is
+//! primarily responsible for storing and serving).
+//!
+//! * [`AllocationScheme::PastryStyle`] reproduces Figure 2(a): keys are
+//!   placed at the node with the *nearest* hash ID, so a node owns the arc
+//!   between the midpoints to its ring predecessor and successor.  With
+//!   only dozens of nodes this is highly non-uniform (in the paper's
+//!   example two nodes own more than ¾ of the space).
+//! * [`AllocationScheme::Balanced`] reproduces Figure 2(b): the key space
+//!   is divided into equal contiguous ranges, assigned in order to the
+//!   nodes sorted by hash ID.  This is the scheme used for all the paper's
+//!   experiments, and the default throughout this repository.
+
+use crate::ring::sorted_ring;
+use orchestra_common::{Key160, KeyRange, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Which of the two range allocation schemes of Figure 2 to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocationScheme {
+    /// Figure 2(a): each key is owned by the node whose hashed address is
+    /// nearest on the ring (Pastry placement).
+    PastryStyle,
+    /// Figure 2(b): the key space is divided into evenly sized sequential
+    /// ranges, one per node, assigned in hash-ID order.  The paper's
+    /// experiments (and ours) use this scheme.
+    #[default]
+    Balanced,
+}
+
+impl AllocationScheme {
+    /// Compute the ownership ranges for `nodes`.
+    ///
+    /// Returns one `(node, range)` pair per node.  Ranges are disjoint,
+    /// cover the whole ring, and each node receives exactly one contiguous
+    /// arc (a property the storage layer relies on for co-locating index
+    /// pages with data, Section IV).
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn allocate(&self, nodes: &[NodeId]) -> Vec<(NodeId, KeyRange)> {
+        assert!(!nodes.is_empty(), "cannot allocate ranges to zero nodes");
+        if nodes.len() == 1 {
+            return vec![(nodes[0], KeyRange::full())];
+        }
+        match self {
+            AllocationScheme::PastryStyle => pastry_allocation(nodes),
+            AllocationScheme::Balanced => balanced_allocation(nodes),
+        }
+    }
+}
+
+/// Pastry placement: node `i` owns the arc from the midpoint between its
+/// predecessor and itself to the midpoint between itself and its
+/// successor.
+fn pastry_allocation(nodes: &[NodeId]) -> Vec<(NodeId, KeyRange)> {
+    let ring = sorted_ring(nodes);
+    let n = ring.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let prev = &ring[(i + n - 1) % n];
+        let cur = &ring[i];
+        let next = &ring[(i + 1) % n];
+        let start = KeyRange::new(prev.position, cur.position).midpoint();
+        let end = KeyRange::new(cur.position, next.position).midpoint();
+        out.push((cur.node, KeyRange::new(start, end)));
+    }
+    out
+}
+
+/// Balanced placement: `n` equal sequential ranges assigned in hash-ID
+/// order.  The final range absorbs the (at most `n - 1`) keys left over by
+/// integer division so the whole ring is covered.
+fn balanced_allocation(nodes: &[NodeId]) -> Vec<(NodeId, KeyRange)> {
+    let ring = sorted_ring(nodes);
+    let n = ring.len() as u64;
+    let width = Key160::space_divided_by(n);
+    let mut out = Vec::with_capacity(ring.len());
+    for (i, entry) in ring.iter().enumerate() {
+        let start = width.wrapping_mul_small(i as u64);
+        let end = if i as u64 == n - 1 {
+            Key160::ZERO // wrap: the last range runs to the top of the ring
+        } else {
+            width.wrapping_mul_small(i as u64 + 1)
+        };
+        out.push((entry.node, KeyRange::new(start, end)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_common::Key160;
+    use proptest::prelude::*;
+
+    fn nodes(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn assert_tiles_ring(alloc: &[(NodeId, KeyRange)]) {
+        // Every probe key must be owned by exactly one node.
+        for probe in 0..200u64 {
+            let key = Key160::hash(&probe.to_be_bytes());
+            let owners: Vec<&NodeId> = alloc
+                .iter()
+                .filter(|(_, r)| r.contains(key))
+                .map(|(n, _)| n)
+                .collect();
+            assert_eq!(owners.len(), 1, "key {key} owned by {owners:?}");
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        for scheme in [AllocationScheme::PastryStyle, AllocationScheme::Balanced] {
+            let alloc = scheme.allocate(&nodes(1));
+            assert_eq!(alloc.len(), 1);
+            assert!(alloc[0].1.is_full());
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_tile_the_ring() {
+        for n in [2u16, 3, 5, 8, 16, 100] {
+            let alloc = AllocationScheme::Balanced.allocate(&nodes(n));
+            assert_eq!(alloc.len(), n as usize);
+            assert_tiles_ring(&alloc);
+        }
+    }
+
+    #[test]
+    fn pastry_ranges_tile_the_ring() {
+        for n in [2u16, 3, 5, 8, 16, 100] {
+            let alloc = AllocationScheme::PastryStyle.allocate(&nodes(n));
+            assert_eq!(alloc.len(), n as usize);
+            assert_tiles_ring(&alloc);
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_are_nearly_equal() {
+        let alloc = AllocationScheme::Balanced.allocate(&nodes(16));
+        let sizes: Vec<Key160> = alloc.iter().map(|(_, r)| r.size()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        // All ranges are within a factor 1+epsilon of each other: the
+        // difference between the largest and smallest is at most n keys.
+        let diff = max.wrapping_sub(*min);
+        assert!(diff < Key160::from_u128(1 << 20));
+    }
+
+    #[test]
+    fn pastry_ranges_are_skewed_for_small_n() {
+        // The motivating observation behind Figure 2: with a handful of
+        // nodes, Pastry placement gives some node far more than its fair
+        // share.  We check that the largest range is at least twice the
+        // smallest for a 5-node ring.
+        let alloc = AllocationScheme::PastryStyle.allocate(&nodes(5));
+        let sizes: Vec<Key160> = alloc.iter().map(|(_, r)| r.size()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(*max > min.wrapping_add(*min), "expected skew, got {sizes:?}");
+    }
+
+    #[test]
+    fn pastry_owner_is_nearest_node() {
+        // For the Pastry scheme, the owner of a key must be (one of) the
+        // nearest ring positions.
+        let ns = nodes(8);
+        let alloc = AllocationScheme::PastryStyle.allocate(&ns);
+        let ring = crate::ring::sorted_ring(&ns);
+        for probe in 0..50u64 {
+            let key = Key160::hash(&probe.to_be_bytes());
+            let owner = alloc.iter().find(|(_, r)| r.contains(key)).unwrap().0;
+            // Distance from key to owner position must be minimal among all nodes
+            // (measuring the shorter way around the ring).
+            let dist = |p: Key160| {
+                let cw = key.clockwise_distance(p);
+                let ccw = p.clockwise_distance(key);
+                cw.min(ccw)
+            };
+            let owner_pos = ring.iter().find(|r| r.node == owner).unwrap().position;
+            let owner_dist = dist(owner_pos);
+            for r in &ring {
+                assert!(dist(r.position) >= owner_dist);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn every_key_has_exactly_one_owner(n in 2u16..40, probes in proptest::collection::vec(any::<u64>(), 1..50)) {
+            let ns = nodes(n);
+            for scheme in [AllocationScheme::PastryStyle, AllocationScheme::Balanced] {
+                let alloc = scheme.allocate(&ns);
+                for p in &probes {
+                    let key = Key160::hash(&p.to_be_bytes());
+                    let owners = alloc.iter().filter(|(_, r)| r.contains(key)).count();
+                    prop_assert_eq!(owners, 1);
+                }
+            }
+        }
+    }
+}

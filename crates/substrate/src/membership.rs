@@ -1,0 +1,202 @@
+//! Membership management: node arrival, departure, and failure.
+//!
+//! The substrate targets a low-churn environment: "membership in a CDSS
+//! ... consists of perhaps dozens to hundreds of participants ... with
+//! good bandwidth and relatively stable machines" (Section I).  The
+//! [`Membership`] manager tracks the set of live participants and rebuilds
+//! the routing table when nodes join or leave.  Consistent with
+//! Section V-C:
+//!
+//! * a node that **joins** mid-computation is simply not used until the
+//!   next query takes a fresh snapshot;
+//! * a node that **fails** mid-computation triggers recovery against a
+//!   table derived by [`RoutingTable::reassign_failed`];
+//! * with balanced allocation "a single node arrival or departure will
+//!   cause all the ranges to change slightly" — rebuilding the table is a
+//!   membership-time (not query-time) cost, which the paper accepts in
+//!   exchange for uniform distribution.
+
+use crate::allocation::AllocationScheme;
+use crate::routing::{RoutingSnapshot, RoutingTable};
+use orchestra_common::{NodeId, NodeSet, OrchestraError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A change to the membership, recorded for diagnostics and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipChange {
+    /// A new participant joined the CDSS.
+    Joined(NodeId),
+    /// A participant left gracefully (e.g. scheduled maintenance).
+    Left(NodeId),
+    /// A participant failed (crash or network partition).
+    Failed(NodeId),
+}
+
+/// Tracks the live participants and produces routing tables.
+#[derive(Clone, Debug)]
+pub struct Membership {
+    live: Vec<NodeId>,
+    failed: NodeSet,
+    scheme: AllocationScheme,
+    replication_factor: usize,
+    history: Vec<MembershipChange>,
+}
+
+impl Membership {
+    /// Start a CDSS with `initial` participants.
+    pub fn new(
+        initial: impl IntoIterator<Item = NodeId>,
+        scheme: AllocationScheme,
+        replication_factor: usize,
+    ) -> Self {
+        let mut live: Vec<NodeId> = initial.into_iter().collect();
+        live.sort_unstable();
+        live.dedup();
+        Membership {
+            live,
+            failed: NodeSet::empty(),
+            scheme,
+            replication_factor,
+            history: Vec::new(),
+        }
+    }
+
+    /// The live participants (sorted by node id).
+    pub fn live_nodes(&self) -> &[NodeId] {
+        &self.live
+    }
+
+    /// Nodes that have failed over the lifetime of the membership.
+    pub fn failed_nodes(&self) -> NodeSet {
+        self.failed
+    }
+
+    /// Number of live participants.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is the membership empty?
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The full change history, oldest first.
+    pub fn history(&self) -> &[MembershipChange] {
+        &self.history
+    }
+
+    /// A new participant joins.  Returns an error if it is already live.
+    pub fn join(&mut self, node: NodeId) -> Result<()> {
+        if self.live.contains(&node) {
+            return Err(OrchestraError::Substrate(format!(
+                "node {node} is already a member"
+            )));
+        }
+        self.live.push(node);
+        self.live.sort_unstable();
+        self.failed.remove(node);
+        self.history.push(MembershipChange::Joined(node));
+        Ok(())
+    }
+
+    /// A participant leaves gracefully.
+    pub fn leave(&mut self, node: NodeId) -> Result<()> {
+        self.remove(node)?;
+        self.history.push(MembershipChange::Left(node));
+        Ok(())
+    }
+
+    /// A participant fails.  The node is recorded in
+    /// [`Membership::failed_nodes`] so recovery logic can consult it.
+    pub fn fail(&mut self, node: NodeId) -> Result<()> {
+        self.remove(node)?;
+        self.failed.insert(node);
+        self.history.push(MembershipChange::Failed(node));
+        Ok(())
+    }
+
+    fn remove(&mut self, node: NodeId) -> Result<()> {
+        let before = self.live.len();
+        self.live.retain(|n| *n != node);
+        if self.live.len() == before {
+            return Err(OrchestraError::Substrate(format!(
+                "node {node} is not a live member"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Build the current routing table from the live membership.
+    pub fn routing_table(&self) -> Result<RoutingTable> {
+        if self.live.is_empty() {
+            return Err(OrchestraError::Substrate(
+                "cannot build a routing table with no live nodes".into(),
+            ));
+        }
+        Ok(RoutingTable::build(
+            &self.live,
+            self.scheme,
+            self.replication_factor,
+        ))
+    }
+
+    /// Convenience: the current routing table as a shareable snapshot.
+    pub fn snapshot(&self) -> Result<RoutingSnapshot> {
+        Ok(self.routing_table()?.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn membership(n: u16) -> Membership {
+        Membership::new((0..n).map(NodeId), AllocationScheme::Balanced, 3)
+    }
+
+    #[test]
+    fn join_leave_fail_lifecycle() {
+        let mut m = membership(4);
+        assert_eq!(m.len(), 4);
+        m.join(NodeId(10)).unwrap();
+        assert_eq!(m.len(), 5);
+        assert!(m.join(NodeId(10)).is_err());
+        m.leave(NodeId(0)).unwrap();
+        assert_eq!(m.len(), 4);
+        m.fail(NodeId(1)).unwrap();
+        assert_eq!(m.len(), 3);
+        assert!(m.failed_nodes().contains(NodeId(1)));
+        assert!(!m.failed_nodes().contains(NodeId(0)));
+        assert!(m.leave(NodeId(99)).is_err());
+        assert_eq!(m.history().len(), 3);
+    }
+
+    #[test]
+    fn routing_table_tracks_membership() {
+        let mut m = membership(8);
+        let t1 = m.routing_table().unwrap();
+        assert_eq!(t1.node_count(), 8);
+        m.fail(NodeId(2)).unwrap();
+        let t2 = m.routing_table().unwrap();
+        assert_eq!(t2.node_count(), 7);
+        assert!(!t2.contains_node(NodeId(2)));
+    }
+
+    #[test]
+    fn rejoin_after_failure_clears_failed_flag() {
+        let mut m = membership(4);
+        m.fail(NodeId(3)).unwrap();
+        assert!(m.failed_nodes().contains(NodeId(3)));
+        m.join(NodeId(3)).unwrap();
+        assert!(!m.failed_nodes().contains(NodeId(3)));
+    }
+
+    #[test]
+    fn empty_membership_cannot_build_table() {
+        let mut m = membership(1);
+        m.fail(NodeId(0)).unwrap();
+        assert!(m.routing_table().is_err());
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Allocation-quality metrics (used to reproduce Figure 2).
+//!
+//! Figure 2 of the paper motivates balanced allocation by showing that
+//! Pastry-style placement leaves some nodes responsible for a vastly
+//! larger share of the key space than others when the ring has only a
+//! handful of members.  [`AllocationStats`] quantifies that skew for any
+//! routing table: per-node ownership fractions, the max/min ratio, and the
+//! coefficient of variation.
+
+use crate::routing::RoutingTable;
+use orchestra_common::{Key160, NodeId};
+
+/// Summary statistics of how evenly a routing table spreads the key space.
+#[derive(Clone, Debug)]
+pub struct AllocationStats {
+    /// Fraction of the key space owned by each node, in node order.
+    pub fractions: Vec<(NodeId, f64)>,
+    /// Largest per-node fraction.
+    pub max_fraction: f64,
+    /// Smallest per-node fraction.
+    pub min_fraction: f64,
+    /// `max_fraction / min_fraction` (∞ if some node owns nothing).
+    pub max_min_ratio: f64,
+    /// Coefficient of variation (stddev / mean) of the fractions.
+    pub coefficient_of_variation: f64,
+}
+
+impl AllocationStats {
+    /// Measure `table`.
+    pub fn measure(table: &RoutingTable) -> AllocationStats {
+        let nodes = table.nodes();
+        let fractions: Vec<(NodeId, f64)> = nodes
+            .iter()
+            .map(|n| {
+                let owned: f64 = table
+                    .ranges_of(*n)
+                    .iter()
+                    .map(|r| key_fraction(r.size()))
+                    .sum();
+                (*n, owned)
+            })
+            .collect();
+        let values: Vec<f64> = fractions.iter().map(|(_, f)| *f).collect();
+        let max_fraction = values.iter().copied().fold(f64::MIN, f64::max);
+        let min_fraction = values.iter().copied().fold(f64::MAX, f64::min);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let max_min_ratio = if min_fraction > 0.0 {
+            max_fraction / min_fraction
+        } else {
+            f64::INFINITY
+        };
+        AllocationStats {
+            fractions,
+            max_fraction,
+            min_fraction,
+            max_min_ratio,
+            coefficient_of_variation: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        }
+    }
+}
+
+/// Approximate fraction of the whole 160-bit space represented by `size`,
+/// using the top 64 bits (ample precision for reporting).
+fn key_fraction(size: Key160) -> f64 {
+    size.top64() as f64 / u64::MAX as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::AllocationScheme;
+    use orchestra_common::NodeId;
+
+    fn nodes(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn balanced_allocation_has_low_skew() {
+        let t = RoutingTable::build(&nodes(16), AllocationScheme::Balanced, 3);
+        let stats = AllocationStats::measure(&t);
+        assert!(stats.max_min_ratio < 1.01, "ratio {}", stats.max_min_ratio);
+        assert!(stats.coefficient_of_variation < 0.01);
+        // Fractions sum to ~1.
+        let total: f64 = stats.fractions.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pastry_allocation_is_visibly_skewed_for_small_rings() {
+        let t = RoutingTable::build(&nodes(5), AllocationScheme::PastryStyle, 3);
+        let stats = AllocationStats::measure(&t);
+        assert!(
+            stats.max_min_ratio > 2.0,
+            "expected skew, ratio {}",
+            stats.max_min_ratio
+        );
+    }
+
+    #[test]
+    fn pastry_skew_shrinks_as_ring_grows() {
+        let small = AllocationStats::measure(&RoutingTable::build(
+            &nodes(5),
+            AllocationScheme::PastryStyle,
+            3,
+        ));
+        let large = AllocationStats::measure(&RoutingTable::build(
+            &nodes(200),
+            AllocationScheme::PastryStyle,
+            3,
+        ));
+        assert!(large.coefficient_of_variation < small.coefficient_of_variation * 4.0);
+    }
+}

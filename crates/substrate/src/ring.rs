@@ -1,0 +1,69 @@
+//! Node positions on the key ring.
+//!
+//! "Most overlay networks assign a position in the ring to each node
+//! according to a SHA-1 hash of the node's IP address (forming a DHT ID)"
+//! (Section III-A).  We do the same: a node's ring position is the SHA-1
+//! hash of its (simulated) network address.
+
+use orchestra_common::{Key160, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A participant together with its position on the key ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingNode {
+    /// The participant.
+    pub node: NodeId,
+    /// Its DHT ID: `SHA-1(address)` interpreted as a 160-bit key.
+    pub position: Key160,
+}
+
+impl RingNode {
+    /// Compute the ring entry for `node`.
+    pub fn new(node: NodeId) -> Self {
+        RingNode {
+            node,
+            position: node_position(node),
+        }
+    }
+}
+
+/// The ring position (DHT ID) of a node: the SHA-1 hash of its address.
+pub fn node_position(node: NodeId) -> Key160 {
+    Key160::hash(node.address().as_bytes())
+}
+
+/// Sort nodes by their ring position (ties broken by node id, which cannot
+/// happen with SHA-1 in practice but keeps the ordering total).
+pub fn sorted_ring(nodes: &[NodeId]) -> Vec<RingNode> {
+    let mut ring: Vec<RingNode> = nodes.iter().map(|n| RingNode::new(*n)).collect();
+    ring.sort_by(|a, b| a.position.cmp(&b.position).then(a.node.cmp(&b.node)));
+    ring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_deterministic_and_distinct() {
+        let a1 = node_position(NodeId(3));
+        let a2 = node_position(NodeId(3));
+        let b = node_position(NodeId(4));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn sorted_ring_is_sorted_and_complete() {
+        let nodes: Vec<NodeId> = (0..32).map(NodeId).collect();
+        let ring = sorted_ring(&nodes);
+        assert_eq!(ring.len(), 32);
+        for w in ring.windows(2) {
+            assert!(w[0].position < w[1].position);
+        }
+        // Every node appears exactly once.
+        let mut ids: Vec<u16> = ring.iter().map(|r| r.node.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..32).collect::<Vec<u16>>());
+    }
+}

@@ -1,0 +1,435 @@
+//! One-hop routing tables and snapshots.
+//!
+//! "Recent peer-to-peer research has shown that storing a complete routing
+//! table (describing all other nodes) at each node provides superior
+//! performance for up to thousands of nodes" (Section III-B).  The
+//! substrate therefore keeps a *full* [`RoutingTable`]: an ordered list of
+//! range assignments covering the entire ring, plus the ring positions of
+//! all live nodes (needed for neighbour-based replica placement).
+//!
+//! Queries never consult the live table directly: the initiator takes a
+//! [`RoutingSnapshot`] (an immutable, shared copy) and disseminates it
+//! with the plan, so that every participant uses the same assignment of
+//! hash values to nodes for the lifetime of the computation
+//! (Section III-C / V-C).  After a failure, [`RoutingTable::reassign_failed`]
+//! derives the recovery table in which the failed nodes' ranges are split
+//! evenly among the surviving replica holders (Section V-D, stage 1).
+
+use crate::allocation::AllocationScheme;
+use crate::ring::{sorted_ring, RingNode};
+use orchestra_common::{Key160, KeyRange, NodeId, NodeSet, OrchestraError, Result};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One entry of the routing table: a contiguous arc of the ring and the
+/// node responsible for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeAssignment {
+    /// The arc of the key ring.
+    pub range: KeyRange,
+    /// The node that owns (stores and serves) keys in the arc.
+    pub owner: NodeId,
+}
+
+/// A complete assignment of the key ring to live nodes.
+///
+/// Immutable once built; membership changes produce *new* tables (see
+/// [`crate::membership::Membership`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    /// Range assignments sorted by range start; together they tile the ring.
+    entries: Vec<RangeAssignment>,
+    /// Live nodes sorted by ring position (used for neighbour replication).
+    ring: Vec<RingNode>,
+    /// Replication factor `r`: every item lives at its owner plus
+    /// ⌊r/2⌋ clockwise and ⌊r/2⌋ counter-clockwise ring neighbours.
+    replication_factor: usize,
+    /// The allocation scheme that produced the primary ownership ranges.
+    scheme: AllocationScheme,
+}
+
+/// An immutable, cheaply shareable snapshot of a routing table, taken by a
+/// query initiator and shipped with the query plan.
+pub type RoutingSnapshot = Arc<RoutingTable>;
+
+impl RoutingTable {
+    /// Build a routing table for `nodes` under `scheme` with the given
+    /// replication factor (the paper uses small factors such as 3).
+    ///
+    /// Panics if `nodes` is empty or `replication_factor == 0`.
+    pub fn build(
+        nodes: &[NodeId],
+        scheme: AllocationScheme,
+        replication_factor: usize,
+    ) -> RoutingTable {
+        assert!(replication_factor >= 1, "replication factor must be >= 1");
+        let mut entries: Vec<RangeAssignment> = scheme
+            .allocate(nodes)
+            .into_iter()
+            .map(|(owner, range)| RangeAssignment { range, owner })
+            .collect();
+        entries.sort_by(|a, b| a.range.start.cmp(&b.range.start));
+        RoutingTable {
+            entries,
+            ring: sorted_ring(nodes),
+            replication_factor,
+            scheme,
+        }
+    }
+
+    /// The allocation scheme this table was built with.
+    pub fn scheme(&self) -> AllocationScheme {
+        self.scheme
+    }
+
+    /// The configured replication factor.
+    pub fn replication_factor(&self) -> usize {
+        self.replication_factor
+    }
+
+    /// All range assignments, sorted by range start.
+    pub fn entries(&self) -> &[RangeAssignment] {
+        &self.entries
+    }
+
+    /// The live nodes, in ring order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.ring.iter().map(|r| r.node).collect()
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Is `node` a member of this table?
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.ring.iter().any(|r| r.node == node)
+    }
+
+    /// The node that owns `key` under this table.
+    pub fn owner_of(&self, key: Key160) -> NodeId {
+        debug_assert!(!self.entries.is_empty());
+        // Entries are sorted by start and tile the ring; the owner is the
+        // entry with the greatest start <= key, or (if key precedes every
+        // start) the final, wrapping entry.
+        let idx = match self
+            .entries
+            .binary_search_by(|e| e.range.start.cmp(&key))
+        {
+            Ok(i) => i,
+            Err(0) => self.entries.len() - 1,
+            Err(i) => i - 1,
+        };
+        let entry = &self.entries[idx];
+        if entry.range.contains(key) {
+            entry.owner
+        } else {
+            // Fall back to a scan; only reachable if ranges do not tile the
+            // ring, which the constructors guarantee against.
+            self.entries
+                .iter()
+                .find(|e| e.range.contains(key))
+                .map(|e| e.owner)
+                .unwrap_or(entry.owner)
+        }
+    }
+
+    /// All ranges owned by `node` (a freshly built table has exactly one;
+    /// recovery tables may assign several).
+    pub fn ranges_of(&self, node: NodeId) -> Vec<KeyRange> {
+        self.entries
+            .iter()
+            .filter(|e| e.owner == node)
+            .map(|e| e.range)
+            .collect()
+    }
+
+    /// The replica set for `key`: its owner plus ⌊r/2⌋ ring neighbours in
+    /// each direction (deduplicated, so small rings yield fewer copies).
+    /// The owner is always the first element.
+    pub fn replicas_of(&self, key: Key160) -> Vec<NodeId> {
+        let owner = self.owner_of(key);
+        self.replicas_of_node(owner)
+    }
+
+    /// The replica set for data owned by `node` (the node itself first).
+    pub fn replicas_of_node(&self, node: NodeId) -> Vec<NodeId> {
+        let half = self.replication_factor / 2;
+        let n = self.ring.len();
+        let Some(pos) = self.ring.iter().position(|r| r.node == node) else {
+            return vec![node];
+        };
+        let mut out = vec![node];
+        for step in 1..=half {
+            let cw = self.ring[(pos + step) % n].node;
+            if !out.contains(&cw) {
+                out.push(cw);
+            }
+            let ccw = self.ring[(pos + n - (step % n)) % n].node;
+            if !out.contains(&ccw) {
+                out.push(ccw);
+            }
+        }
+        out
+    }
+
+    /// Derive the recovery routing table after the nodes in `failed` have
+    /// been lost (Section V-D, "determine change in assignment of ranges
+    /// to nodes").
+    ///
+    /// Every range owned by a failed node is split into equal sub-ranges,
+    /// one per surviving replica holder of that node, so that "the
+    /// initiator will evenly divide among them the task of recomputing the
+    /// missing answers".  Ranges owned by surviving nodes are unchanged.
+    pub fn reassign_failed(&self, failed: &NodeSet) -> Result<RoutingTable> {
+        let survivors: Vec<RingNode> = self
+            .ring
+            .iter()
+            .copied()
+            .filter(|r| !failed.contains(r.node))
+            .collect();
+        if survivors.is_empty() {
+            return Err(OrchestraError::Substrate(
+                "all nodes have failed; no survivors to reassign ranges to".into(),
+            ));
+        }
+
+        let mut new_entries: Vec<RangeAssignment> = Vec::with_capacity(self.entries.len() * 2);
+        for entry in &self.entries {
+            if !failed.contains(entry.owner) {
+                new_entries.push(*entry);
+                continue;
+            }
+            // Surviving replica holders of the failed owner, falling back to
+            // all survivors if every replica holder failed too (the data may
+            // still exist elsewhere via background replication).
+            let mut heirs: Vec<NodeId> = self
+                .replicas_of_node(entry.owner)
+                .into_iter()
+                .filter(|n| !failed.contains(*n))
+                .collect();
+            if heirs.is_empty() {
+                heirs = survivors.iter().map(|r| r.node).collect();
+            }
+            for (i, heir) in heirs.iter().enumerate() {
+                let sub = split_range(entry.range, heirs.len(), i);
+                new_entries.push(RangeAssignment {
+                    range: sub,
+                    owner: *heir,
+                });
+            }
+        }
+        new_entries.sort_by(|a, b| a.range.start.cmp(&b.range.start));
+        Ok(RoutingTable {
+            entries: new_entries,
+            ring: survivors,
+            replication_factor: self.replication_factor,
+            scheme: self.scheme,
+        })
+    }
+
+    /// The ranges whose ownership differs between `self` (the original
+    /// snapshot) and `other` (typically a recovery table): for each entry
+    /// of `other` whose owner is not the owner of the same keys in `self`,
+    /// report `(range, old owner, new owner)`.
+    pub fn changed_ranges(&self, other: &RoutingTable) -> Vec<(KeyRange, NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for entry in &other.entries {
+            let probe = entry.range.midpoint();
+            let old_owner = self.owner_of(probe);
+            if old_owner != entry.owner {
+                out.push((entry.range, old_owner, entry.owner));
+            }
+        }
+        out
+    }
+
+    /// Wrap the table in an [`Arc`] for dissemination with a query plan.
+    pub fn snapshot(&self) -> RoutingSnapshot {
+        Arc::new(self.clone())
+    }
+}
+
+/// Split `range` into `parts` nearly equal sub-ranges and return the
+/// `index`-th one.  The final part absorbs any rounding remainder.
+fn split_range(range: KeyRange, parts: usize, index: usize) -> KeyRange {
+    debug_assert!(index < parts);
+    if parts == 1 {
+        return range;
+    }
+    let width = range.size().div_small(parts as u64);
+    let start = range.start.wrapping_add(width.wrapping_mul_small(index as u64));
+    let end = if index == parts - 1 {
+        range.end
+    } else {
+        range
+            .start
+            .wrapping_add(width.wrapping_mul_small(index as u64 + 1))
+    };
+    KeyRange::new(start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn nodes(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn table(n: u16, r: usize) -> RoutingTable {
+        RoutingTable::build(&nodes(n), AllocationScheme::Balanced, r)
+    }
+
+    #[test]
+    fn owner_lookup_agrees_with_entry_scan() {
+        let t = table(16, 3);
+        for probe in 0..500u64 {
+            let key = Key160::hash(&probe.to_be_bytes());
+            let fast = t.owner_of(key);
+            let slow = t
+                .entries()
+                .iter()
+                .find(|e| e.range.contains(key))
+                .unwrap()
+                .owner;
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn replicas_have_requested_cardinality() {
+        let t = table(16, 3);
+        let key = Key160::hash(b"some key");
+        let reps = t.replicas_of(key);
+        assert_eq!(reps.len(), 3);
+        assert_eq!(reps[0], t.owner_of(key));
+        // All replicas are distinct nodes.
+        let mut dedup = reps.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), reps.len());
+    }
+
+    #[test]
+    fn replicas_clamp_for_tiny_rings() {
+        let t = table(2, 5);
+        let reps = t.replicas_of(Key160::hash(b"k"));
+        assert_eq!(reps.len(), 2);
+    }
+
+    #[test]
+    fn reassignment_removes_failed_and_preserves_coverage() {
+        let t = table(8, 3);
+        let failed = NodeSet::singleton(NodeId(3));
+        let t2 = t.reassign_failed(&failed).unwrap();
+        assert_eq!(t2.node_count(), 7);
+        assert!(!t2.contains_node(NodeId(3)));
+        // Every key still has exactly one owner, and never a failed one.
+        for probe in 0..300u64 {
+            let key = Key160::hash(&probe.to_be_bytes());
+            let owner = t2.owner_of(key);
+            assert_ne!(owner, NodeId(3));
+            let owners = t2.entries().iter().filter(|e| e.range.contains(key)).count();
+            assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn reassignment_splits_among_replica_holders() {
+        let t = table(8, 3);
+        let failed_node = NodeId(3);
+        let heirs: Vec<NodeId> = t
+            .replicas_of_node(failed_node)
+            .into_iter()
+            .filter(|n| *n != failed_node)
+            .collect();
+        let t2 = t.reassign_failed(&NodeSet::singleton(failed_node)).unwrap();
+        let changed = t.changed_ranges(&t2);
+        // All changed ranges previously belonged to the failed node and are
+        // now owned by its replica holders.
+        assert!(!changed.is_empty());
+        for (_, old_owner, new_owner) in &changed {
+            assert_eq!(*old_owner, failed_node);
+            assert!(heirs.contains(new_owner), "{new_owner} not in {heirs:?}");
+        }
+        // Both heirs receive a share (the paper divides the work evenly).
+        let new_owners: std::collections::BTreeSet<NodeId> =
+            changed.iter().map(|(_, _, n)| *n).collect();
+        assert_eq!(new_owners.len(), heirs.len());
+    }
+
+    #[test]
+    fn reassignment_with_all_nodes_failed_errors() {
+        let t = table(3, 3);
+        let failed = NodeSet::from_iter([NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(t.reassign_failed(&failed).is_err());
+    }
+
+    #[test]
+    fn multi_failure_reassignment_covers_ring() {
+        let t = table(10, 3);
+        let failed = NodeSet::from_iter([NodeId(2), NodeId(3), NodeId(7)]);
+        let t2 = t.reassign_failed(&failed).unwrap();
+        assert_eq!(t2.node_count(), 7);
+        for probe in 0..300u64 {
+            let key = Key160::hash(&probe.to_be_bytes());
+            let owner = t2.owner_of(key);
+            assert!(!failed.contains(owner));
+        }
+    }
+
+    #[test]
+    fn changed_ranges_empty_for_identical_tables() {
+        let t = table(8, 3);
+        assert!(t.changed_ranges(&t).is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_shared_not_copied_per_use() {
+        let t = table(4, 3);
+        let s1 = t.snapshot();
+        let s2 = Arc::clone(&s1);
+        assert_eq!(Arc::strong_count(&s1), 2);
+        assert_eq!(s2.node_count(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn owner_is_never_a_failed_node(
+            n in 4u16..24,
+            fail_a in 0u16..24,
+            fail_b in 0u16..24,
+            probes in proptest::collection::vec(any::<u64>(), 1..30)
+        ) {
+            let fail_a = fail_a % n;
+            let fail_b = fail_b % n;
+            let t = table(n, 3);
+            let failed = NodeSet::from_iter([NodeId(fail_a), NodeId(fail_b)]);
+            // Skip the degenerate case where everything failed.
+            prop_assume!((failed.len() as u16) < n);
+            let t2 = t.reassign_failed(&failed).unwrap();
+            for p in &probes {
+                let key = Key160::hash(&p.to_be_bytes());
+                prop_assert!(!failed.contains(t2.owner_of(key)));
+            }
+        }
+
+        #[test]
+        fn split_range_parts_tile_the_original(parts in 1usize..7, start in any::<u128>(), len in 1u128..u128::MAX/2) {
+            let start = Key160::from_u128(start);
+            let end = start.wrapping_add(Key160::from_u128(len));
+            let range = KeyRange::new(start, end);
+            prop_assume!(!range.is_full());
+            // Consecutive sub-ranges must be adjacent and ordered.
+            let mut cursor = range.start;
+            for i in 0..parts {
+                let sub = split_range(range, parts, i);
+                prop_assert_eq!(sub.start, cursor);
+                cursor = sub.end;
+            }
+            prop_assert_eq!(cursor, range.end);
+        }
+    }
+}
