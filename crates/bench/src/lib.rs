@@ -1,1 +1,72 @@
-//! placeholder
+//! # orchestra-bench
+//!
+//! The experiment harness that will reproduce the paper's figures.
+//!
+//! Each experiment drives [`orchestra_engine::QueryExecutor`] over a
+//! cluster built from an [`orchestra_simnet::ClusterProfile`] and reads
+//! the measurements off the returned [`orchestra_engine::QueryReport`]:
+//!
+//! * **scale-out** (Figures 7–12) — running time and per-node traffic as
+//!   the participant count grows on the LAN profile;
+//! * **bandwidth sensitivity** (Figure 17) — running time against
+//!   per-node bandwidth on WAN profiles, locating the knee;
+//! * **recovery cost** (Figures 13–14) — the added running time of
+//!   [`orchestra_engine::RecoveryStrategy::Restart`] versus
+//!   [`orchestra_engine::RecoveryStrategy::Incremental`] as a function of
+//!   when the failure strikes;
+//! * **tagging overhead** — traffic with and without recovery support,
+//!   validating the paper's "at most 2%" claim.
+//!
+//! Today the crate hosts [`failure_sweep_points`], the shared helper that
+//! picks the virtual failure instants for a recovery-cost sweep; the
+//! ROADMAP tracks the full harness and its textual report output.
+
+use orchestra_simnet::SimTime;
+
+/// Evenly spaced virtual failure instants across a baseline running
+/// time, excluding the endpoints — the x-axis of a recovery-cost sweep.
+///
+/// When the baseline is shorter than `points + 1` microseconds there are
+/// fewer interior instants than requested; the result then contains only
+/// the distinct interior points (possibly none), never `t = 0` or
+/// duplicates.
+pub fn failure_sweep_points(baseline: SimTime, points: usize) -> Vec<SimTime> {
+    let step = (baseline.as_micros() / (points as u64 + 1)).max(1);
+    (1..=points as u64)
+        .map(|i| SimTime::from_micros(i * step))
+        .filter(|t| *t < baseline)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_are_interior_and_ordered() {
+        let baseline = SimTime::from_millis(100);
+        let pts = failure_sweep_points(baseline, 4);
+        assert_eq!(pts.len(), 4);
+        assert!(pts[0] > SimTime::ZERO);
+        assert!(*pts.last().unwrap() < baseline);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tiny_baselines_never_yield_zero_or_duplicate_points() {
+        // Regression: a baseline shorter than points + 1 µs used to
+        // produce `points` copies of t = 0.
+        for micros in 1..8u64 {
+            let pts = failure_sweep_points(SimTime::from_micros(micros), 4);
+            assert!(
+                pts.iter().all(|t| *t > SimTime::ZERO),
+                "{micros}µs: {pts:?}"
+            );
+            assert!(
+                pts.iter().all(|t| *t < SimTime::from_micros(micros)),
+                "{micros}µs: {pts:?}"
+            );
+            assert!(pts.windows(2).all(|w| w[0] < w[1]), "{micros}µs: {pts:?}");
+        }
+    }
+}

@@ -94,10 +94,7 @@ mod tests {
 
     #[test]
     fn category_is_stable_per_variant() {
-        assert_eq!(
-            OrchestraError::Planning("x".into()).category(),
-            "planning"
-        );
+        assert_eq!(OrchestraError::Planning("x".into()).category(), "planning");
         assert_eq!(
             OrchestraError::NodeUnreachable("x".into()).category(),
             "node-unreachable"

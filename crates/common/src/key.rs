@@ -20,7 +20,6 @@
 //! layer (index-page key ranges) describe responsibility.
 
 use crate::sha1::{sha1, DIGEST_LEN};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -32,7 +31,7 @@ pub const KEY_BITS: u32 = 160;
 /// Stored as three little-endian 64-bit limbs; the most significant limb
 /// (`limbs[2]`) only ever holds 32 significant bits, so every arithmetic
 /// result is masked back into the 160-bit space.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Key160 {
     limbs: [u64; 3],
 }
@@ -250,7 +249,7 @@ impl fmt::Display for Key160 {
 /// If `start == end` the range covers the *entire* ring (this is the
 /// natural representation when a single node owns everything, as in the
 /// paper's single-node baseline measurements).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct KeyRange {
     /// First key of the arc (inclusive).
     pub start: Key160,
@@ -405,7 +404,10 @@ mod tests {
 
     #[test]
     fn range_contains_wrapping() {
-        let r = KeyRange::new(Key160::MAX.wrapping_sub(Key160::from_u128(10)), Key160::from_u128(10));
+        let r = KeyRange::new(
+            Key160::MAX.wrapping_sub(Key160::from_u128(10)),
+            Key160::from_u128(10),
+        );
         assert!(r.contains(Key160::MAX));
         assert!(r.contains(Key160::ZERO));
         assert!(r.contains(Key160::from_u128(9)));
@@ -426,7 +428,10 @@ mod tests {
     fn midpoint_lies_inside_range() {
         let r = KeyRange::new(Key160::hash(b"s"), Key160::hash(b"e"));
         assert!(r.contains(r.midpoint()));
-        let wrap = KeyRange::new(Key160::MAX.wrapping_sub(Key160::from_u128(100)), Key160::from_u128(100));
+        let wrap = KeyRange::new(
+            Key160::MAX.wrapping_sub(Key160::from_u128(100)),
+            Key160::from_u128(100),
+        );
         assert!(wrap.contains(wrap.midpoint()));
     }
 

@@ -8,7 +8,6 @@
 //! [`NodeSet::CAPACITY`] (256) participants in 32 bytes, with O(1) insert,
 //! membership test, union and intersection.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a participant (peer) in the CDSS.
@@ -16,7 +15,7 @@ use std::fmt;
 /// Node IDs are dense small integers assigned by the cluster builder; the
 /// substrate separately derives each node's *ring position* by hashing its
 /// (simulated) network address.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -55,7 +54,7 @@ impl From<u16> for NodeId {
 ///
 /// Used for provenance tags on tuples, aggregate sub-group keys, and the
 /// sets of failed nodes handed to the recovery machinery.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct NodeSet {
     words: [u64; 4],
 }
@@ -73,15 +72,6 @@ impl NodeSet {
     pub fn singleton(node: NodeId) -> Self {
         let mut s = NodeSet::empty();
         s.insert(node);
-        s
-    }
-
-    /// Build a set from an iterator of nodes.
-    pub fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
-        let mut s = NodeSet::empty();
-        for n in iter {
-            s.insert(n);
-        }
         s
     }
 
@@ -161,7 +151,11 @@ impl NodeSet {
 
 impl FromIterator<NodeId> for NodeSet {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
-        NodeSet::from_iter(iter)
+        let mut s = NodeSet::empty();
+        for n in iter {
+            s.insert(n);
+        }
+        s
     }
 }
 

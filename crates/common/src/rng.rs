@@ -2,12 +2,121 @@
 //!
 //! Every experiment in the benchmark harness must be exactly reproducible,
 //! so all randomness in the workspace flows from explicitly seeded
-//! [`rand::rngs::StdRng`] instances created here.  The helpers also cover
-//! the string shapes the workload generators need (STBenchmark's 25-char
-//! alphanumeric fields, TPC-H-style comment text).
+//! [`StdRng`] instances created here.  The generator is a self-contained
+//! xoshiro256** (seeded through SplitMix64) — no external crate, identical
+//! output on every platform.  The helpers also cover the string shapes the
+//! workload generators need (STBenchmark's 25-char alphanumeric fields,
+//! TPC-H-style comment text).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A deterministic pseudo-random generator (xoshiro256**).
+///
+/// Not cryptographically secure — it only needs to be fast, uniform and
+/// exactly reproducible across runs and platforms.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl StdRng {
+    /// Seed the generator from a 64-bit value via SplitMix64, as the
+    /// xoshiro authors recommend (avoids the all-zero state and decorrelates
+    /// nearby seeds).
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection (unbiased).  Panics if `bound == 0`.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range passed to StdRng");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform sample from `range`, which may be a half-open (`a..b`) or
+    /// inclusive (`a..=b`) range over any unsigned integer type.
+    pub fn random_range<T: SampleRange>(&mut self, range: T) -> T::Output {
+        range.sample(self)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform boolean with probability `p` of `true`.
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+}
+
+/// Ranges [`StdRng::random_range`] can sample from.
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draw a uniform sample.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range passed to StdRng");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range passed to StdRng");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
 
 /// Create a deterministic RNG from a 64-bit seed.
 pub fn seeded(seed: u64) -> StdRng {
@@ -64,7 +173,10 @@ mod tests {
         let mut a = seeded(7);
         let mut b = seeded(7);
         for _ in 0..16 {
-            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+            assert_eq!(
+                a.random_range(0..1_000_000u64),
+                b.random_range(0..1_000_000u64)
+            );
         }
     }
 
@@ -92,5 +204,47 @@ mod tests {
         assert!((3..=9).contains(&w.len()));
         let s = sentence(&mut rng, 5);
         assert_eq!(s.split(' ').count(), 5);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5..=5usize);
+            assert_eq!(w, 5);
+            let f = rng.random_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut rng = seeded(4);
+        // 0..=u64::MAX exercises the span == u64::MAX special case.
+        let _ = rng.random_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = seeded(5);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        for b in buckets {
+            assert!(
+                (800..1200).contains(&b),
+                "bucket count {b} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = seeded(6);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&heads));
     }
 }

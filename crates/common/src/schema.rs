@@ -10,12 +10,11 @@
 //! rather than partitioned.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// Column data types understood by the engine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// 64-bit integer (also used for dates as day numbers).
     Int,
@@ -41,7 +40,7 @@ impl ColumnType {
 
 /// The schema of a relation: named, typed columns plus the number of
 /// leading columns that form the partitioning key.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<(String, ColumnType)>,
     key_len: usize,
@@ -112,7 +111,7 @@ impl Schema {
 }
 
 /// A named relation together with its schema and placement policy.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Relation {
     name: String,
     schema: Arc<Schema>,

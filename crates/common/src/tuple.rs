@@ -15,14 +15,11 @@
 
 use crate::key::Key160;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A logical timestamp that advances each time a participant publishes a
 /// batch of updates (paper Section IV).  Epoch 0 is the first publication.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Epoch(pub u64);
 
 impl Epoch {
@@ -45,7 +42,7 @@ impl fmt::Display for Epoch {
 
 /// The unique identifier of a tuple version: the tuple's key attribute
 /// values plus the epoch in which that version was created.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleId {
     /// Values of the partitioning-key attributes.
     pub key: Vec<Value>,
@@ -101,7 +98,7 @@ pub fn hash_values(values: &[Value]) -> Key160 {
 /// Tuples are deliberately plain data — provenance tags, phases and other
 /// execution metadata are carried alongside tuples by the engine rather
 /// than inside them, so the storage layer stores exactly the user data.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tuple {
     values: Vec<Value>,
 }
@@ -168,7 +165,11 @@ impl Tuple {
     /// column count plus each value's encoding.  This is what the
     /// network-traffic figures count.
     pub fn serialized_size(&self) -> usize {
-        2 + self.values.iter().map(Value::serialized_size).sum::<usize>()
+        2 + self
+            .values
+            .iter()
+            .map(Value::serialized_size)
+            .sum::<usize>()
     }
 
     /// Append the wire encoding of the tuple to `out`.

@@ -11,13 +11,12 @@
 //! * the scalar operations the `Compute-function` operator and the
 //!   aggregate operator need (concatenation, arithmetic, min/max/sum).
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// A single field value.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -196,7 +195,10 @@ impl Hash for Value {
                 // Hash the canonical integer form when the double is
                 // integral so Int(2) and Double(2.0) (which compare equal)
                 // also hash identically.
-                if v.fract() == 0.0 && v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64
+                if v.fract() == 0.0
+                    && v.is_finite()
+                    && *v >= i64::MIN as f64
+                    && *v <= i64::MAX as f64
                 {
                     1u8.hash(state);
                     (*v as i64).hash(state);
@@ -296,10 +298,7 @@ mod tests {
         assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
         assert_eq!(Value::Int(2).mul(&Value::Double(1.5)), Value::Double(3.0));
         assert_eq!(Value::Int(7).sub(&Value::Int(2)), Value::Int(5));
-        assert_eq!(
-            Value::str("a").concat(&Value::Int(1)),
-            Value::str("a1")
-        );
+        assert_eq!(Value::str("a").concat(&Value::Int(1)), Value::str("a1"));
         // NULL behaves as the identity for add (SQL aggregates skip NULLs).
         assert_eq!(Value::Null.add(&Value::Int(3)), Value::Int(3));
     }

@@ -1,1 +1,69 @@
-//! placeholder
+//! # orchestra-core
+//!
+//! Facade over the ORCHESTRA reproduction (Taylor & Ives, *Reliable
+//! Storage and Querying for Collaborative Data Sharing Systems*, ICDE
+//! 2010): one crate to depend on when a consumer wants the whole stack —
+//! the shared primitives, the hashing substrate, the versioned storage
+//! layer, the simulated cluster and the reliable query engine — without
+//! naming five crates.
+//!
+//! The layering mirrors the paper's architecture:
+//!
+//! | layer | crate | paper section |
+//! |---|---|---|
+//! | primitives | [`common`] | III-A (key space), IV (tuple IDs) |
+//! | partitioning substrate | [`substrate`] | III |
+//! | versioned storage | [`storage`] | IV |
+//! | simulated deployment | [`simnet`] | VI (testbeds) |
+//! | query engine + recovery | [`engine`] | V |
+
+pub use orchestra_common as common;
+pub use orchestra_engine as engine;
+pub use orchestra_simnet as simnet;
+pub use orchestra_storage as storage;
+pub use orchestra_substrate as substrate;
+
+pub use orchestra_common::{Epoch, NodeId, Relation, Schema, Tuple, Value};
+pub use orchestra_engine::{
+    EngineConfig, FailureSpec, PhysicalPlan, PlanBuilder, QueryExecutor, QueryReport,
+    RecoveryStrategy,
+};
+pub use orchestra_simnet::{ClusterProfile, SimTime};
+pub use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
+pub use orchestra_substrate::{AllocationScheme, RoutingTable};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reaches_every_layer() {
+        // A miniature end-to-end pass using only facade re-exports.
+        let routing = RoutingTable::build(
+            &(0..3).map(NodeId).collect::<Vec<_>>(),
+            AllocationScheme::Balanced,
+            3,
+        );
+        let mut store = DistributedStorage::new(routing, StorageConfig::default());
+        store.register_relation(Relation::partitioned(
+            "R",
+            Schema::keyed_on_first(vec![
+                ("k", common::ColumnType::Int),
+                ("v", common::ColumnType::Int),
+            ]),
+        ));
+        let mut batch = UpdateBatch::new();
+        for k in 0..10 {
+            batch.insert("R", Tuple::new(vec![Value::Int(k), Value::Int(k * k)]));
+        }
+        store.publish(&batch).unwrap();
+
+        let mut b = PlanBuilder::new();
+        let scan = b.scan("R", 2, None);
+        let ship = b.ship(scan);
+        let plan = b.output(ship);
+        let exec = QueryExecutor::new(&store, EngineConfig::default());
+        let report = exec.execute(&plan, Epoch(0), NodeId(0)).unwrap();
+        assert_eq!(report.rows.len(), 10);
+    }
+}

@@ -142,7 +142,10 @@ mod tests {
         let b = TupleBatch::from_rows(rows);
         let plain = b.uncompressed_size(false);
         let compressed = b.compressed_size(false);
-        assert!(compressed < plain / 2, "compressed {compressed} vs plain {plain}");
+        assert!(
+            compressed < plain / 2,
+            "compressed {compressed} vs plain {plain}"
+        );
         // wire_size never exceeds the plain encoding.
         assert!(b.wire_size(true, false) <= plain);
     }

@@ -9,10 +9,9 @@
 //! optimizer).
 
 use orchestra_common::{Tuple, Value};
-use serde::{Deserialize, Serialize};
 
 /// Comparison operators usable in predicates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -44,7 +43,7 @@ impl CmpOp {
 }
 
 /// A boolean predicate over a tuple.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Predicate {
     /// Always true (useful as a neutral element).
     True,
@@ -124,10 +123,7 @@ impl Predicate {
             Predicate::Between { .. } => 0.25,
             Predicate::And(ps) => ps.iter().map(Predicate::estimated_selectivity).product(),
             Predicate::Or(ps) => {
-                let none: f64 = ps
-                    .iter()
-                    .map(|p| 1.0 - p.estimated_selectivity())
-                    .product();
+                let none: f64 = ps.iter().map(|p| 1.0 - p.estimated_selectivity()).product();
                 1.0 - none
             }
             Predicate::Not(p) => 1.0 - p.estimated_selectivity(),
@@ -137,7 +133,7 @@ impl Predicate {
 
 /// A scalar expression producing one output value per input tuple — the
 /// engine's `Compute-function` operator evaluates a list of these.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ScalarExpr {
     /// Pass through input column `usize`.
     Column(usize),
@@ -184,7 +180,7 @@ impl ScalarExpr {
 }
 
 /// SQL aggregate functions supported by the aggregation operator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     /// `COUNT(*)` (the input column is ignored).
     Count,

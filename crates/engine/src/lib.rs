@@ -48,9 +48,7 @@ pub mod ops;
 pub mod plan;
 pub mod provenance;
 
-pub use exec::{
-    EngineConfig, FailureSpec, QueryExecutor, QueryReport, RecoveryStrategy,
-};
+pub use exec::{EngineConfig, FailureSpec, QueryExecutor, QueryReport, RecoveryStrategy};
 pub use expr::{AggFunc, CmpOp, Predicate, ScalarExpr};
 pub use plan::{OpId, Operator, PhysicalPlan, PlanBuilder};
 pub use provenance::{Phase, TaggedTuple};

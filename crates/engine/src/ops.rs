@@ -63,7 +63,10 @@ impl JoinState {
     ) -> Vec<TaggedTuple> {
         let mut out = Vec::new();
         if input == 0 {
-            let key: Vec<Value> = left_keys.iter().map(|c| row.tuple.value(*c).clone()).collect();
+            let key: Vec<Value> = left_keys
+                .iter()
+                .map(|c| row.tuple.value(*c).clone())
+                .collect();
             if let Some(matches) = self.right.get(&key) {
                 for other in matches {
                     let joined = row.tuple.concat(&other.tuple);
@@ -72,7 +75,10 @@ impl JoinState {
             }
             self.left.entry(key).or_default().push(row);
         } else {
-            let key: Vec<Value> = right_keys.iter().map(|c| row.tuple.value(*c).clone()).collect();
+            let key: Vec<Value> = right_keys
+                .iter()
+                .map(|c| row.tuple.value(*c).clone())
+                .collect();
             if let Some(matches) = self.left.get(&key) {
                 for other in matches {
                     let joined = other.tuple.concat(&row.tuple);
@@ -162,16 +168,12 @@ impl Accumulator {
             Accumulator::Count(c) => *c += state[0].as_int().unwrap_or(0),
             Accumulator::Sum(s) => *s = s.add(&state[0]),
             Accumulator::Min(m) => {
-                if !state[0].is_null()
-                    && m.as_ref().map(|cur| &state[0] < cur).unwrap_or(true)
-                {
+                if !state[0].is_null() && m.as_ref().map(|cur| &state[0] < cur).unwrap_or(true) {
                     *m = Some(state[0].clone());
                 }
             }
             Accumulator::Max(m) => {
-                if !state[0].is_null()
-                    && m.as_ref().map(|cur| &state[0] > cur).unwrap_or(true)
-                {
+                if !state[0].is_null() && m.as_ref().map(|cur| &state[0] > cur).unwrap_or(true) {
                     *m = Some(state[0].clone());
                 }
             }
@@ -238,7 +240,10 @@ impl AggState {
 
     /// Fold one raw input row (modes `Single` and `Partial`).
     pub fn update_raw(&mut self, row: &TaggedTuple, group_by: &[usize], aggs: &[(AggFunc, usize)]) {
-        let key: Vec<Value> = group_by.iter().map(|c| row.tuple.value(*c).clone()).collect();
+        let key: Vec<Value> = group_by
+            .iter()
+            .map(|c| row.tuple.value(*c).clone())
+            .collect();
         let entry = self
             .groups
             .entry((key, row.provenance, row.phase))
@@ -259,7 +264,10 @@ impl AggState {
         group_by: &[usize],
         aggs: &[(AggFunc, usize)],
     ) {
-        let key: Vec<Value> = group_by.iter().map(|c| row.tuple.value(*c).clone()).collect();
+        let key: Vec<Value> = group_by
+            .iter()
+            .map(|c| row.tuple.value(*c).clone())
+            .collect();
         let entry = self
             .groups
             .entry((key, row.provenance, row.phase))
@@ -280,7 +288,8 @@ impl AggState {
     /// the number of sub-groups dropped.
     pub fn purge_tainted(&mut self, failed: &NodeSet) -> usize {
         let before = self.groups.len();
-        self.groups.retain(|(_, prov, _), _| !prov.intersects(failed));
+        self.groups
+            .retain(|(_, prov, _), _| !prov.intersects(failed));
         before - self.groups.len()
     }
 
@@ -288,7 +297,12 @@ impl AggState {
     /// emitted.  `partial` selects between the mergeable partial layout
     /// and the final scalar layout.  Output rows are tagged with the
     /// sub-group's provenance plus `node`, at `phase`.
-    pub fn emit_unemitted(&mut self, partial: bool, node: NodeId, phase: Phase) -> Vec<TaggedTuple> {
+    pub fn emit_unemitted(
+        &mut self,
+        partial: bool,
+        node: NodeId,
+        phase: Phase,
+    ) -> Vec<TaggedTuple> {
         let mut keys: Vec<(Vec<Value>, NodeSet, Phase)> = self
             .groups
             .iter()
@@ -321,11 +335,13 @@ impl AggState {
         out
     }
 
-    /// Merge-and-finalise view used by the `Output`-side reporting in
-    /// tests: collapse all sub-groups (regardless of provenance/phase) by
-    /// group key and return final values.  This is *not* used during
-    /// distributed execution (the Final aggregate does the merging there);
-    /// it exists so unit tests can validate accumulator algebra directly.
+    /// Merge-and-finalise: collapse all sub-groups (regardless of
+    /// provenance/phase) by group key and return final values.  This is
+    /// the executor's query-completion path for the top-level
+    /// `Single`/`Final` aggregate — it runs exactly once, when the
+    /// initiator's `Output` segment closes, merging the per-provenance
+    /// sub-groups into the duplicate-free answer.  Unit tests also use it
+    /// to validate accumulator algebra directly.
     pub fn collapsed_final(&self, aggs: &[(AggFunc, usize)]) -> Vec<Tuple> {
         let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
         for ((key, _, _), group) in &self.groups {
@@ -401,31 +417,44 @@ impl RehashState {
         dests
     }
 
-    /// Rows cached as having been sent to `dest` that are *not* tainted —
-    /// exactly the rows recovery stage 4 must re-transmit.  The returned
-    /// rows stay in the cache (re-keyed by their new destination when the
-    /// executor re-buffers them).
-    pub fn cached_for(&self, dest: NodeId, failed: &NodeSet) -> Vec<TaggedTuple> {
-        self.cache
-            .iter()
-            .filter(|(d, row)| *d == dest && !row.is_tainted(failed))
-            .map(|(_, row)| row.clone())
-            .collect()
+    /// Remove and return the untainted rows cached as having been sent to
+    /// `dest` — exactly the rows recovery stage 4 must re-transmit.  The
+    /// entries are *consumed*: re-buffering re-caches each row under its
+    /// new destination, and a later recovery round must not find (and
+    /// duplicate) the stale entries still keyed to the failed node, so no
+    /// non-consuming variant is offered.
+    pub fn take_cached_for(&mut self, dest: NodeId, failed: &NodeSet) -> Vec<TaggedTuple> {
+        let mut out = Vec::new();
+        self.cache.retain(|(d, row)| {
+            if *d == dest && !row.is_tainted(failed) {
+                out.push(row.clone());
+                false
+            } else {
+                true
+            }
+        });
+        out
     }
 
     /// Drop tainted rows from the cache and from the pending buffers;
-    /// returns how many rows were dropped.
+    /// returns how many *logical* rows were dropped.  When the cache is
+    /// enabled every pending row is also cached, so only the cache drops
+    /// are counted — counting both would tally the same row twice.
     pub fn purge_tainted(&mut self, failed: &NodeSet) -> usize {
-        let mut dropped = 0;
         let before = self.cache.len();
         self.cache.retain(|(_, row)| !row.is_tainted(failed));
-        dropped += before - self.cache.len();
+        let cache_dropped = before - self.cache.len();
+        let mut buffer_dropped = 0;
         for buf in self.buffers.values_mut() {
             let before = buf.len();
             buf.retain(|row| !row.is_tainted(failed));
-            dropped += before - buf.len();
+            buffer_dropped += before - buf.len();
         }
-        dropped
+        if self.cache_enabled {
+            cache_dropped
+        } else {
+            buffer_dropped
+        }
     }
 
     /// Number of rows currently cached.
@@ -448,20 +477,43 @@ mod tests {
         let mut j = JoinState::new();
         let node = NodeId(9);
         // Left arrives first: no match yet.
-        let out = j.process(0, tagged(vec![Value::Int(1), Value::str("a")], 0), &[0], &[0], node);
+        let out = j.process(
+            0,
+            tagged(vec![Value::Int(1), Value::str("a")], 0),
+            &[0],
+            &[0],
+            node,
+        );
         assert!(out.is_empty());
         // Matching right arrives: one result.
-        let out = j.process(1, tagged(vec![Value::Int(1), Value::str("x")], 1), &[0], &[0], node);
+        let out = j.process(
+            1,
+            tagged(vec![Value::Int(1), Value::str("x")], 1),
+            &[0],
+            &[0],
+            node,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(
             out[0].tuple.values(),
-            &[Value::Int(1), Value::str("a"), Value::Int(1), Value::str("x")]
+            &[
+                Value::Int(1),
+                Value::str("a"),
+                Value::Int(1),
+                Value::str("x")
+            ]
         );
         assert!(out[0].provenance.contains(NodeId(0)));
         assert!(out[0].provenance.contains(NodeId(1)));
         assert!(out[0].provenance.contains(node));
         // A second left with the same key joins against the stored right.
-        let out = j.process(0, tagged(vec![Value::Int(1), Value::str("b")], 2), &[0], &[0], node);
+        let out = j.process(
+            0,
+            tagged(vec![Value::Int(1), Value::str("b")], 2),
+            &[0],
+            &[0],
+            node,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(j.len(), 3);
     }
@@ -505,7 +557,13 @@ mod tests {
     fn partial_then_merge_equals_direct_aggregation() {
         // Split the input across two partial accumulators, merge, compare
         // against a single accumulator over the whole input.
-        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             let input: Vec<i64> = vec![10, -3, 7, 7, 0, 42];
             let mut direct = Accumulator::new(func);
             for v in &input {
@@ -533,8 +591,16 @@ mod tests {
         let aggs = [(AggFunc::Sum, 1)];
         // Two rows in the same group but with different provenance → two
         // sub-groups.
-        agg.update_raw(&tagged(vec![Value::str("g"), Value::Int(10)], 0), &[0], &aggs);
-        agg.update_raw(&tagged(vec![Value::str("g"), Value::Int(5)], 1), &[0], &aggs);
+        agg.update_raw(
+            &tagged(vec![Value::str("g"), Value::Int(10)], 0),
+            &[0],
+            &aggs,
+        );
+        agg.update_raw(
+            &tagged(vec![Value::str("g"), Value::Int(5)], 1),
+            &[0],
+            &aggs,
+        );
         assert_eq!(agg.subgroup_count(), 2);
         let emitted = agg.emit_unemitted(true, NodeId(7), 0);
         assert_eq!(emitted.len(), 2);
@@ -564,9 +630,21 @@ mod tests {
     fn collapsed_final_merges_across_subgroups() {
         let mut agg = AggState::new();
         let aggs = [(AggFunc::Sum, 1), (AggFunc::Count, 1)];
-        agg.update_raw(&tagged(vec![Value::str("g"), Value::Int(10)], 0), &[0], &aggs);
-        agg.update_raw(&tagged(vec![Value::str("g"), Value::Int(5)], 1), &[0], &aggs);
-        agg.update_raw(&tagged(vec![Value::str("h"), Value::Int(2)], 1), &[0], &aggs);
+        agg.update_raw(
+            &tagged(vec![Value::str("g"), Value::Int(10)], 0),
+            &[0],
+            &aggs,
+        );
+        agg.update_raw(
+            &tagged(vec![Value::str("g"), Value::Int(5)], 1),
+            &[0],
+            &aggs,
+        );
+        agg.update_raw(
+            &tagged(vec![Value::str("h"), Value::Int(2)], 1),
+            &[0],
+            &aggs,
+        );
         let rows = agg.collapsed_final(&aggs);
         assert_eq!(rows.len(), 2);
         assert_eq!(
@@ -595,13 +673,15 @@ mod tests {
         // Stage-4 retransmission: cached rows for a failed destination,
         // excluding tainted ones.
         let failed = NodeSet::singleton(NodeId(3));
-        let resend = r.cached_for(NodeId(2), &failed);
+        let resend = r.take_cached_for(NodeId(2), &failed);
         assert!(resend.is_empty(), "row destined to n2 is itself tainted");
-        let resend = r.cached_for(NodeId(1), &failed);
+        let resend = r.take_cached_for(NodeId(1), &failed);
         assert_eq!(resend.len(), 5);
-        // Purge drops the tainted cache entry.
+        // The consumed entries are gone; the tainted n2 row remains until
+        // purged.
+        assert_eq!(r.cache_len(), 1);
         assert_eq!(r.purge_tainted(&failed), 1);
-        assert_eq!(r.cache_len(), 5);
+        assert_eq!(r.cache_len(), 0);
     }
 
     #[test]
@@ -609,5 +689,42 @@ mod tests {
         let mut r = RehashState::new(false);
         r.buffer(NodeId(1), tagged(vec![Value::Int(1)], 0));
         assert_eq!(r.cache_len(), 0);
+    }
+
+    #[test]
+    fn take_cached_for_consumes_entries() {
+        // Regression: retransmission must consume the cache entries keyed
+        // to the failed destination, or a second recovery round would
+        // re-send (and duplicate) them.
+        let mut r = RehashState::new(true);
+        r.buffer(NodeId(1), tagged(vec![Value::Int(1)], 0));
+        r.buffer(NodeId(1), tagged(vec![Value::Int(2)], 5));
+        r.buffer(NodeId(2), tagged(vec![Value::Int(3)], 0));
+        let failed = NodeSet::singleton(NodeId(5));
+        let taken = r.take_cached_for(NodeId(1), &failed);
+        assert_eq!(taken.len(), 1, "only the untainted row for n1");
+        // A second call finds nothing left for that destination.
+        assert!(r.take_cached_for(NodeId(1), &failed).is_empty());
+        // Entries for other destinations are untouched.
+        assert_eq!(r.take_cached_for(NodeId(2), &failed).len(), 1);
+    }
+
+    #[test]
+    fn purge_counts_each_logical_row_once() {
+        // Regression: a tainted row that is both cached and still pending
+        // in a buffer must be counted as ONE dropped row, not two.
+        let mut r = RehashState::new(true);
+        r.buffer(NodeId(1), tagged(vec![Value::Int(1)], 7));
+        let failed = NodeSet::singleton(NodeId(7));
+        assert_eq!(r.purge_tainted(&failed), 1);
+        assert_eq!(r.cache_len(), 0);
+        assert!(r.take_buffer(NodeId(1)).is_empty());
+
+        // Without a cache, pending-buffer drops are what gets counted.
+        let mut r = RehashState::new(false);
+        r.buffer(NodeId(1), tagged(vec![Value::Int(1)], 7));
+        r.buffer(NodeId(2), tagged(vec![Value::Int(2)], 0));
+        assert_eq!(r.purge_tainted(&failed), 1);
+        assert_eq!(r.take_buffer(NodeId(2)).len(), 1);
     }
 }

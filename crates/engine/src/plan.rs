@@ -14,14 +14,13 @@
 //! crate also uses it directly for the fixed benchmark plans.
 
 use crate::expr::{AggFunc, Predicate, ScalarExpr};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an operator within its plan (index into the plan's
 /// operator table).
 pub type OpId = usize;
 
 /// Where an operator executes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Site {
     /// At every participant in the routing snapshot.
     Everywhere,
@@ -30,7 +29,7 @@ pub enum Site {
 }
 
 /// How an aggregation operator interprets its input and produces output.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AggMode {
     /// One-shot aggregation over raw rows (used at the initiator when no
     /// distributed pre-aggregation is worthwhile, e.g. TPC-H Q6).
@@ -44,7 +43,7 @@ pub enum AggMode {
 }
 
 /// The operator kinds of Table I.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum OperatorKind {
     /// Scan of a partitioned relation at the executing node's ranges,
     /// through index pages and data pages (Algorithm 1 restricted to the
@@ -156,7 +155,7 @@ impl OperatorKind {
 }
 
 /// One operator of a physical plan.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Operator {
     /// The operator's identifier (index into [`PhysicalPlan::operators`]).
     pub id: OpId,
@@ -174,7 +173,7 @@ pub struct Operator {
 }
 
 /// A complete physical plan.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PhysicalPlan {
     operators: Vec<Operator>,
     root: OpId,
@@ -394,8 +393,14 @@ impl PlanBuilder {
             "join key lists must have equal length"
         );
         let (la, ra) = (self.arity_of(left), self.arity_of(right));
-        assert!(left_keys.iter().all(|c| *c < la), "left join key out of range");
-        assert!(right_keys.iter().all(|c| *c < ra), "right join key out of range");
+        assert!(
+            left_keys.iter().all(|c| *c < la),
+            "left join key out of range"
+        );
+        assert!(
+            right_keys.iter().all(|c| *c < ra),
+            "right join key out of range"
+        );
         self.push(
             OperatorKind::HashJoin {
                 left_keys,
@@ -409,7 +414,10 @@ impl PlanBuilder {
     /// Add a rehash (repartitioning) above `child`.
     pub fn rehash(&mut self, child: OpId, columns: Vec<usize>) -> OpId {
         let arity = self.arity_of(child);
-        assert!(columns.iter().all(|c| *c < arity), "rehash column out of range");
+        assert!(
+            columns.iter().all(|c| *c < arity),
+            "rehash column out of range"
+        );
         self.push(OperatorKind::Rehash { columns }, vec![child], arity)
     }
 
@@ -532,14 +540,19 @@ fn validate(plan: &PhysicalPlan) {
         if op.kind.is_scan() {
             assert!(op.children.is_empty(), "scans must be leaves");
         } else if op.id != plan.root {
-            assert!(!op.children.is_empty(), "{} must have input", op.kind.name());
+            assert!(
+                !op.children.is_empty(),
+                "{} must have input",
+                op.kind.name()
+            );
         }
         if matches!(op.kind, OperatorKind::HashJoin { .. }) {
             assert_eq!(op.children.len(), 2, "HashJoin takes exactly two inputs");
         }
     }
-    assert!(ship_seen, "every plan must ship results to the initiator");
     // Every path from a scan to the root must cross exactly one Ship.
+    // Checked before the blanket ship-existence assertion so that the
+    // error names the violated invariant precisely.
     for scan in plan.scans() {
         let mut ships = 0;
         let mut cursor = Some(scan);
@@ -549,8 +562,12 @@ fn validate(plan: &PhysicalPlan) {
             }
             cursor = plan.op(id).parent;
         }
-        assert_eq!(ships, 1, "each scan-to-root path must cross exactly one Ship");
+        assert_eq!(
+            ships, 1,
+            "each scan-to-root path must cross exactly one Ship"
+        );
     }
+    assert!(ship_seen, "every plan must ship results to the initiator");
 }
 
 #[cfg(test)]
@@ -591,10 +608,11 @@ mod tests {
         for op in plan.operators() {
             match op.kind {
                 OperatorKind::Output => assert_eq!(op.site, Site::InitiatorOnly),
-                OperatorKind::Aggregate { mode, .. } => match mode {
-                    AggMode::Final => assert_eq!(op.site, Site::InitiatorOnly),
-                    _ => assert_eq!(op.site, Site::Everywhere),
-                },
+                OperatorKind::Aggregate {
+                    mode: AggMode::Final,
+                    ..
+                } => assert_eq!(op.site, Site::InitiatorOnly),
+                OperatorKind::Aggregate { .. } => assert_eq!(op.site, Site::Everywhere),
                 OperatorKind::Ship => assert_eq!(op.site, Site::Everywhere),
                 _ => assert_eq!(op.site, Site::Everywhere),
             }
@@ -613,7 +631,15 @@ mod tests {
         let partial = plan
             .operators()
             .iter()
-            .find(|o| matches!(o.kind, OperatorKind::Aggregate { mode: AggMode::Partial, .. }))
+            .find(|o| {
+                matches!(
+                    o.kind,
+                    OperatorKind::Aggregate {
+                        mode: AggMode::Partial,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert_eq!(partial.arity, 2); // group col + MIN state
         assert_eq!(plan.op(plan.root()).arity, 2);
@@ -623,19 +649,36 @@ mod tests {
     fn two_phase_average_uses_two_state_columns() {
         let mut b = PlanBuilder::new();
         let scan = b.scan("R", 3, None);
-        let agg = b.two_phase_aggregate(scan, vec![0], vec![(AggFunc::Avg, 2), (AggFunc::Count, 1)]);
+        let agg =
+            b.two_phase_aggregate(scan, vec![0], vec![(AggFunc::Avg, 2), (AggFunc::Count, 1)]);
         let plan = b.output(agg);
         let partial = plan
             .operators()
             .iter()
-            .find(|o| matches!(o.kind, OperatorKind::Aggregate { mode: AggMode::Partial, .. }))
+            .find(|o| {
+                matches!(
+                    o.kind,
+                    OperatorKind::Aggregate {
+                        mode: AggMode::Partial,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         // group col + (sum, count) + count
         assert_eq!(partial.arity, 4);
         let final_agg = plan
             .operators()
             .iter()
-            .find(|o| matches!(o.kind, OperatorKind::Aggregate { mode: AggMode::Final, .. }))
+            .find(|o| {
+                matches!(
+                    o.kind,
+                    OperatorKind::Aggregate {
+                        mode: AggMode::Final,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert_eq!(final_agg.arity, 3);
         if let OperatorKind::Aggregate { aggs, .. } = &final_agg.kind {
@@ -651,7 +694,14 @@ mod tests {
         let scan = b.scan("R", 4, Some(Predicate::cmp(0, CmpOp::Gt, 5i64)));
         let sel = b.select(scan, Predicate::cmp(1, CmpOp::Lt, 100i64));
         let proj = b.project(sel, vec![3, 0]);
-        let comp = b.compute(proj, vec![ScalarExpr::col(0), ScalarExpr::col(1), ScalarExpr::lit(1i64)]);
+        let comp = b.compute(
+            proj,
+            vec![
+                ScalarExpr::col(0),
+                ScalarExpr::col(1),
+                ScalarExpr::lit(1i64),
+            ],
+        );
         let ship = b.ship(comp);
         let plan = b.output(ship);
         assert_eq!(plan.op(proj).arity, 2);

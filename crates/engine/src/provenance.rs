@@ -12,7 +12,6 @@
 //! recovery support is enabled.
 
 use orchestra_common::{NodeId, NodeSet, Tuple};
-use serde::{Deserialize, Serialize};
 
 /// An execution phase: 0 for the initial run, incremented by each
 /// recovery invocation.
@@ -24,7 +23,7 @@ pub type Phase = u32;
 pub const TAG_WIRE_BYTES: usize = 32 + 4;
 
 /// A tuple annotated with its provenance and phase.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaggedTuple {
     /// The data tuple.
     pub tuple: Tuple,
@@ -55,7 +54,12 @@ impl TaggedTuple {
     /// Combine two tuples into a derived tuple (e.g. a join result): the
     /// data is `tuple`, the provenance the union of the parents' plus the
     /// deriving node, the phase the maximum of the parents'.
-    pub fn derived(tuple: Tuple, left: &TaggedTuple, right: &TaggedTuple, node: NodeId) -> TaggedTuple {
+    pub fn derived(
+        tuple: Tuple,
+        left: &TaggedTuple,
+        right: &TaggedTuple,
+        node: NodeId,
+    ) -> TaggedTuple {
         let mut provenance = left.provenance.union(&right.provenance);
         provenance.insert(node);
         TaggedTuple {

@@ -1,1 +1,43 @@
-//! placeholder
+//! # orchestra-optimizer
+//!
+//! Query planning for the ORCHESTRA engine.
+//!
+//! The paper's prototype "performs query optimization using a
+//! System-R-style dynamic programming algorithm" over statistics kept by
+//! the relation coordinators.  This crate is the home for that planner:
+//! it will translate logical query descriptions into
+//! [`orchestra_engine::PhysicalPlan`]s via
+//! [`orchestra_engine::PlanBuilder`], choosing join orders, deciding
+//! where to place `Rehash` boundaries, pushing sargable predicates into
+//! the leaf scans, and electing covering-index scans when only key
+//! attributes are referenced — costed against the coordinator
+//! cardinalities exposed by
+//! [`orchestra_storage::DistributedStorage::relation_cardinality`] and
+//! the selectivity estimates of
+//! [`orchestra_engine::Predicate::estimated_selectivity`].
+//!
+//! Today it provides [`estimated_output_cardinality`], the shared
+//! cardinality arithmetic the cost model is built around; the ROADMAP
+//! tracks the full dynamic-programming planner.
+
+use orchestra_engine::Predicate;
+
+/// Estimate the number of rows surviving `predicate` over an input of
+/// `input_cardinality` rows — the elementary step of the cost model.
+pub fn estimated_output_cardinality(input_cardinality: usize, predicate: &Predicate) -> usize {
+    (input_cardinality as f64 * predicate.estimated_selectivity()).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_engine::CmpOp;
+
+    #[test]
+    fn selectivity_scales_cardinality() {
+        assert_eq!(estimated_output_cardinality(1000, &Predicate::True), 1000);
+        let eq = Predicate::cmp(0, CmpOp::Eq, 7i64);
+        assert_eq!(estimated_output_cardinality(1000, &eq), 100);
+        assert_eq!(estimated_output_cardinality(0, &eq), 0);
+    }
+}

@@ -17,10 +17,9 @@
 
 use crate::clock::SimTime;
 use crate::profiles::ClusterProfile;
-use serde::{Deserialize, Serialize};
 
 /// Occupancy state of one node's uplink and downlink.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LinkState {
     /// Earliest time the node can start sending the next message.
     pub uplink_free_at: SimTime,

@@ -19,10 +19,9 @@
 //! emerges from the same mechanisms.
 
 use crate::clock::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Per-node compute and storage characteristics.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NodeProfile {
     /// CPU time to process one tuple through one non-trivial operator
     /// (hash, probe, aggregate update, marshal), in seconds.
@@ -87,7 +86,7 @@ impl NodeProfile {
 /// x-axis is "Per-Node Bandwidth KB/sec"), which is exactly how the
 /// simulator applies this number: each node's uplink and downlink is
 /// limited to `bandwidth_bytes_per_sec`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClusterProfile {
     /// Per-node link bandwidth in bytes per second.
     pub bandwidth_bytes_per_sec: f64,

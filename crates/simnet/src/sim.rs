@@ -232,6 +232,10 @@ impl<M> Simulator<M> {
     /// Pop the next event.  Events addressed to nodes that are failed at
     /// the delivery instant are discarded (and counted); `None` means the
     /// simulation has quiesced.
+    ///
+    /// Deliberately not an `Iterator` impl: callers interleave `send`
+    /// calls between pops, which a borrowing iterator would forbid.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Delivery<M>> {
         while let Some(ev) = self.queue.pop() {
             self.now = self.now.max(ev.time);
@@ -298,7 +302,13 @@ mod tests {
     fn local_sends_are_free_and_unrecorded() {
         let mut s = sim(2);
         let arrival = s
-            .send(NodeId(1), NodeId(1), 1_000_000, SimTime::from_millis(3), "x")
+            .send(
+                NodeId(1),
+                NodeId(1),
+                1_000_000,
+                SimTime::from_millis(3),
+                "x",
+            )
             .unwrap();
         assert_eq!(arrival, SimTime::from_millis(3));
         assert_eq!(s.stats().total_bytes(), 0);
@@ -307,8 +317,12 @@ mod tests {
     #[test]
     fn consecutive_sends_share_the_uplink() {
         let mut s = sim(3);
-        let a1 = s.send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "a").unwrap();
-        let a2 = s.send(NodeId(0), NodeId(2), 1000, SimTime::ZERO, "b").unwrap();
+        let a1 = s
+            .send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "a")
+            .unwrap();
+        let a2 = s
+            .send(NodeId(0), NodeId(2), 1000, SimTime::ZERO, "b")
+            .unwrap();
         // The second message cannot start until the first left the uplink.
         assert!(a2 > a1);
         assert_eq!(a2, SimTime::from_millis(13));
@@ -343,7 +357,8 @@ mod tests {
     #[test]
     fn failed_receiver_discards_at_delivery() {
         let mut s = sim(2);
-        s.send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "doomed").unwrap();
+        s.send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "doomed")
+            .unwrap();
         s.fail_node(NodeId(1), SimTime::from_millis(1));
         assert!(s.next().is_none());
         assert_eq!(s.dropped_messages(), 1);

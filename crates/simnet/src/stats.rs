@@ -8,11 +8,10 @@
 //! not estimates.
 
 use orchestra_common::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Byte and message counters for one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TrafficStats {
     total_bytes: u64,
     total_messages: u64,
@@ -65,6 +64,13 @@ impl TrafficStats {
     /// Bytes carried on the directed link `src -> dst`.
     pub fn link(&self, src: NodeId, dst: NodeId) -> u64 {
         self.link_bytes.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Every directed link that carried traffic, with its byte count, in
+    /// `(src, dst)` order.  This is the exact per-link breakdown the query
+    /// reports expose.
+    pub fn links(&self) -> impl Iterator<Item = ((NodeId, NodeId), u64)> + '_ {
+        self.link_bytes.iter().map(|(l, b)| (*l, *b))
     }
 
     /// Average traffic per node (sent + received, halved so each byte is
@@ -143,6 +149,20 @@ mod tests {
         assert_eq!(a.total_bytes(), 175);
         assert_eq!(a.link(NodeId(0), NodeId(1)), 150);
         assert_eq!(a.total_messages(), 3);
+    }
+
+    #[test]
+    fn links_enumerates_every_directed_pair() {
+        let mut s = TrafficStats::new();
+        s.record(NodeId(0), NodeId(1), 100);
+        s.record(NodeId(1), NodeId(0), 50);
+        s.record(NodeId(0), NodeId(1), 10);
+        let links: Vec<((NodeId, NodeId), u64)> = s.links().collect();
+        assert_eq!(
+            links,
+            vec![((NodeId(0), NodeId(1)), 110), ((NodeId(1), NodeId(0)), 50)]
+        );
+        assert_eq!(links.iter().map(|(_, b)| b).sum::<u64>(), s.total_bytes());
     }
 
     #[test]

@@ -9,11 +9,10 @@
 
 use crate::page::PageDescriptor;
 use orchestra_common::{Epoch, Key160};
-use serde::{Deserialize, Serialize};
 
 /// Addressing key of a relation coordinator: the relation name and the
 /// epoch of the version being requested.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CoordinatorKey {
     /// Relation name.
     pub relation: String,
@@ -41,7 +40,7 @@ impl CoordinatorKey {
 ///
 /// Unmodified pages are shared structurally with earlier versions — their
 /// descriptors simply point at page versions created in earlier epochs.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RelationVersion {
     /// The relation/epoch this record describes.
     pub key: CoordinatorKey,

@@ -59,6 +59,9 @@ pub struct PartitionScan {
     /// store and had to be fetched from a replica (non-zero after
     /// membership changes, zero in steady state thanks to co-location).
     pub remote_lookups: usize,
+    /// Bytes fetched from each remote holder, aggregated per source node
+    /// — the transfers the simulation must charge to the network.
+    pub remote_transfers: Vec<(NodeId, usize)>,
 }
 
 /// Result of a full Algorithm 1 retrieval.
@@ -74,6 +77,11 @@ pub struct RetrievalResult {
 }
 
 /// The distributed, replicated, versioned storage layer.
+///
+/// `Clone` duplicates the entire simulated cluster state; the query
+/// engine uses this to run failure experiments against a scratch copy
+/// without disturbing the caller's store.
+#[derive(Clone)]
 pub struct DistributedStorage {
     config: StorageConfig,
     routing: RoutingTable,
@@ -93,7 +101,9 @@ impl DistributedStorage {
             .map(|n| n.index())
             .max()
             .expect("routing table has at least one node");
-        let stores = (0..=max_index as u16).map(|i| NodeStore::new(NodeId(i))).collect();
+        let stores = (0..=max_index as u16)
+            .map(|i| NodeStore::new(NodeId(i)))
+            .collect();
         DistributedStorage {
             config,
             routing,
@@ -122,7 +132,8 @@ impl DistributedStorage {
     pub fn set_routing(&mut self, routing: RoutingTable) {
         let max_index = routing.nodes().iter().map(|n| n.index()).max().unwrap_or(0);
         while self.stores.len() <= max_index {
-            self.stores.push(NodeStore::new(NodeId(self.stores.len() as u16)));
+            self.stores
+                .push(NodeStore::new(NodeId(self.stores.len() as u16)));
         }
         self.routing = routing;
     }
@@ -300,7 +311,12 @@ impl DistributedStorage {
                 if relation.is_replicated() {
                     for node in self.routing.nodes() {
                         if !self.failed.contains(node) {
-                            self.stores[node.index()].put_tuple(name, hash, id.clone(), tuple.clone());
+                            self.stores[node.index()].put_tuple(
+                                name,
+                                hash,
+                                id.clone(),
+                                tuple.clone(),
+                            );
                         }
                     }
                 } else {
@@ -428,30 +444,32 @@ impl DistributedStorage {
 
     /// Find a tuple version by ID, trying the data storage owner, its
     /// replicas, then every live node.  `preferred` (the scanning node) is
-    /// consulted first and the second element of the result says whether
-    /// the lookup had to leave it.
+    /// consulted first; the second element of the result is the remote
+    /// node that served the lookup, or `None` when it was served locally.
     pub fn lookup_tuple(
         &self,
         relation: &str,
         id: &TupleId,
         preferred: Option<NodeId>,
-    ) -> Result<(Tuple, bool)> {
+    ) -> Result<(Tuple, Option<NodeId>)> {
         let hash = id.hash_key();
         if let Some(node) = preferred {
             if !self.failed.contains(node) {
                 if let Some(t) = self.stores[node.index()].tuple(relation, hash, id) {
-                    return Ok((t.clone(), false));
+                    return Ok((t.clone(), None));
                 }
             }
         }
         for node in self.live_replicas(hash) {
             if let Some(t) = self.stores[node.index()].tuple(relation, hash, id) {
-                return Ok((t.clone(), preferred != Some(node)));
+                let remote = (preferred != Some(node)).then_some(node);
+                return Ok((t.clone(), remote));
             }
         }
         for node in self.live_nodes() {
             if let Some(t) = self.stores[node.index()].tuple(relation, hash, id) {
-                return Ok((t.clone(), preferred != Some(node)));
+                let remote = (preferred != Some(node)).then_some(node);
+                return Ok((t.clone(), remote));
             }
         }
         Err(OrchestraError::StorageMissing(format!(
@@ -498,8 +516,13 @@ impl DistributedStorage {
                 }
                 let (tuple, remote) = self.lookup_tuple(relation, id, Some(node))?;
                 scan.tuples_read += 1;
-                if remote {
+                if let Some(src) = remote {
                     scan.remote_lookups += 1;
+                    let bytes = tuple.serialized_size();
+                    match scan.remote_transfers.iter_mut().find(|(n, _)| *n == src) {
+                        Some((_, b)) => *b += bytes,
+                        None => scan.remote_transfers.push((src, bytes)),
+                    }
                 }
                 scan.tuples.push(tuple);
             }
@@ -509,7 +532,12 @@ impl DistributedStorage {
 
     /// Read the full contents of a *replicated* relation from `node`'s
     /// local copy.
-    pub fn scan_replicated(&self, relation: &str, epoch: Epoch, node: NodeId) -> Result<Vec<Tuple>> {
+    pub fn scan_replicated(
+        &self,
+        relation: &str,
+        epoch: Epoch,
+        node: NodeId,
+    ) -> Result<Vec<Tuple>> {
         let rel = self.catalog.get(relation).ok_or_else(|| {
             OrchestraError::StorageInvalid(format!("relation {relation} is not registered"))
         })?;
@@ -638,9 +666,7 @@ mod tests {
 
         // A lookup of R at epoch 2 sees six tuples, with R(f, a) — not the
         // stale R(f, z).
-        let result = s
-            .retrieve("R", Epoch(2), NodeId(1), &|_| true)
-            .unwrap();
+        let result = s.retrieve("R", Epoch(2), NodeId(1), &|_| true).unwrap();
         assert_eq!(result.tuples.len(), 6);
         assert!(result.tuples.contains(&r("f", "a")));
         assert!(!result.tuples.contains(&r("f", "z")));

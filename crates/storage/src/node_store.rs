@@ -81,9 +81,7 @@ impl NodeStore {
 
     /// Fetch a tuple version by its ID (and pre-computed key hash).
     pub fn tuple(&self, relation: &str, hash: Key160, id: &TupleId) -> Option<&Tuple> {
-        self.data
-            .get(relation)?
-            .get(&(hash, id.clone()))
+        self.data.get(relation)?.get(&(hash, id.clone()))
     }
 
     /// Iterate over all tuple versions of `relation` whose key hash falls
@@ -167,13 +165,10 @@ impl NodeStore {
 
     /// Iterate over every stored tuple with its relation, hash and ID
     /// (used by anti-entropy replication).
-    pub fn tuples_with_relation(
-        &self,
-    ) -> impl Iterator<Item = (&str, &Key160, &TupleId, &Tuple)> {
-        self.data.iter().flat_map(|(rel, map)| {
-            map.iter()
-                .map(move |((h, id), t)| (rel.as_str(), h, id, t))
-        })
+    pub fn tuples_with_relation(&self) -> impl Iterator<Item = (&str, &Key160, &TupleId, &Tuple)> {
+        self.data
+            .iter()
+            .flat_map(|(rel, map)| map.iter().map(move |((h, id), t)| (rel.as_str(), h, id, t)))
     }
 }
 

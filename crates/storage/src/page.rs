@@ -15,7 +15,6 @@
 //! keys are never sent over the network").
 
 use orchestra_common::{Epoch, Key160, KeyRange, TupleId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one version of one index page.
@@ -23,7 +22,7 @@ use std::fmt;
 /// Matches the paper's example: "The index page ID consists of the
 /// relation name, the epoch in which it was last modified, and a unique
 /// identifier for that relation and epoch."
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId {
     /// Relation the page belongs to.
     pub relation: String,
@@ -63,7 +62,7 @@ impl fmt::Display for PageId {
 }
 
 /// Coordinator-side summary of one page version.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PageDescriptor {
     /// Which page version this describes.
     pub id: PageId,
@@ -95,7 +94,7 @@ impl PageDescriptor {
 }
 
 /// The body of one page version: the tuple IDs present in the partition.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IndexPage {
     /// Which page version this is.
     pub id: PageId,
@@ -168,7 +167,10 @@ impl IndexPage {
 /// Compute the hash range of partition `partition` out of `partitions`
 /// equal divisions of the key space.
 pub fn partition_range(partition: u32, partitions: u32) -> KeyRange {
-    assert!(partitions > 0, "a relation must have at least one partition");
+    assert!(
+        partitions > 0,
+        "a relation must have at least one partition"
+    );
     assert!(partition < partitions);
     if partitions == 1 {
         return KeyRange::full();
@@ -193,7 +195,7 @@ pub fn partition_of(hash: Key160, partitions: u32) -> u32 {
     let mut lo = 0u32;
     let mut hi = partitions - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if hash >= width.wrapping_mul_small(mid as u64) {
             lo = mid;
         } else {
@@ -206,8 +208,7 @@ pub fn partition_of(hash: Key160, partitions: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orchestra_common::Value;
-    use proptest::prelude::*;
+    use orchestra_common::{rng, Value};
 
     fn tid(k: i64, e: u64) -> TupleId {
         TupleId::new(vec![Value::Int(k)], Epoch(e))
@@ -224,7 +225,11 @@ mod tests {
     #[test]
     fn index_page_membership_and_versioning() {
         let range = partition_range(0, 4);
-        let page = IndexPage::new(PageId::new("R", Epoch(0), 0), range, vec![tid(1, 0), tid(2, 0)]);
+        let page = IndexPage::new(
+            PageId::new("R", Epoch(0), 0),
+            range,
+            vec![tid(1, 0), tid(2, 0)],
+        );
         assert_eq!(page.len(), 2);
         assert!(page.contains(&tid(1, 0)));
         assert!(!page.contains(&tid(1, 1)));
@@ -272,13 +277,16 @@ mod tests {
         assert_eq!(partition_of(Key160::hash(b"x"), 1), 0);
     }
 
-    proptest! {
-        #[test]
-        fn partition_of_is_consistent_with_ranges(parts in 1u32..64, seed in any::<u64>()) {
-            let h = Key160::hash(&seed.to_be_bytes());
+    #[test]
+    fn partition_of_is_consistent_with_ranges() {
+        // Deterministic sweep standing in for the original property test.
+        let mut r = rng::seeded(0x9a9e);
+        for _ in 0..500 {
+            let parts = r.random_range(1u32..64);
+            let h = Key160::hash(&r.next_u64().to_be_bytes());
             let p = partition_of(h, parts);
-            prop_assert!(p < parts);
-            prop_assert!(partition_range(p, parts).contains(h));
+            assert!(p < parts);
+            assert!(partition_range(p, parts).contains(h), "parts={parts} h={h}");
         }
     }
 }

@@ -62,7 +62,13 @@ pub fn anti_entropy(storage: &mut DistributedStorage) -> Result<ReplicationRepor
             };
             for dst in targets {
                 if storage.store(dst).tuple(relation, *hash, id).is_none() {
-                    tuple_copies.push((dst, relation.to_string(), *hash, id.clone(), tuple.clone()));
+                    tuple_copies.push((
+                        dst,
+                        relation.to_string(),
+                        *hash,
+                        id.clone(),
+                        tuple.clone(),
+                    ));
                 }
             }
         }

@@ -8,11 +8,10 @@
 //! epoch.
 
 use orchestra_common::{NodeId, Tuple, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A single change to a relation.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Update {
     /// Insert a brand-new tuple (the dominant case in the paper's
     /// workloads).
@@ -28,7 +27,7 @@ pub enum Update {
 impl Update {
     /// The key values affected by this update, given the relation's key
     /// length.
-    pub fn key<'a>(&'a self, key_len: usize) -> &'a [Value] {
+    pub fn key(&self, key_len: usize) -> &[Value] {
         match self {
             Update::Insert(t) | Update::Modify(t) => t.key(key_len),
             Update::Delete(k) => &k[..key_len.min(k.len())],
@@ -42,7 +41,7 @@ impl Update {
 }
 
 /// One participant's published log of updates, grouped by relation.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UpdateBatch {
     /// The participant that published the batch.
     pub publisher: Option<NodeId>,

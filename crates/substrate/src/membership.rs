@@ -19,10 +19,9 @@
 use crate::allocation::AllocationScheme;
 use crate::routing::{RoutingSnapshot, RoutingTable};
 use orchestra_common::{NodeId, NodeSet, OrchestraError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A change to the membership, recorded for diagnostics and tests.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MembershipChange {
     /// A new participant joined the CDSS.
     Joined(NodeId),

@@ -44,8 +44,7 @@ impl AllocationStats {
         let max_fraction = values.iter().copied().fold(f64::MIN, f64::max);
         let min_fraction = values.iter().copied().fold(f64::MAX, f64::min);
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         let max_min_ratio = if min_fraction > 0.0 {
             max_fraction / min_fraction
         } else {

@@ -6,10 +6,9 @@
 //! hash of its (simulated) network address.
 
 use orchestra_common::{Key160, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A participant together with its position on the key ring.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RingNode {
     /// The participant.
     pub node: NodeId,

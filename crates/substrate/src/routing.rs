@@ -18,12 +18,11 @@
 use crate::allocation::AllocationScheme;
 use crate::ring::{sorted_ring, RingNode};
 use orchestra_common::{Key160, KeyRange, NodeId, NodeSet, OrchestraError, Result};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One entry of the routing table: a contiguous arc of the ring and the
 /// node responsible for it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RangeAssignment {
     /// The arc of the key ring.
     pub range: KeyRange,
@@ -35,7 +34,7 @@ pub struct RangeAssignment {
 ///
 /// Immutable once built; membership changes produce *new* tables (see
 /// [`crate::membership::Membership`]).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoutingTable {
     /// Range assignments sorted by range start; together they tile the ring.
     entries: Vec<RangeAssignment>,
@@ -68,7 +67,7 @@ impl RoutingTable {
             .into_iter()
             .map(|(owner, range)| RangeAssignment { range, owner })
             .collect();
-        entries.sort_by(|a, b| a.range.start.cmp(&b.range.start));
+        entries.sort_by_key(|e| e.range.start);
         RoutingTable {
             entries,
             ring: sorted_ring(nodes),
@@ -113,10 +112,7 @@ impl RoutingTable {
         // Entries are sorted by start and tile the ring; the owner is the
         // entry with the greatest start <= key, or (if key precedes every
         // start) the final, wrapping entry.
-        let idx = match self
-            .entries
-            .binary_search_by(|e| e.range.start.cmp(&key))
-        {
+        let idx = match self.entries.binary_search_by(|e| e.range.start.cmp(&key)) {
             Ok(i) => i,
             Err(0) => self.entries.len() - 1,
             Err(i) => i - 1,
@@ -220,7 +216,7 @@ impl RoutingTable {
                 });
             }
         }
-        new_entries.sort_by(|a, b| a.range.start.cmp(&b.range.start));
+        new_entries.sort_by_key(|e| e.range.start);
         Ok(RoutingTable {
             entries: new_entries,
             ring: survivors,
@@ -259,7 +255,9 @@ fn split_range(range: KeyRange, parts: usize, index: usize) -> KeyRange {
         return range;
     }
     let width = range.size().div_small(parts as u64);
-    let start = range.start.wrapping_add(width.wrapping_mul_small(index as u64));
+    let start = range
+        .start
+        .wrapping_add(width.wrapping_mul_small(index as u64));
     let end = if index == parts - 1 {
         range.end
     } else {
@@ -273,7 +271,7 @@ fn split_range(range: KeyRange, parts: usize, index: usize) -> KeyRange {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use orchestra_common::rng;
 
     fn nodes(n: u16) -> Vec<NodeId> {
         (0..n).map(NodeId).collect()
@@ -331,7 +329,11 @@ mod tests {
             let key = Key160::hash(&probe.to_be_bytes());
             let owner = t2.owner_of(key);
             assert_ne!(owner, NodeId(3));
-            let owners = t2.entries().iter().filter(|e| e.range.contains(key)).count();
+            let owners = t2
+                .entries()
+                .iter()
+                .filter(|e| e.range.contains(key))
+                .count();
             assert_eq!(owners, 1);
         }
     }
@@ -395,41 +397,49 @@ mod tests {
         assert_eq!(s2.node_count(), 4);
     }
 
-    proptest! {
-        #[test]
-        fn owner_is_never_a_failed_node(
-            n in 4u16..24,
-            fail_a in 0u16..24,
-            fail_b in 0u16..24,
-            probes in proptest::collection::vec(any::<u64>(), 1..30)
-        ) {
-            let fail_a = fail_a % n;
-            let fail_b = fail_b % n;
-            let t = table(n, 3);
+    #[test]
+    fn owner_is_never_a_failed_node() {
+        // Deterministic sweep standing in for the original property test:
+        // random cluster sizes, failed pairs and probe keys from a fixed
+        // seed.
+        let mut r = rng::seeded(0x0151);
+        for _ in 0..64 {
+            let n = r.random_range(4u16..24);
+            let fail_a = r.random_range(0..n);
+            let fail_b = r.random_range(0..n);
             let failed = NodeSet::from_iter([NodeId(fail_a), NodeId(fail_b)]);
-            // Skip the degenerate case where everything failed.
-            prop_assume!((failed.len() as u16) < n);
+            if failed.len() as u16 >= n {
+                continue;
+            }
+            let t = table(n, 3);
             let t2 = t.reassign_failed(&failed).unwrap();
-            for p in &probes {
-                let key = Key160::hash(&p.to_be_bytes());
-                prop_assert!(!failed.contains(t2.owner_of(key)));
+            for _ in 0..30 {
+                let key = Key160::hash(&r.next_u64().to_be_bytes());
+                assert!(!failed.contains(t2.owner_of(key)));
             }
         }
+    }
 
-        #[test]
-        fn split_range_parts_tile_the_original(parts in 1usize..7, start in any::<u128>(), len in 1u128..u128::MAX/2) {
-            let start = Key160::from_u128(start);
+    #[test]
+    fn split_range_parts_tile_the_original() {
+        let mut r = rng::seeded(0x5917);
+        for _ in 0..200 {
+            let parts = r.random_range(1usize..7);
+            let start = Key160::from_u128(((r.next_u64() as u128) << 64) | r.next_u64() as u128);
+            let len = 1 + (((r.next_u64() as u128) << 64) | r.next_u64() as u128) / 2;
             let end = start.wrapping_add(Key160::from_u128(len));
             let range = KeyRange::new(start, end);
-            prop_assume!(!range.is_full());
+            if range.is_full() {
+                continue;
+            }
             // Consecutive sub-ranges must be adjacent and ordered.
             let mut cursor = range.start;
             for i in 0..parts {
                 let sub = split_range(range, parts, i);
-                prop_assert_eq!(sub.start, cursor);
+                assert_eq!(sub.start, cursor);
                 cursor = sub.end;
             }
-            prop_assert_eq!(cursor, range.end);
+            assert_eq!(cursor, range.end);
         }
     }
 }

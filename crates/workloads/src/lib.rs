@@ -1,1 +1,55 @@
-//! placeholder
+//! # orchestra-workloads
+//!
+//! Workload generators and fixed benchmark plans for the evaluation.
+//!
+//! The paper evaluates two workloads, both to be reproduced here:
+//!
+//! * **STBenchmark mapping scenarios** (Section VI-B) — `Copy`,
+//!   `Concatenate` and friends over synthetic source relations with
+//!   25-character alphanumeric fields, generated deterministically from
+//!   [`orchestra_common::rng`] so every run sees identical data.
+//! * **TPC-H-style OLAP queries** (Section VI-C) — scaled-down `lineitem`
+//!   / `orders` / `customer` relations and the physical plans for Q1, Q3
+//!   and Q6 expressed through [`orchestra_engine::PlanBuilder`] (two-phase
+//!   aggregation for Q1, pipelined joins plus rehash for Q3, single-shot
+//!   aggregation for Q6).
+//!
+//! Generators publish through [`orchestra_storage::UpdateBatch`] so data
+//! flows through the same versioned-publication path the paper's
+//! participants use.  Today the crate hosts [`generated_relation`], the
+//! deterministic row generator the scenario builders share; the ROADMAP
+//! tracks the full scenario and query catalogue.
+
+use orchestra_common::{rng, Tuple, Value};
+
+/// Generate `rows` deterministic tuples `(id, field)` for a relation
+/// named `relation`, with STBenchmark-style 25-character alphanumeric
+/// payload fields.  The same `(seed, relation, rows)` always yields the
+/// same data.
+pub fn generated_relation(seed: u64, relation: &str, rows: usize) -> Vec<Tuple> {
+    let mut r = rng::seeded_stream(seed, relation);
+    (0..rows)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::str(rng::alphanumeric(&mut r, 25)),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_relation() {
+        let a = generated_relation(7, "source", 50);
+        let b = generated_relation(7, "source", 50);
+        let c = generated_relation(7, "target", 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a[0].value(1).as_str().unwrap().len(), 25);
+    }
+}
