@@ -1,0 +1,80 @@
+//! Reviewer scratch test — delete after review.
+
+use orchestra_common::{ColumnType, Epoch, NodeId, Relation, Schema, Tuple, Value};
+use orchestra_engine::{
+    CmpOp, EngineConfig, FailureSpec, PlanBuilder, Predicate, QueryExecutor, RecoveryStrategy,
+};
+use orchestra_simnet::SimTime;
+use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
+use orchestra_substrate::{AllocationScheme, RoutingTable};
+
+fn cluster() -> DistributedStorage {
+    let routing = RoutingTable::build(
+        &(0..6).map(NodeId).collect::<Vec<_>>(),
+        AllocationScheme::Balanced,
+        3,
+    );
+    let mut s = DistributedStorage::new(
+        routing,
+        StorageConfig {
+            partitions_per_relation: 8,
+        },
+    );
+    s.register_relation(Relation::partitioned(
+        "R",
+        Schema::keyed_on_first(vec![
+            ("k", ColumnType::Int),
+            ("g", ColumnType::Str),
+            ("v", ColumnType::Int),
+        ]),
+    ));
+    let mut b = UpdateBatch::new();
+    for k in 0..200i64 {
+        b.insert(
+            "R",
+            Tuple::new(vec![
+                Value::Int(k),
+                Value::str(if k % 3 == 0 { "a" } else { "b" }),
+                Value::Int(k * 10),
+            ]),
+        );
+    }
+    s.publish(&b).unwrap();
+    s
+}
+
+#[test]
+fn select_above_rehash_survives_failure_without_duplicates() {
+    let s = cluster();
+    // scan -> rehash(v) -> select -> ship -> output; the select runs at
+    // the rehash destination node.
+    let plan = || {
+        let mut pb = PlanBuilder::new();
+        let scan = pb.scan("R", 3, None);
+        let re = pb.rehash(scan, vec![2]);
+        let sel = pb.select(re, Predicate::cmp(2, CmpOp::Lt, 100_000i64));
+        let ship = pb.ship(sel);
+        pb.output(ship)
+    };
+    let exec = QueryExecutor::new(&s, EngineConfig::default());
+    let baseline = exec.execute(&plan(), Epoch(0), NodeId(0)).unwrap();
+    assert_eq!(baseline.rows.len(), 200);
+
+    for target in 1..6u16 {
+        let failure = FailureSpec::at_time(
+            NodeId(target),
+            SimTime::from_micros(baseline.running_time.as_micros() / 2),
+        );
+        let report = exec
+            .execute_with_failure(&plan(), Epoch(0), NodeId(0), failure)
+            .unwrap();
+        assert!(
+            report.rows == baseline.rows,
+            "node {target}: incremental recovery produced {} rows vs baseline {} (recovered={})",
+            report.rows.len(),
+            baseline.rows.len(),
+            report.recovered,
+        );
+    }
+    let _ = RecoveryStrategy::Incremental;
+}
