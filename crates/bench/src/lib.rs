@@ -1,27 +1,43 @@
 //! # orchestra-bench
 //!
-//! The experiment harness that will reproduce the paper's figures.
+//! The experiment harness that reproduces the paper's figures.
 //!
-//! Each experiment drives [`orchestra_engine::QueryExecutor`] over a
-//! cluster built from an [`orchestra_simnet::ClusterProfile`] and reads
-//! the measurements off the returned [`orchestra_engine::QueryReport`]:
+//! Each experiment ([`experiments`]) drives
+//! [`orchestra_engine::QueryExecutor`] over a cluster deployed through
+//! [`orchestra_workloads::deploy`] and reads the measurements off the
+//! returned [`orchestra_engine::QueryReport`]:
 //!
-//! * **scale-out** (Figures 7–12) — running time and per-node traffic as
-//!   the participant count grows on the LAN profile;
-//! * **bandwidth sensitivity** (Figure 17) — running time against
-//!   per-node bandwidth on WAN profiles, locating the knee;
-//! * **recovery cost** (Figures 13–14) — the added running time of
-//!   [`orchestra_engine::RecoveryStrategy::Restart`] versus
-//!   [`orchestra_engine::RecoveryStrategy::Incremental`] as a function of
-//!   when the failure strikes;
-//! * **tagging overhead** — traffic with and without recovery support,
-//!   validating the paper's "at most 2%" claim.
+//! * **scale-out** (Figures 7–12) — [`run_scale_out`]: running time and
+//!   traffic as the participant count grows;
+//! * **recovery cost** (Figures 13–14) — [`run_recovery_sweep`]: the
+//!   added running time of [`orchestra_engine::RecoveryStrategy::Restart`]
+//!   versus [`orchestra_engine::RecoveryStrategy::Incremental`] as a
+//!   function of when the failure strikes, swept over
+//!   [`failure_sweep_points`];
+//! * **tagging overhead** — [`run_tagging_overhead`]: traffic with and
+//!   without recovery support, validating the paper's "at most 2%" claim.
 //!
-//! Today the crate hosts [`failure_sweep_points`], the shared helper that
-//! picks the virtual failure instants for a recovery-cost sweep; the
-//! ROADMAP tracks the full harness and its textual report output.
+//! Every experiment cross-checks each distributed answer against the
+//! workload's single-node reference before reporting measurements, so a
+//! wrong answer fails loudly instead of producing plausible numbers.
+//!
+//! The `orchestra-bench` binary (`src/main.rs`) runs a small
+//! configuration of every experiment over one TPC-H query and one
+//! STBenchmark scenario and prints the results as a single JSON document
+//! ([`json::Json`]) on stdout — the machine-readable form the figures
+//! are plotted from.  Bandwidth-sensitivity sweeps (Figure 17) reuse
+//! [`run_scale_out`] with WAN [`orchestra_simnet::ClusterProfile`]s.
+
+pub mod experiments;
+pub mod json;
 
 use orchestra_simnet::SimTime;
+
+pub use experiments::{
+    run_recovery_sweep, run_scale_out, run_tagging_overhead, RecoveryPoint, RecoverySweep,
+    ScaleOutPoint, TaggingOverhead, INITIATOR,
+};
+pub use json::Json;
 
 /// Evenly spaced virtual failure instants across a baseline running
 /// time, excluding the endpoints — the x-axis of a recovery-cost sweep.

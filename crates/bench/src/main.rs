@@ -1,0 +1,78 @@
+//! The `orchestra-bench` binary: run a small configuration of every
+//! experiment over one TPC-H query and one STBenchmark scenario and
+//! print the results as one JSON document on stdout.
+//!
+//! ```sh
+//! cargo run --release -p orchestra-bench
+//! ```
+//!
+//! Exit status is non-zero (with a message on stderr) if any experiment
+//! fails — including any distributed answer that disagrees with its
+//! workload's single-node reference.
+
+use orchestra_bench::{
+    run_recovery_sweep, run_scale_out, run_tagging_overhead, Json, RecoverySweep, ScaleOutPoint,
+    TaggingOverhead,
+};
+use orchestra_common::{NodeId, Result};
+use orchestra_engine::EngineConfig;
+use orchestra_workloads::{CopyScenario, TpchQuery, TpchWorkload, Workload};
+
+/// Cluster sizes of the scale-out experiment.
+const SCALE_OUT_NODES: [u16; 3] = [4, 6, 8];
+/// Cluster size of the recovery sweep and tagging-overhead runs.
+const SWEEP_NODES: u16 = 6;
+/// The node killed in every recovery-sweep failure run.
+const SWEEP_VICTIM: NodeId = NodeId(5);
+/// Failure instants per recovery sweep.
+const SWEEP_POINTS: usize = 3;
+
+fn main() {
+    match run() {
+        Ok(doc) => println!("{doc}"),
+        Err(e) => {
+            eprintln!("orchestra-bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<Json> {
+    let tpch = TpchWorkload::scaled(TpchQuery::Q1, 42, 240);
+    let stbenchmark = CopyScenario {
+        seed: 42,
+        rows: 240,
+    };
+    let workloads: [&dyn Workload; 2] = [&tpch, &stbenchmark];
+
+    let config = EngineConfig::default();
+    let mut experiments = Vec::new();
+    for workload in workloads {
+        let scale_out = run_scale_out(workload, &SCALE_OUT_NODES, &config)?;
+        let sweep = run_recovery_sweep(workload, SWEEP_NODES, SWEEP_VICTIM, SWEEP_POINTS, &config)?;
+        let tagging = run_tagging_overhead(workload, SWEEP_NODES, &config)?;
+        experiments.push(workload_json(workload, &scale_out, &sweep, &tagging));
+    }
+
+    Ok(Json::object(vec![
+        ("benchmark", Json::str("orchestra")),
+        ("experiments", Json::Array(experiments)),
+    ]))
+}
+
+fn workload_json(
+    workload: &dyn Workload,
+    scale_out: &[ScaleOutPoint],
+    sweep: &RecoverySweep,
+    tagging: &TaggingOverhead,
+) -> Json {
+    Json::object(vec![
+        ("workload", Json::str(workload.name())),
+        (
+            "scale_out",
+            Json::Array(scale_out.iter().map(ScaleOutPoint::to_json).collect()),
+        ),
+        ("recovery_sweep", sweep.to_json()),
+        ("tagging_overhead", tagging.to_json()),
+    ])
+}

@@ -16,13 +16,21 @@
 //! | versioned storage | [`storage`] | IV |
 //! | simulated deployment | [`simnet`] | VI (testbeds) |
 //! | query engine + recovery | [`engine`] | V |
+//! | workload catalogue | [`workloads`] | VI-B/VI-C |
+//! | experiment harness | [`bench`] | VI (figures) |
 
+pub use orchestra_bench as bench;
 pub use orchestra_common as common;
 pub use orchestra_engine as engine;
 pub use orchestra_simnet as simnet;
 pub use orchestra_storage as storage;
 pub use orchestra_substrate as substrate;
+pub use orchestra_workloads as workloads;
 
+pub use orchestra_bench::{
+    failure_sweep_points, run_recovery_sweep, run_scale_out, run_tagging_overhead, RecoverySweep,
+    ScaleOutPoint, TaggingOverhead,
+};
 pub use orchestra_common::{Epoch, NodeId, Relation, Schema, Tuple, Value};
 pub use orchestra_engine::{
     EngineConfig, FailureSpec, PhysicalPlan, PlanBuilder, QueryExecutor, QueryReport,
@@ -31,6 +39,9 @@ pub use orchestra_engine::{
 pub use orchestra_simnet::{ClusterProfile, SimTime};
 pub use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
 pub use orchestra_substrate::{AllocationScheme, RoutingTable};
+pub use orchestra_workloads::{
+    deploy, ConcatenateScenario, CopyScenario, TpchDataset, TpchQuery, TpchWorkload, Workload,
+};
 
 #[cfg(test)]
 mod tests {
@@ -65,5 +76,21 @@ mod tests {
         let exec = QueryExecutor::new(&store, EngineConfig::default());
         let report = exec.execute(&plan, Epoch(0), NodeId(0)).unwrap();
         assert_eq!(report.rows.len(), 10);
+    }
+
+    #[test]
+    fn facade_reaches_workloads_and_bench() {
+        // An experiment is one `use orchestra_core::*` away: deploy a
+        // catalogue workload and sweep a failure-free scale-out.
+        let workload = CopyScenario { seed: 5, rows: 60 };
+        let points = run_scale_out(&workload, &[4], &EngineConfig::default()).unwrap();
+        assert_eq!(points.len(), 1);
+        assert!(points[0].total_bytes > 0);
+        let (storage, epoch) = deploy(&workload, 4).unwrap();
+        let report = QueryExecutor::new(&storage, EngineConfig::default())
+            .execute(&workload.plan(), epoch, NodeId(0))
+            .unwrap();
+        assert_eq!(report.rows, workload.reference());
+        assert!(!failure_sweep_points(report.running_time, 3).is_empty());
     }
 }

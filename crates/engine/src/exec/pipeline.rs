@@ -1,0 +1,520 @@
+//! Per-node operator pipelines and the push loop.
+//!
+//! `Runtime` is all mutable state of one query execution.  This module
+//! owns the event loop (`run`/`handle`), instantiates the local operator
+//! pipeline on every participant when the plan arrives, pushes rows from
+//! operator to operator (`process_at`), and drives the end-of-stream
+//! segment-closure cascade that completes the query.  Scans, exchange
+//! batching, recovery and report assembly live in the sibling modules —
+//! each reached through an explicit seam: `scan` feeds rows in at the
+//! leaves, `exchange::ExchangeLayer` takes rows out at the exchange
+//! boundary, `recovery` rebuilds this struct's per-phase state, and
+//! `report::RunStats` accumulates the measurements.
+
+use super::exchange::{ExchangeLayer, Payload, EOS_BYTES};
+use super::report::RunStats;
+use super::{EngineConfig, FailureSpec, QueryReport, StorageHandle};
+use crate::ops::{AggState, JoinState};
+use crate::plan::{AggMode, OpId, OperatorKind, PhysicalPlan};
+use crate::provenance::{Phase, TaggedTuple};
+use orchestra_common::{Epoch, KeyRange, NodeId, OrchestraError, Result, Tuple};
+use orchestra_simnet::{Delivery, SimTime, Simulator};
+use orchestra_substrate::RoutingTable;
+use std::collections::{HashMap, HashSet};
+
+/// Sources feeding the segment rooted at one exchange (or `Output`): the
+/// leaf scans inside the segment and the boundary exchanges whose
+/// deliveries enter it from below.
+#[derive(Clone, Debug, Default)]
+pub(super) struct SegmentSources {
+    pub(super) scans: Vec<OpId>,
+    pub(super) exchanges: Vec<OpId>,
+    pub(super) blocking: Vec<OpId>,
+}
+
+/// All mutable state of one query execution.
+pub(super) struct Runtime<'a> {
+    pub(super) storage: StorageHandle<'a>,
+    pub(super) config: &'a EngineConfig,
+    pub(super) plan: &'a PhysicalPlan,
+    pub(super) epoch: Epoch,
+    pub(super) initiator: NodeId,
+
+    pub(super) sim: Simulator<Payload>,
+    /// The routing table of the current phase (original snapshot, then
+    /// recovery tables).
+    pub(super) table: RoutingTable,
+    pub(super) participants: Vec<NodeId>,
+    pub(super) phase: Phase,
+
+    /// Per-phase scan assignment: which hash ranges each node scans.
+    pub(super) scan_ranges: HashMap<NodeId, Vec<KeyRange>>,
+    /// Whether replicated relations are scanned this phase (full runs
+    /// only; incremental recovery re-uses the survivors' earlier scans).
+    pub(super) scan_replicated: bool,
+
+    // Operator state, one instance per (participant, operator).
+    pub(super) joins: HashMap<(NodeId, OpId), JoinState>,
+    pub(super) aggs: HashMap<(NodeId, OpId), AggState>,
+    pub(super) exchanges: ExchangeLayer,
+
+    // End-of-stream bookkeeping, reset each phase.
+    pub(super) eos_pending: HashMap<(NodeId, OpId), usize>,
+    pub(super) recv_closed: HashSet<(NodeId, OpId)>,
+    pub(super) fed_closed: HashSet<(NodeId, OpId)>,
+    pub(super) scans_done: HashSet<NodeId>,
+
+    /// Segment structure, precomputed from the plan.
+    pub(super) segment_roots: Vec<OpId>,
+    pub(super) sources: HashMap<OpId, SegmentSources>,
+
+    /// Rows collected at the initiator's `Output`.
+    pub(super) output: Vec<TaggedTuple>,
+    pub(super) done: bool,
+    pub(super) finish_time: SimTime,
+
+    /// Execution counters folded into the final [`QueryReport`].
+    pub(super) stats: RunStats,
+}
+
+impl<'a> Runtime<'a> {
+    pub(super) fn new(
+        storage: StorageHandle<'a>,
+        config: &'a EngineConfig,
+        plan: &'a PhysicalPlan,
+        epoch: Epoch,
+        initiator: NodeId,
+        failure: Option<FailureSpec>,
+    ) -> Result<Runtime<'a>> {
+        let table = storage.get().routing().clone();
+        if !table.contains_node(initiator) {
+            return Err(OrchestraError::Execution(format!(
+                "initiator {initiator} is not a member of the routing table"
+            )));
+        }
+        if let Some(f) = failure {
+            if !table.contains_node(f.node) {
+                return Err(OrchestraError::Execution(format!(
+                    "failure target {} is not a member of the routing table",
+                    f.node
+                )));
+            }
+        }
+        let participants = table.nodes();
+        let node_slots = participants
+            .iter()
+            .map(|n| n.index())
+            .max()
+            .expect("routing table has nodes")
+            + 1;
+        let mut sim = Simulator::new(node_slots, config.profile);
+        if let Some(f) = failure {
+            sim.fail_node(f.node, f.at);
+        }
+
+        let segment_roots: Vec<OpId> = plan
+            .operators()
+            .iter()
+            .filter(|o| o.kind.is_exchange() || matches!(o.kind, OperatorKind::Output))
+            .map(|o| o.id)
+            .collect();
+        let mut sources = HashMap::new();
+        for &root in &segment_roots {
+            sources.insert(root, segment_sources(plan, root));
+        }
+
+        let scan_ranges = participants
+            .iter()
+            .map(|n| (*n, table.ranges_of(*n)))
+            .collect();
+
+        Ok(Runtime {
+            storage,
+            config,
+            plan,
+            epoch,
+            initiator,
+            sim,
+            table,
+            participants,
+            phase: 0,
+            scan_ranges,
+            scan_replicated: true,
+            joins: HashMap::new(),
+            aggs: HashMap::new(),
+            exchanges: ExchangeLayer::new(),
+            eos_pending: HashMap::new(),
+            recv_closed: HashSet::new(),
+            fed_closed: HashSet::new(),
+            scans_done: HashSet::new(),
+            segment_roots,
+            sources,
+            output: Vec::new(),
+            done: false,
+            finish_time: SimTime::ZERO,
+            stats: RunStats::default(),
+        })
+    }
+
+    pub(super) fn run(mut self) -> Result<QueryReport> {
+        self.reset_eos_counters();
+        self.disseminate(SimTime::ZERO);
+        loop {
+            while let Some(d) = self.sim.next() {
+                self.handle(d)?;
+            }
+            if self.done {
+                break;
+            }
+            let failed = self.sim.failed_nodes_at(self.sim.now());
+            if failed.is_empty() {
+                return Err(OrchestraError::Execution(
+                    "query stalled with no failed node (engine bug)".into(),
+                ));
+            }
+            if self.stats.rounds >= self.config.max_recovery_rounds {
+                return Err(OrchestraError::Execution(format!(
+                    "query did not complete within {} recovery rounds",
+                    self.config.max_recovery_rounds
+                )));
+            }
+            self.recover(&failed)?;
+        }
+        Ok(self.into_report())
+    }
+
+    // ------------------------------------------------------------------
+    // Phase setup
+    // ------------------------------------------------------------------
+
+    /// Expected end-of-stream counts for the current participant set:
+    /// every participant feeds every `Rehash` instance, and every
+    /// participant feeds the initiator's `Ship` consumer.
+    pub(super) fn reset_eos_counters(&mut self) {
+        self.eos_pending.clear();
+        self.recv_closed.clear();
+        self.fed_closed.clear();
+        self.scans_done.clear();
+        let n = self.participants.len();
+        for op in self.plan.operators() {
+            match op.kind {
+                OperatorKind::Rehash { .. } => {
+                    for &node in &self.participants {
+                        self.eos_pending.insert((node, op.id), n);
+                    }
+                }
+                OperatorKind::Ship => {
+                    self.eos_pending.insert((self.initiator, op.id), n);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, d: Delivery<Payload>) -> Result<()> {
+        match d.payload {
+            Payload::Start => self.on_start(d.to, d.time),
+            Payload::Batch { op, rows } => {
+                let parent = self.plan.op(op).parent.expect("exchange has a consumer");
+                let input = input_index(self.plan, parent, op);
+                self.process_at(d.to, parent, input, rows, d.time)
+            }
+            Payload::Eos { op } => self.on_eos(d.to, op, d.time),
+            Payload::StorageFetch => Ok(()),
+        }
+    }
+
+    /// Plan arrived at `node`: charge startup, run this phase's scans,
+    /// then try to close any segment fed purely by scans.
+    fn on_start(&mut self, node: NodeId, time: SimTime) -> Result<()> {
+        let startup = self.config.profile.node.startup_time();
+        let mut ready = self.sim.charge_cpu(node, time, startup);
+        if self.phase > 0 && self.config.strategy == super::RecoveryStrategy::Incremental {
+            ready = self.retransmit_cached(node, ready)?;
+        }
+        for scan_op in self.plan.scans() {
+            let (rows, scan_time) = self.do_scan(node, scan_op)?;
+            ready = self.sim.charge_cpu(node, ready, scan_time);
+            if !rows.is_empty() {
+                ready = self.push_up(node, scan_op, rows, ready)?;
+            }
+        }
+        self.scans_done.insert(node);
+        self.try_close_segments(node, ready)
+    }
+
+    fn on_eos(&mut self, node: NodeId, op: OpId, time: SimTime) -> Result<()> {
+        let pending = self.eos_pending.get_mut(&(node, op)).ok_or_else(|| {
+            OrchestraError::Execution(format!(
+                "unexpected end-of-stream for operator {op} at {node}"
+            ))
+        })?;
+        *pending = pending.saturating_sub(1);
+        if *pending == 0 {
+            self.recv_closed.insert((node, op));
+            self.try_close_segments(node, time)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The push-based pipeline
+    // ------------------------------------------------------------------
+
+    /// Push rows produced by `from` into its parent operator.
+    pub(super) fn push_up(
+        &mut self,
+        node: NodeId,
+        from: OpId,
+        rows: Vec<TaggedTuple>,
+        time: SimTime,
+    ) -> Result<SimTime> {
+        let parent = self
+            .plan
+            .op(from)
+            .parent
+            .expect("only Output lacks a parent, and Output never produces");
+        let input = input_index(self.plan, parent, from);
+        self.process_at(node, parent, input, rows, time)?;
+        Ok(self.sim.cpu_free_at(node).max(time))
+    }
+
+    /// Process `rows` arriving at operator `op` on `node` via `input`.
+    pub(super) fn process_at(
+        &mut self,
+        node: NodeId,
+        op: OpId,
+        input: usize,
+        rows: Vec<TaggedTuple>,
+        time: SimTime,
+    ) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let cpu = self.config.profile.node.cpu_time(rows.len());
+        let ready = self.sim.charge_cpu(node, time, cpu);
+        // `plan` is an independent `&'a` borrow, so the kind can be read
+        // by reference without cloning predicate/expression trees on
+        // every delivered batch.
+        let kind = &self.plan.op(op).kind;
+        match kind {
+            OperatorKind::Select { predicate } => {
+                let kept: Vec<TaggedTuple> = rows
+                    .into_iter()
+                    .filter(|r| predicate.eval(&r.tuple))
+                    .collect();
+                if !kept.is_empty() {
+                    self.push_up(node, op, kept, ready)?;
+                }
+            }
+            OperatorKind::Project { columns } => {
+                let out = rows
+                    .into_iter()
+                    .map(|r| {
+                        let t = r.tuple.project(columns);
+                        r.with_tuple(t)
+                    })
+                    .collect();
+                self.push_up(node, op, out, ready)?;
+            }
+            OperatorKind::ComputeFunction { exprs } => {
+                let out = rows
+                    .into_iter()
+                    .map(|r| {
+                        let vals = exprs.iter().map(|e| e.eval(&r.tuple)).collect();
+                        r.with_tuple(Tuple::new(vals))
+                    })
+                    .collect();
+                self.push_up(node, op, out, ready)?;
+            }
+            OperatorKind::HashJoin {
+                left_keys,
+                right_keys,
+            } => {
+                let state = self.joins.entry((node, op)).or_default();
+                let mut out = Vec::new();
+                for row in rows {
+                    out.extend(state.process(input, row, left_keys, right_keys, node));
+                }
+                if !out.is_empty() {
+                    self.push_up(node, op, out, ready)?;
+                }
+            }
+            OperatorKind::Aggregate {
+                group_by,
+                aggs,
+                mode,
+            } => {
+                let state = self.aggs.entry((node, op)).or_default();
+                for row in &rows {
+                    match mode {
+                        AggMode::Single | AggMode::Partial => state.update_raw(row, group_by, aggs),
+                        AggMode::Final => state.update_partial(row, group_by, aggs),
+                    }
+                }
+            }
+            OperatorKind::Rehash { columns } => {
+                for row in rows {
+                    let dest = self.table.owner_of(row.tuple.hash_columns(columns));
+                    self.buffer_exchange(node, op, dest, row, ready);
+                }
+            }
+            OperatorKind::Ship => {
+                let dest = self.initiator;
+                for row in rows {
+                    self.buffer_exchange(node, op, dest, row, ready);
+                }
+            }
+            OperatorKind::Output => {
+                debug_assert_eq!(node, self.initiator);
+                self.output.extend(rows);
+                self.finish_time = self.finish_time.max(ready);
+            }
+            OperatorKind::DistributedScan { .. }
+            | OperatorKind::CoveringIndexScan { .. }
+            | OperatorKind::ReplicatedScan { .. } => {
+                return Err(OrchestraError::Execution(
+                    "scan operators take no pipeline input".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Segment closure (end-of-stream cascade)
+    // ------------------------------------------------------------------
+
+    /// Close every segment at `node` whose sources have all finished.
+    /// Closing one segment can enable the next, so iterate to fixpoint.
+    pub(super) fn try_close_segments(&mut self, node: NodeId, time: SimTime) -> Result<()> {
+        if !self.scans_done.contains(&node) {
+            return Ok(());
+        }
+        loop {
+            let mut progressed = false;
+            for root in self.segment_roots.clone() {
+                if self.fed_closed.contains(&(node, root)) {
+                    continue;
+                }
+                let is_output = matches!(self.plan.op(root).kind, OperatorKind::Output);
+                if is_output && node != self.initiator {
+                    continue;
+                }
+                let sources = &self.sources[&root];
+                let ready_to_close = sources
+                    .exchanges
+                    .iter()
+                    .all(|e| self.recv_closed.contains(&(node, *e)));
+                if !ready_to_close {
+                    continue;
+                }
+                self.close_segment(node, root, time)?;
+                progressed = true;
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// All inputs of the segment rooted at `root` are exhausted at `node`:
+    /// emit blocking state, flush the root's buffers, signal end-of-stream.
+    fn close_segment(&mut self, node: NodeId, root: OpId, time: SimTime) -> Result<()> {
+        self.fed_closed.insert((node, root));
+        let mut ready = time;
+        let is_output = matches!(self.plan.op(root).kind, OperatorKind::Output);
+
+        for agg_op in self.sources[&root].blocking.clone() {
+            let OperatorKind::Aggregate { aggs, mode, .. } = self.plan.op(agg_op).kind.clone()
+            else {
+                continue;
+            };
+            let emitted: Vec<TaggedTuple> = match mode {
+                AggMode::Partial => self
+                    .aggs
+                    .entry((node, agg_op))
+                    .or_default()
+                    .emit_unemitted(true, node, self.phase),
+                AggMode::Single | AggMode::Final if is_output => {
+                    // The top-level aggregate merges its sub-groups into
+                    // the final answer exactly once, at query completion.
+                    let phase = self.phase;
+                    self.aggs
+                        .entry((node, agg_op))
+                        .or_default()
+                        .collapsed_final(&aggs)
+                        .into_iter()
+                        .map(|t| TaggedTuple::scanned(t, node, phase))
+                        .collect()
+                }
+                AggMode::Single | AggMode::Final => self
+                    .aggs
+                    .entry((node, agg_op))
+                    .or_default()
+                    .emit_unemitted(false, node, self.phase),
+            };
+            if !emitted.is_empty() {
+                ready = self.push_up(node, agg_op, emitted, ready)?;
+            }
+        }
+
+        if is_output {
+            self.done = true;
+            self.finish_time = self.finish_time.max(ready);
+            return Ok(());
+        }
+
+        // Flush whatever is still buffered, then signal end-of-stream.
+        let pending = self.exchanges.pending_destinations(node, root);
+        for dest in pending {
+            self.flush_exchange(node, root, dest, ready);
+        }
+        let dests: Vec<NodeId> = match self.plan.op(root).kind {
+            OperatorKind::Ship => vec![self.initiator],
+            _ => self.participants.clone(),
+        };
+        for dest in dests {
+            self.sim
+                .send(node, dest, EOS_BYTES, ready, Payload::Eos { op: root });
+        }
+        Ok(())
+    }
+}
+
+/// Position of child `child` among `parent`'s inputs.
+fn input_index(plan: &PhysicalPlan, parent: OpId, child: OpId) -> usize {
+    plan.op(parent)
+        .children
+        .iter()
+        .position(|c| *c == child)
+        .expect("child/parent links are consistent")
+}
+
+/// Find the scans, boundary exchanges and blocking operators of the
+/// segment rooted at `root` (an exchange or `Output`).
+fn segment_sources(plan: &PhysicalPlan, root: OpId) -> SegmentSources {
+    let mut out = SegmentSources::default();
+    let mut stack: Vec<OpId> = plan.op(root).children.clone();
+    while let Some(id) = stack.pop() {
+        let op = plan.op(id);
+        if op.kind.is_exchange() {
+            out.exchanges.push(id);
+        } else if op.kind.is_scan() {
+            out.scans.push(id);
+        } else {
+            if op.kind.is_blocking() {
+                out.blocking.push(id);
+            }
+            stack.extend(op.children.iter().copied());
+        }
+    }
+    out.scans.sort_unstable();
+    out.exchanges.sort_unstable();
+    out.blocking.sort_unstable();
+    out
+}

@@ -1,0 +1,141 @@
+//! The Restart and Incremental recovery strategies (Section V-D).
+//!
+//! When the event queue quiesces with the query incomplete, the driver
+//! loop calls `Runtime::recover` with the failed node set.  **Restart**
+//! wipes every operator state and re-runs the query on the survivors
+//! under the recovery routing snapshot.  **Incremental** runs the
+//! four-stage protocol: derive the recovery snapshot, purge exactly the
+//! tainted state, bump the phase and rescan only the inherited ranges,
+//! and re-transmit the untainted cached output that had been sent to the
+//! failed nodes — re-routed to their heirs.
+
+use super::pipeline::Runtime;
+use super::RecoveryStrategy;
+use crate::plan::OpId;
+use orchestra_common::{KeyRange, NodeId, NodeSet, OrchestraError, Result};
+use orchestra_simnet::SimTime;
+use std::collections::HashMap;
+
+use super::StorageHandle;
+
+impl Runtime<'_> {
+    pub(super) fn recover(&mut self, failed: &NodeSet) -> Result<()> {
+        if failed.contains(self.initiator) {
+            return Err(OrchestraError::Execution(
+                "the query initiator failed; the query is lost".into(),
+            ));
+        }
+        if self.config.strategy == RecoveryStrategy::Incremental && !self.config.recovery {
+            return Err(OrchestraError::Execution(
+                "incremental recovery requires recovery support (provenance tags and output caches)"
+                    .into(),
+            ));
+        }
+
+        // The failed nodes' local stores are gone: storage-level lookups
+        // must fail over to replicas from here on.
+        if let StorageHandle::Scratch(s) = &mut self.storage {
+            for f in failed.iter() {
+                s.mark_failed(f);
+            }
+        }
+
+        // Stage 1: derive the recovery routing snapshot — the failed
+        // nodes' ranges split evenly among their surviving replica holders.
+        let recovery_table = self.table.reassign_failed(failed)?;
+        let changed = self.table.changed_ranges(&recovery_table);
+        let survivors = recovery_table.nodes();
+
+        self.stats.rounds += 1;
+        // Stage 3 (first half): bump the phase so recomputed tuples are
+        // distinguishable from pre-failure in-flight data.
+        self.phase += 1;
+
+        match self.config.strategy {
+            RecoveryStrategy::Restart => {
+                // Forget everything and re-run on the survivors.
+                self.joins.clear();
+                self.aggs.clear();
+                self.exchanges.clear();
+                self.output.clear();
+                self.scan_ranges = survivors
+                    .iter()
+                    .map(|n| (*n, recovery_table.ranges_of(*n)))
+                    .collect();
+                self.scan_replicated = true;
+            }
+            RecoveryStrategy::Incremental => {
+                // Stage 2: purge exactly the tainted state.
+                let mut purged = 0;
+                let mut keys: Vec<(NodeId, OpId)> = self.joins.keys().copied().collect();
+                keys.sort_unstable();
+                for k in keys {
+                    purged += self
+                        .joins
+                        .get_mut(&k)
+                        .expect("key exists")
+                        .purge_tainted(failed);
+                }
+                let mut keys: Vec<(NodeId, OpId)> = self.aggs.keys().copied().collect();
+                keys.sort_unstable();
+                for k in keys {
+                    purged += self
+                        .aggs
+                        .get_mut(&k)
+                        .expect("key exists")
+                        .purge_tainted(failed);
+                }
+                purged += self.exchanges.purge_tainted(failed);
+                let before = self.output.len();
+                self.output.retain(|r| !r.is_tainted(failed));
+                purged += before - self.output.len();
+                self.stats.purged += purged;
+
+                // Stage 3 (second half): survivors rescan only the ranges
+                // they inherited from the failed nodes.
+                let mut inherited: HashMap<NodeId, Vec<KeyRange>> = HashMap::new();
+                for (range, _, heir) in &changed {
+                    inherited.entry(*heir).or_default().push(*range);
+                }
+                self.scan_ranges = survivors
+                    .iter()
+                    .map(|n| (*n, inherited.remove(n).unwrap_or_default()))
+                    .collect();
+                self.scan_replicated = false;
+
+                // Pending buffers destined to a failed node must not be
+                // flushed there; their rows are covered by the stage-4
+                // output-cache retransmission, so drop them here.
+                self.exchanges.drop_buffers_to(failed);
+            }
+        }
+
+        self.table = recovery_table;
+        self.participants = survivors;
+        self.reset_eos_counters();
+
+        // Failure detection (TCP reset in the paper) plus one round trip
+        // to disseminate the recovery snapshot.
+        let restart_at = self.sim.now() + self.config.profile.latency();
+        self.disseminate(restart_at);
+        Ok(())
+    }
+
+    /// Stage 4: re-create the data that had been sent to the failed nodes'
+    /// hash key-space ranges, re-routed under the recovery snapshot.
+    pub(super) fn retransmit_cached(&mut self, node: NodeId, time: SimTime) -> Result<SimTime> {
+        let failed = self.sim.failed_nodes_at(time);
+        let mut ready = time;
+        // Consume the cache entries: re-buffering re-caches the rows
+        // under their heirs, and a second recovery round must not
+        // re-send (and thereby duplicate) them.
+        for (op, resend) in self.exchanges.take_cached_for_failed(node, &failed) {
+            self.stats.retransmitted += resend.len();
+            // Re-enter the exchange operator itself: routing now consults
+            // the recovery snapshot, so the rows land at the heirs.
+            self.process_at(node, op, 0, resend, ready)?;
+            ready = self.sim.cpu_free_at(node).max(ready);
+        }
+        Ok(ready)
+    }
+}

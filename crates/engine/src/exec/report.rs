@@ -1,0 +1,83 @@
+//! Query-report assembly and traffic accounting.
+//!
+//! [`RunStats`] accumulates the executor-side counters (scan volumes,
+//! recovery work, round count) while the simulator keeps the ground-truth
+//! per-link traffic; `Runtime::into_report` folds both into the
+//! [`QueryReport`] the caller receives — the quantities plotted in the
+//! paper's figures.
+
+use super::pipeline::Runtime;
+use orchestra_common::{NodeId, Tuple};
+use orchestra_simnet::SimTime;
+
+/// Executor-side counters of one run, folded into the [`QueryReport`].
+#[derive(Clone, Copy, Debug, Default)]
+pub(super) struct RunStats {
+    /// Completed recovery rounds.
+    pub(super) rounds: u32,
+    /// Index pages consulted by all scans.
+    pub(super) pages_read: usize,
+    /// Tuple versions fetched by all scans.
+    pub(super) tuples_scanned: usize,
+    /// Tuple fetches that had to leave the scanning node.
+    pub(super) remote_lookups: usize,
+    /// Rows and sub-groups purged as tainted (incremental recovery).
+    pub(super) purged: usize,
+    /// Rows re-transmitted from output caches (incremental recovery).
+    pub(super) retransmitted: usize,
+}
+
+/// The answer set and execution measurements of one query run.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// The final answer rows, sorted for deterministic comparison.
+    pub rows: Vec<Tuple>,
+    /// Simulated wall-clock running time of the query (including any
+    /// recovery rounds).
+    pub running_time: SimTime,
+    /// Total bytes shipped between distinct nodes.
+    pub total_bytes: u64,
+    /// Total inter-node messages.
+    pub total_messages: u64,
+    /// Exact per-directed-link byte counts, in `(src, dst)` order.
+    pub link_traffic: Vec<((NodeId, NodeId), u64)>,
+    /// Messages the simulator dropped because a party had failed.
+    pub dropped_messages: u64,
+    /// Did a recovery round run?
+    pub recovered: bool,
+    /// Number of execution phases (1 for a failure-free run).
+    pub phases: u32,
+    /// Index pages consulted by all scans.
+    pub pages_read: usize,
+    /// Tuple versions fetched by all scans.
+    pub tuples_scanned: usize,
+    /// Tuple fetches that had to leave the scanning node.
+    pub remote_lookups: usize,
+    /// Rows and sub-groups purged as tainted (incremental recovery).
+    pub purged: usize,
+    /// Rows re-transmitted from output caches (incremental recovery).
+    pub retransmitted: usize,
+}
+
+impl Runtime<'_> {
+    pub(super) fn into_report(self) -> QueryReport {
+        let mut rows: Vec<Tuple> = self.output.into_iter().map(|r| r.tuple).collect();
+        rows.sort();
+        let stats = self.sim.stats();
+        QueryReport {
+            rows,
+            running_time: self.finish_time,
+            total_bytes: stats.total_bytes(),
+            total_messages: stats.total_messages(),
+            link_traffic: stats.links().collect(),
+            dropped_messages: self.sim.dropped_messages(),
+            recovered: self.stats.rounds > 0,
+            phases: self.stats.rounds + 1,
+            pages_read: self.stats.pages_read,
+            tuples_scanned: self.stats.tuples_scanned,
+            remote_lookups: self.stats.remote_lookups,
+            purged: self.stats.purged,
+            retransmitted: self.stats.retransmitted,
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Leaf scans over the versioned store.
+//!
+//! Each participant scans its partition of every leaf relation for the
+//! current phase: distributed scans read the node's assigned hash ranges
+//! (replica fetches that must leave the node are charged to the simulated
+//! network), replicated scans read the node's full local copy, and
+//! covering-index scans answer key-only queries from the index pages
+//! alone, "bypassing the data storage nodes".  Scan durations come from
+//! the node profile; page/tuple/remote-lookup counts accumulate into
+//! `RunStats`.
+
+use super::pipeline::Runtime;
+use crate::plan::{OpId, OperatorKind};
+use crate::provenance::{Phase, TaggedTuple};
+use orchestra_common::{KeyRange, NodeId, OrchestraError, Result, Tuple};
+use orchestra_simnet::SimTime;
+use orchestra_storage::CoordinatorKey;
+
+use super::exchange::Payload;
+
+impl Runtime<'_> {
+    /// Run one leaf scan on behalf of `node` for the current phase,
+    /// returning tagged rows and the simulated scan duration.
+    pub(super) fn do_scan(
+        &mut self,
+        node: NodeId,
+        op: OpId,
+    ) -> Result<(Vec<TaggedTuple>, SimTime)> {
+        let kind = &self.plan.op(op).kind;
+        let profile = &self.config.profile.node;
+        match kind {
+            OperatorKind::DistributedScan {
+                relation,
+                predicate,
+            } => {
+                let ranges = self.scan_ranges.get(&node).cloned().unwrap_or_default();
+                if ranges.is_empty() {
+                    return Ok((Vec::new(), SimTime::ZERO));
+                }
+                let scan = self
+                    .storage
+                    .get()
+                    .scan_partition(relation, self.epoch, node, &ranges)?;
+                self.stats.pages_read += scan.pages_read;
+                self.stats.tuples_scanned += scan.tuples_read;
+                self.stats.remote_lookups += scan.remote_lookups;
+                let mut duration = profile.scan_time(scan.tuples_read, scan.pages_read);
+                // Tuples that had to come from a replica cross the wire:
+                // charge their bytes and latency to the simulation and
+                // stretch the scan until the last transfer lands.
+                let now = self.sim.now();
+                for (src, bytes) in &scan.remote_transfers {
+                    if let Some(arrival) =
+                        self.sim
+                            .send(*src, node, *bytes, now, Payload::StorageFetch)
+                    {
+                        duration = duration.max(arrival.saturating_sub(now));
+                    }
+                }
+                let rows = tag_scanned(scan.tuples, predicate, node, self.phase);
+                Ok((rows, duration))
+            }
+            OperatorKind::ReplicatedScan {
+                relation,
+                predicate,
+            } => {
+                if !self.scan_replicated {
+                    return Ok((Vec::new(), SimTime::ZERO));
+                }
+                let tuples = self
+                    .storage
+                    .get()
+                    .scan_replicated(relation, self.epoch, node)?;
+                self.stats.tuples_scanned += tuples.len();
+                let duration = profile.scan_time(tuples.len(), 1);
+                let rows = tag_scanned(tuples, predicate, node, self.phase);
+                Ok((rows, duration))
+            }
+            OperatorKind::CoveringIndexScan {
+                relation,
+                predicate,
+            } => {
+                let ranges = self.scan_ranges.get(&node).cloned().unwrap_or_default();
+                if ranges.is_empty() {
+                    return Ok((Vec::new(), SimTime::ZERO));
+                }
+                let (tuples, pages) = self.covering_scan(relation, &ranges)?;
+                self.stats.pages_read += pages;
+                let duration = profile.scan_time(tuples.len(), pages);
+                let rows = tag_scanned(tuples, predicate, node, self.phase);
+                Ok((rows, duration))
+            }
+            other => Err(OrchestraError::Execution(format!(
+                "operator {} is not a scan",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Answer a key-only scan from the index pages alone, "bypassing the
+    /// data storage nodes".
+    fn covering_scan(&self, relation: &str, ranges: &[KeyRange]) -> Result<(Vec<Tuple>, usize)> {
+        let Some(version_epoch) = self.storage.get().version_at(relation, self.epoch) else {
+            return Ok((Vec::new(), 0));
+        };
+        let version = self
+            .storage
+            .get()
+            .lookup_coordinator(&CoordinatorKey::new(relation, version_epoch))?
+            .clone();
+        let mut out = Vec::new();
+        let mut pages = 0;
+        for descriptor in &version.pages {
+            if !ranges.iter().any(|r| r.overlaps(&descriptor.range)) {
+                continue;
+            }
+            let page = self.storage.get().lookup_index_page(descriptor)?;
+            pages += 1;
+            for id in &page.tuple_ids {
+                if ranges.iter().any(|r| r.contains(id.hash_key())) {
+                    out.push(Tuple::new(id.key.clone()));
+                }
+            }
+        }
+        Ok((out, pages))
+    }
+}
+
+/// Tag freshly scanned tuples, applying the scan predicate.
+fn tag_scanned(
+    tuples: Vec<Tuple>,
+    predicate: &Option<crate::expr::Predicate>,
+    node: NodeId,
+    phase: Phase,
+) -> Vec<TaggedTuple> {
+    tuples
+        .into_iter()
+        .filter(|t| predicate.as_ref().map(|p| p.eval(t)).unwrap_or(true))
+        .map(|t| TaggedTuple::scanned(t, node, phase))
+        .collect()
+}

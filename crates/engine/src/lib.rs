@@ -40,6 +40,18 @@
 //! The executor returns both the answer set and an execution report
 //! ([`exec::QueryReport`]) with simulated running time and exact traffic
 //! counts — the quantities plotted in the paper's figures.
+//!
+//! ## Layout
+//!
+//! The executor is a layered module tree under [`exec`]: `exec/mod.rs`
+//! holds the public driver ([`exec::QueryExecutor`] and its
+//! configuration), `exec/pipeline.rs` the per-node operator pipelines and
+//! the push loop, `exec/scan.rs` the leaf scans over the versioned store,
+//! `exec/exchange.rs` the rehash/ship batching and recovery output
+//! caches, `exec/recovery.rs` the two Section V-D strategies, and
+//! `exec/report.rs` the report assembly.  The building blocks the layers
+//! share live beside them: [`plan`], [`expr`], [`ops`], [`batch`] and
+//! [`provenance`].
 
 pub mod batch;
 pub mod exec;
@@ -50,5 +62,5 @@ pub mod provenance;
 
 pub use exec::{EngineConfig, FailureSpec, QueryExecutor, QueryReport, RecoveryStrategy};
 pub use expr::{AggFunc, CmpOp, Predicate, ScalarExpr};
-pub use plan::{OpId, Operator, PhysicalPlan, PlanBuilder};
+pub use plan::{AggMode, OpId, Operator, OperatorKind, PhysicalPlan, PlanBuilder};
 pub use provenance::{Phase, TaggedTuple};

@@ -182,6 +182,44 @@ fn incremental_recovery_reuses_surviving_work() {
 }
 
 #[test]
+fn select_above_rehash_survives_failure_of_any_node_without_duplicates() {
+    // A Select that runs at the rehash *destination* (scan → rehash →
+    // select → ship) must come back complete and duplicate-free no
+    // matter which non-initiator node dies — the recovered rows re-enter
+    // the pipeline above the exchange, not at the leaves.  Folded in
+    // from the reviewer scratch test.
+    let storage = cluster_with_data();
+    let plan = || {
+        let mut b = PlanBuilder::new();
+        let scan = b.scan("sales", 3, None);
+        let re = b.rehash(scan, vec![2]);
+        let sel = b.select(re, Predicate::cmp(2, CmpOp::Lt, 1_000_000i64));
+        let ship = b.ship(sel);
+        b.output(ship)
+    };
+    let exec = QueryExecutor::new(&storage, EngineConfig::default());
+    let baseline = exec.execute(&plan(), Epoch(0), INITIATOR).unwrap();
+    assert_eq!(baseline.rows.len(), ROWS as usize);
+
+    for target in 1..NODES {
+        let failure = FailureSpec::at_time(
+            NodeId(target),
+            SimTime::from_micros(baseline.running_time.as_micros() / 2),
+        );
+        let report = exec
+            .execute_with_failure(&plan(), Epoch(0), INITIATOR, failure)
+            .unwrap();
+        assert!(
+            report.rows == baseline.rows,
+            "node {target}: incremental recovery produced {} rows vs baseline {} (recovered={})",
+            report.rows.len(),
+            baseline.rows.len(),
+            report.recovered,
+        );
+    }
+}
+
+#[test]
 fn per_link_traffic_is_exact_and_failed_node_receives_nothing_after_recovery() {
     let storage = cluster_with_data();
     let plan = scan_select_aggregate_plan();

@@ -2,25 +2,70 @@
 //!
 //! Workload generators and fixed benchmark plans for the evaluation.
 //!
-//! The paper evaluates two workloads, both to be reproduced here:
+//! The paper evaluates two workloads, both reproduced here:
 //!
-//! * **STBenchmark mapping scenarios** (Section VI-B) — `Copy`,
-//!   `Concatenate` and friends over synthetic source relations with
-//!   25-character alphanumeric fields, generated deterministically from
-//!   [`orchestra_common::rng`] so every run sees identical data.
-//! * **TPC-H-style OLAP queries** (Section VI-C) — scaled-down `lineitem`
-//!   / `orders` / `customer` relations and the physical plans for Q1, Q3
-//!   and Q6 expressed through [`orchestra_engine::PlanBuilder`] (two-phase
-//!   aggregation for Q1, pipelined joins plus rehash for Q3, single-shot
-//!   aggregation for Q6).
+//! * **STBenchmark mapping scenarios** (Section VI-B) — [`stbenchmark`]
+//!   hosts the `Copy` and `Concatenate` scenario builders over synthetic
+//!   source relations with 25-character alphanumeric fields, generated
+//!   deterministically from [`orchestra_common::rng`] so every run sees
+//!   identical data.
+//! * **TPC-H-style OLAP queries** (Section VI-C) — [`tpch`] hosts
+//!   scaled-down `lineitem` / `orders` / `customer` generators and the
+//!   physical plans for Q1, Q3 and Q6 expressed through
+//!   [`orchestra_engine::PlanBuilder`] (two-phase aggregation for Q1,
+//!   pipelined joins plus rehash for Q3, single-shot aggregation for Q6).
 //!
-//! Generators publish through [`orchestra_storage::UpdateBatch`] so data
-//! flows through the same versioned-publication path the paper's
-//! participants use.  Today the crate hosts [`generated_relation`], the
-//! deterministic row generator the scenario builders share; the ROADMAP
-//! tracks the full scenario and query catalogue.
+//! Every catalogue entry implements the [`Workload`] trait — relations,
+//! data batch, physical plan, and a single-node reference answer computed
+//! directly from the generated rows — so the benchmark harness and the
+//! correctness tests drive all of them uniformly.  Generators publish
+//! through [`orchestra_storage::UpdateBatch`] so data flows through the
+//! same versioned-publication path the paper's participants use.
 
-use orchestra_common::{rng, Tuple, Value};
+pub mod stbenchmark;
+pub mod tpch;
+
+use orchestra_common::{rng, Epoch, NodeId, Relation, Result, Tuple, Value};
+use orchestra_engine::PhysicalPlan;
+use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
+use orchestra_substrate::{AllocationScheme, RoutingTable};
+
+pub use stbenchmark::{ConcatenateScenario, CopyScenario};
+pub use tpch::{TpchDataset, TpchQuery, TpchWorkload};
+
+/// One benchmark workload: source relations, deterministic data, a fixed
+/// physical plan, and the single-node reference answer the distributed
+/// run must reproduce tuple for tuple.
+pub trait Workload {
+    /// Short machine-readable name (used in experiment output).
+    fn name(&self) -> String;
+    /// The relations the workload reads, ready to register.
+    fn relations(&self) -> Vec<Relation>;
+    /// The deterministic data, as one publishable batch.
+    fn batch(&self) -> UpdateBatch;
+    /// The fixed physical plan of the workload's query.
+    fn plan(&self) -> PhysicalPlan;
+    /// The answer computed directly from the generated rows on a single
+    /// node, bypassing every distributed code path, sorted like
+    /// [`orchestra_engine::QueryReport::rows`].
+    fn reference(&self) -> Vec<Tuple>;
+}
+
+/// Stand up an `nodes`-node balanced cluster holding the workload's data:
+/// build the routing table (replication factor 3, capped at the cluster
+/// size), register the relations, publish the batch, and return the
+/// storage together with the epoch to query.
+pub fn deploy(workload: &dyn Workload, nodes: u16) -> Result<(DistributedStorage, Epoch)> {
+    let ids: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+    let replication = 3.min(ids.len().max(1));
+    let routing = RoutingTable::build(&ids, AllocationScheme::Balanced, replication);
+    let mut storage = DistributedStorage::new(routing, StorageConfig::default());
+    for relation in workload.relations() {
+        storage.register_relation(relation);
+    }
+    let epoch = storage.publish(&workload.batch())?;
+    Ok((storage, epoch))
+}
 
 /// Generate `rows` deterministic tuples `(id, field)` for a relation
 /// named `relation`, with STBenchmark-style 25-character alphanumeric
@@ -38,6 +83,28 @@ pub fn generated_relation(seed: u64, relation: &str, rows: usize) -> Vec<Tuple> 
         .collect()
 }
 
+/// Like [`generated_relation`] but with `fields` independent 25-character
+/// string columns after the integer key — the shape the STBenchmark
+/// `Concatenate` scenario maps from.
+pub fn generated_relation_wide(
+    seed: u64,
+    relation: &str,
+    rows: usize,
+    fields: usize,
+) -> Vec<Tuple> {
+    let mut r = rng::seeded_stream(seed, relation);
+    (0..rows)
+        .map(|i| {
+            let mut values = Vec::with_capacity(fields + 1);
+            values.push(Value::Int(i as i64));
+            for _ in 0..fields {
+                values.push(Value::str(rng::alphanumeric(&mut r, 25)));
+            }
+            Tuple::new(values)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +118,29 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.len(), 50);
         assert_eq!(a[0].value(1).as_str().unwrap().len(), 25);
+    }
+
+    #[test]
+    fn wide_generation_shapes_rows() {
+        let rows = generated_relation_wide(7, "source", 20, 3);
+        assert_eq!(rows.len(), 20);
+        assert_eq!(rows[0].arity(), 4);
+        for col in 1..4 {
+            assert_eq!(rows[5].value(col).as_str().unwrap().len(), 25);
+        }
+        assert_eq!(rows, generated_relation_wide(7, "source", 20, 3));
+    }
+
+    #[test]
+    fn deploy_builds_a_queryable_cluster() {
+        let w = CopyScenario { seed: 1, rows: 40 };
+        let (storage, epoch) = deploy(&w, 4).unwrap();
+        assert_eq!(storage.routing().node_count(), 4);
+        let exec = orchestra_engine::QueryExecutor::new(
+            &storage,
+            orchestra_engine::EngineConfig::default(),
+        );
+        let report = exec.execute(&w.plan(), epoch, NodeId(0)).unwrap();
+        assert_eq!(report.rows, w.reference());
     }
 }

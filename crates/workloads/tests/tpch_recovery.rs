@@ -1,0 +1,89 @@
+//! TPC-H Q3 and Q6 correctness, failure-free and under mid-query
+//! failures: the distributed answer — with one node killed mid-query and
+//! recovered under both Section V-D strategies — must equal a
+//! straightforward single-node computation over the generated relations,
+//! tuple for tuple.
+
+use orchestra_common::NodeId;
+use orchestra_engine::{EngineConfig, FailureSpec, QueryExecutor, QueryReport, RecoveryStrategy};
+use orchestra_simnet::SimTime;
+use orchestra_workloads::{deploy, TpchQuery, TpchWorkload, Workload};
+
+const NODES: u16 = 6;
+const INITIATOR: NodeId = NodeId(0);
+const VICTIM: NodeId = NodeId(4);
+
+fn config(strategy: RecoveryStrategy) -> EngineConfig {
+    EngineConfig {
+        strategy,
+        ..EngineConfig::default()
+    }
+}
+
+/// Run `workload` failure-free, then once per strategy with `VICTIM`
+/// killed halfway through the baseline running time, asserting every
+/// answer equals the single-node reference.
+fn assert_matches_reference_under_failures(workload: &dyn Workload) -> QueryReport {
+    let (storage, epoch) = deploy(workload, NODES).unwrap();
+    let expected = workload.reference();
+    assert!(
+        !expected.is_empty(),
+        "{}: the reference answer must not be vacuous",
+        workload.name()
+    );
+
+    let plan = workload.plan();
+    let baseline = QueryExecutor::new(&storage, EngineConfig::default())
+        .execute(&plan, epoch, INITIATOR)
+        .unwrap();
+    assert_eq!(
+        baseline.rows,
+        expected,
+        "{}: failure-free answer must match the reference",
+        workload.name()
+    );
+
+    let failure = FailureSpec::at_time(
+        VICTIM,
+        SimTime::from_micros(baseline.running_time.as_micros() / 2),
+    );
+    for strategy in [RecoveryStrategy::Restart, RecoveryStrategy::Incremental] {
+        let report = QueryExecutor::new(&storage, config(strategy))
+            .execute_with_failure(&plan, epoch, INITIATOR, failure)
+            .unwrap();
+        assert!(
+            report.recovered,
+            "{} under {strategy:?}: the failure must actually bite",
+            workload.name()
+        );
+        assert_eq!(
+            report.rows,
+            expected,
+            "{} under {strategy:?}: recovered answer must match the reference",
+            workload.name()
+        );
+        assert!(
+            report.running_time > baseline.running_time,
+            "{} under {strategy:?}: recovery cannot be free",
+            workload.name()
+        );
+    }
+    baseline
+}
+
+#[test]
+fn q3_distributed_equals_reference_with_and_without_failure() {
+    let workload = TpchWorkload::scaled(TpchQuery::Q3, 21, 400);
+    let baseline = assert_matches_reference_under_failures(&workload);
+    // Q3's two joins rehash on non-partitioning keys, so real data must
+    // have crossed the wire.
+    assert!(baseline.total_bytes > 0);
+}
+
+#[test]
+fn q6_distributed_equals_reference_with_and_without_failure() {
+    let workload = TpchWorkload::scaled(TpchQuery::Q6, 23, 400);
+    let baseline = assert_matches_reference_under_failures(&workload);
+    // Q6 returns a single ungrouped revenue row.
+    assert_eq!(baseline.rows.len(), 1);
+}
