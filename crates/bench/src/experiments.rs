@@ -12,14 +12,23 @@
 //!   Restart versus Incremental recovery as a function of when the
 //!   failure strikes, swept over [`crate::failure_sweep_points`];
 //! * [`run_tagging_overhead`] — traffic with and without recovery
-//!   support, validating the paper's "at most 2%" claim.
+//!   support, validating the paper's "at most 2%" claim;
+//! * [`run_plan_quality`] — the optimizer-compiled plan versus the
+//!   hand-built oracle: estimated cost under the shared network model,
+//!   and measured traffic and simulated running time for both.
+//!
+//! Every workload executes through the System-R optimizer
+//! ([`orchestra_workloads::compiled_plan`]): each deployment compiles
+//! the workload's logical query against the cluster's live coordinator
+//! statistics, exactly as an initiator would.
 
 use crate::failure_sweep_points;
 use crate::json::Json;
 use orchestra_common::{NodeId, OrchestraError, Result};
 use orchestra_engine::{EngineConfig, FailureSpec, QueryExecutor, RecoveryStrategy};
+use orchestra_optimizer::{estimate_plan_cost, Statistics};
 use orchestra_simnet::SimTime;
-use orchestra_workloads::{deploy, Workload};
+use orchestra_workloads::{compiled_plan, deploy, Workload};
 
 /// Every experiment initiates queries from node 0.
 pub const INITIATOR: NodeId = NodeId(0);
@@ -59,11 +68,13 @@ pub fn run_scale_out(
     node_counts: &[u16],
     config: &EngineConfig,
 ) -> Result<Vec<ScaleOutPoint>> {
-    let plan = workload.plan();
     let expected = workload.reference();
     let mut points = Vec::with_capacity(node_counts.len());
     for &nodes in node_counts {
         let (storage, epoch) = deploy(workload, nodes)?;
+        // Re-plan per cluster size: the optimizer's choices depend on the
+        // routing snapshot's participant count.
+        let plan = compiled_plan(workload, &storage, epoch)?;
         let report =
             QueryExecutor::new(&storage, config.clone()).execute(&plan, epoch, INITIATOR)?;
         if report.rows != expected {
@@ -166,7 +177,7 @@ pub fn run_recovery_sweep(
         ));
     }
     let (storage, epoch) = deploy(workload, nodes)?;
-    let plan = workload.plan();
+    let plan = compiled_plan(workload, &storage, epoch)?;
     let baseline = QueryExecutor::new(&storage, config.clone()).execute(&plan, epoch, INITIATOR)?;
     let expected = workload.reference();
     if baseline.rows != expected {
@@ -244,7 +255,7 @@ pub fn run_tagging_overhead(
     config: &EngineConfig,
 ) -> Result<TaggingOverhead> {
     let (storage, epoch) = deploy(workload, nodes)?;
-    let plan = workload.plan();
+    let plan = compiled_plan(workload, &storage, epoch)?;
     let expected = workload.reference();
     let mut bytes = [0u64; 2];
     for (i, recovery) in [true, false].into_iter().enumerate() {
@@ -269,6 +280,124 @@ pub fn run_tagging_overhead(
         bytes_with_tags: with_tags,
         bytes_without_tags: without_tags,
         overhead_fraction: with_tags as f64 / without_tags.max(1) as f64 - 1.0,
+    })
+}
+
+/// The optimizer-chosen plan measured against the hand-built oracle:
+/// estimated cost under the shared network model, plus executed traffic
+/// and simulated running time for both.
+#[derive(Clone, Debug)]
+pub struct PlanQuality {
+    /// Cluster size both plans ran on.
+    pub nodes: u16,
+    /// Estimated network bytes of the optimizer-compiled plan.
+    pub optimized_estimated_bytes: f64,
+    /// Estimated network bytes of the hand-built plan.
+    pub hand_estimated_bytes: f64,
+    /// `Rehash` operators in the optimizer-compiled plan.
+    pub optimized_rehash_count: usize,
+    /// `Rehash` operators in the hand-built plan.
+    pub hand_rehash_count: usize,
+    /// Measured traffic of the optimizer-compiled plan.
+    pub optimized_bytes: u64,
+    /// Measured traffic of the hand-built plan.
+    pub hand_bytes: u64,
+    /// Simulated running time of the optimizer-compiled plan.
+    pub optimized_running_time: SimTime,
+    /// Simulated running time of the hand-built plan.
+    pub hand_running_time: SimTime,
+}
+
+impl PlanQuality {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("nodes", Json::UInt(self.nodes as u64)),
+            (
+                "optimized_estimated_bytes",
+                Json::Float(self.optimized_estimated_bytes),
+            ),
+            (
+                "hand_estimated_bytes",
+                Json::Float(self.hand_estimated_bytes),
+            ),
+            (
+                "optimized_rehash_count",
+                Json::UInt(self.optimized_rehash_count as u64),
+            ),
+            (
+                "hand_rehash_count",
+                Json::UInt(self.hand_rehash_count as u64),
+            ),
+            ("optimized_bytes", Json::UInt(self.optimized_bytes)),
+            ("hand_bytes", Json::UInt(self.hand_bytes)),
+            (
+                "optimized_running_time_us",
+                Json::UInt(self.optimized_running_time.as_micros()),
+            ),
+            (
+                "hand_running_time_us",
+                Json::UInt(self.hand_running_time.as_micros()),
+            ),
+        ])
+    }
+}
+
+/// Plan quality: compile the workload's logical query against the
+/// deployed cluster's statistics, execute both the compiled plan and the
+/// hand-built oracle (each cross-checked against the reference), and
+/// report estimated cost, measured traffic and simulated running time
+/// for both.  Fails if the optimizer's estimated cost exceeds the
+/// hand-built plan's.
+pub fn run_plan_quality(
+    workload: &dyn Workload,
+    nodes: u16,
+    config: &EngineConfig,
+) -> Result<PlanQuality> {
+    let (storage, epoch) = deploy(workload, nodes)?;
+    // One statistics snapshot drives both the compilation and the cost
+    // comparison, so the plan is costed against exactly the statistics
+    // it was chosen under.
+    let stats = Statistics::collect(&storage, epoch);
+    let optimized = orchestra_optimizer::compile(&workload.logical(), &stats)?;
+    let hand = workload.reference_plan();
+    let optimized_cost = estimate_plan_cost(&optimized, &stats)?;
+    let hand_cost = estimate_plan_cost(&hand, &stats)?;
+    if optimized_cost.total() > hand_cost.total() {
+        return Err(OrchestraError::Execution(format!(
+            "the optimizer compiled {} to a plan estimated at {} bytes, worse than the \
+             hand-built plan's {} bytes",
+            workload.name(),
+            optimized_cost.total(),
+            hand_cost.total()
+        )));
+    }
+
+    let expected = workload.reference();
+    let mut reports = Vec::with_capacity(2);
+    for (label, plan) in [("optimizer", &optimized), ("hand-built", &hand)] {
+        let report =
+            QueryExecutor::new(&storage, config.clone()).execute(plan, epoch, INITIATOR)?;
+        if report.rows != expected {
+            return Err(OrchestraError::Execution(format!(
+                "plan-quality run of {} ({label} plan) returned a wrong answer",
+                workload.name()
+            )));
+        }
+        reports.push(report);
+    }
+    let hand_report = reports.pop().expect("two reports");
+    let optimized_report = reports.pop().expect("two reports");
+    Ok(PlanQuality {
+        nodes,
+        optimized_estimated_bytes: optimized_cost.total(),
+        hand_estimated_bytes: hand_cost.total(),
+        optimized_rehash_count: optimized.rehash_count(),
+        hand_rehash_count: hand.rehash_count(),
+        optimized_bytes: optimized_report.total_bytes,
+        hand_bytes: hand_report.total_bytes,
+        optimized_running_time: optimized_report.running_time,
+        hand_running_time: hand_report.running_time,
     })
 }
 
@@ -311,6 +440,24 @@ mod tests {
         let w = CopyScenario { seed: 3, rows: 40 };
         let err = run_recovery_sweep(&w, 4, INITIATOR, 2, &EngineConfig::default()).unwrap_err();
         assert!(err.message().contains("initiator"));
+    }
+
+    #[test]
+    fn plan_quality_reports_both_plans_and_renders_json() {
+        let w = TpchWorkload::scaled(TpchQuery::Q3, 5, 200);
+        let quality = run_plan_quality(&w, 6, &EngineConfig::default()).unwrap();
+        assert!(quality.optimized_estimated_bytes <= quality.hand_estimated_bytes);
+        assert!(quality.optimized_rehash_count < quality.hand_rehash_count);
+        assert!(quality.optimized_bytes > 0 && quality.hand_bytes > 0);
+        assert!(
+            quality.optimized_bytes < quality.hand_bytes,
+            "fewer rehashes and pruned columns must show up in measured traffic: {} vs {}",
+            quality.optimized_bytes,
+            quality.hand_bytes
+        );
+        let json = quality.to_json().render();
+        assert!(json.contains("\"optimized_estimated_bytes\""), "{json}");
+        assert!(json.contains("\"hand_rehash_count\":4"), "{json}");
     }
 
     #[test]

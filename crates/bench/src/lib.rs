@@ -15,11 +15,19 @@
 //!   function of when the failure strikes, swept over
 //!   [`failure_sweep_points`];
 //! * **tagging overhead** — [`run_tagging_overhead`]: traffic with and
-//!   without recovery support, validating the paper's "at most 2%" claim.
+//!   without recovery support, validating the paper's "at most 2%" claim;
+//! * **plan quality** — [`run_plan_quality`]: the System-R
+//!   optimizer-compiled plan versus the hand-built oracle, comparing
+//!   estimated cost, measured traffic and simulated running time.
 //!
-//! Every experiment cross-checks each distributed answer against the
-//! workload's single-node reference before reporting measurements, so a
-//! wrong answer fails loudly instead of producing plausible numbers.
+//! Queries reach the executor through the optimizer: every experiment
+//! compiles the workload's [`orchestra_optimizer::LogicalQuery`] against
+//! the deployed cluster's coordinator statistics
+//! ([`orchestra_workloads::compiled_plan`]) rather than executing a
+//! fixed hand-built plan.  Every experiment also cross-checks each
+//! distributed answer against the workload's single-node reference
+//! before reporting measurements, so a wrong answer fails loudly instead
+//! of producing plausible numbers.
 //!
 //! The `orchestra-bench` binary (`src/main.rs`) runs a small
 //! configuration of every experiment over one TPC-H query and one
@@ -34,8 +42,8 @@ pub mod json;
 use orchestra_simnet::SimTime;
 
 pub use experiments::{
-    run_recovery_sweep, run_scale_out, run_tagging_overhead, RecoveryPoint, RecoverySweep,
-    ScaleOutPoint, TaggingOverhead, INITIATOR,
+    run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, PlanQuality,
+    RecoveryPoint, RecoverySweep, ScaleOutPoint, TaggingOverhead, INITIATOR,
 };
 pub use json::Json;
 

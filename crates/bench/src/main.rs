@@ -1,6 +1,8 @@
 //! The `orchestra-bench` binary: run a small configuration of every
-//! experiment over one TPC-H query and one STBenchmark scenario and
-//! print the results as one JSON document on stdout.
+//! experiment — scale-out, recovery sweep, tagging overhead and plan
+//! quality — over two TPC-H queries (Q1 and the three-way-join Q3) and
+//! one STBenchmark scenario, and print the results as one JSON document
+//! on stdout.  All queries execute through the System-R optimizer.
 //!
 //! ```sh
 //! cargo run --release -p orchestra-bench
@@ -11,8 +13,8 @@
 //! workload's single-node reference.
 
 use orchestra_bench::{
-    run_recovery_sweep, run_scale_out, run_tagging_overhead, Json, RecoverySweep, ScaleOutPoint,
-    TaggingOverhead,
+    run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, Json, PlanQuality,
+    RecoverySweep, ScaleOutPoint, TaggingOverhead,
 };
 use orchestra_common::{NodeId, Result};
 use orchestra_engine::EngineConfig;
@@ -39,11 +41,12 @@ fn main() {
 
 fn run() -> Result<Json> {
     let tpch = TpchWorkload::scaled(TpchQuery::Q1, 42, 240);
+    let tpch_joins = TpchWorkload::scaled(TpchQuery::Q3, 42, 240);
     let stbenchmark = CopyScenario {
         seed: 42,
         rows: 240,
     };
-    let workloads: [&dyn Workload; 2] = [&tpch, &stbenchmark];
+    let workloads: [&dyn Workload; 3] = [&tpch, &tpch_joins, &stbenchmark];
 
     let config = EngineConfig::default();
     let mut experiments = Vec::new();
@@ -51,7 +54,10 @@ fn run() -> Result<Json> {
         let scale_out = run_scale_out(workload, &SCALE_OUT_NODES, &config)?;
         let sweep = run_recovery_sweep(workload, SWEEP_NODES, SWEEP_VICTIM, SWEEP_POINTS, &config)?;
         let tagging = run_tagging_overhead(workload, SWEEP_NODES, &config)?;
-        experiments.push(workload_json(workload, &scale_out, &sweep, &tagging));
+        let quality = run_plan_quality(workload, SWEEP_NODES, &config)?;
+        experiments.push(workload_json(
+            workload, &scale_out, &sweep, &tagging, &quality,
+        ));
     }
 
     Ok(Json::object(vec![
@@ -65,6 +71,7 @@ fn workload_json(
     scale_out: &[ScaleOutPoint],
     sweep: &RecoverySweep,
     tagging: &TaggingOverhead,
+    quality: &PlanQuality,
 ) -> Json {
     Json::object(vec![
         ("workload", Json::str(workload.name())),
@@ -74,5 +81,6 @@ fn workload_json(
         ),
         ("recovery_sweep", sweep.to_json()),
         ("tagging_overhead", tagging.to_json()),
+        ("plan_quality", quality.to_json()),
     ])
 }

@@ -16,31 +16,37 @@
 //! | versioned storage | [`storage`] | IV |
 //! | simulated deployment | [`simnet`] | VI (testbeds) |
 //! | query engine + recovery | [`engine`] | V |
+//! | cost-based optimizer | [`optimizer`] | V (System-R planning) |
 //! | workload catalogue | [`workloads`] | VI-B/VI-C |
-//! | experiment harness | [`bench`] | VI (figures) |
+//! | experiment harness | [`bench`](mod@bench) | VI (figures) |
 
 pub use orchestra_bench as bench;
 pub use orchestra_common as common;
 pub use orchestra_engine as engine;
+pub use orchestra_optimizer as optimizer;
 pub use orchestra_simnet as simnet;
 pub use orchestra_storage as storage;
 pub use orchestra_substrate as substrate;
 pub use orchestra_workloads as workloads;
 
 pub use orchestra_bench::{
-    failure_sweep_points, run_recovery_sweep, run_scale_out, run_tagging_overhead, RecoverySweep,
-    ScaleOutPoint, TaggingOverhead,
+    failure_sweep_points, run_plan_quality, run_recovery_sweep, run_scale_out,
+    run_tagging_overhead, PlanQuality, RecoverySweep, ScaleOutPoint, TaggingOverhead,
 };
 pub use orchestra_common::{Epoch, NodeId, Relation, Schema, Tuple, Value};
 pub use orchestra_engine::{
     EngineConfig, FailureSpec, PhysicalPlan, PlanBuilder, QueryExecutor, QueryReport,
     RecoveryStrategy,
 };
+pub use orchestra_optimizer::{
+    compile, estimate_plan_cost, LogicalExpr, LogicalQuery, PlanCost, Statistics, TableStats,
+};
 pub use orchestra_simnet::{ClusterProfile, SimTime};
 pub use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
 pub use orchestra_substrate::{AllocationScheme, RoutingTable};
 pub use orchestra_workloads::{
-    deploy, ConcatenateScenario, CopyScenario, TpchDataset, TpchQuery, TpchWorkload, Workload,
+    compiled_plan, deploy, ConcatenateScenario, CopyScenario, TpchDataset, TpchQuery, TpchWorkload,
+    Workload,
 };
 
 #[cfg(test)]
@@ -88,9 +94,26 @@ mod tests {
         assert!(points[0].total_bytes > 0);
         let (storage, epoch) = deploy(&workload, 4).unwrap();
         let report = QueryExecutor::new(&storage, EngineConfig::default())
-            .execute(&workload.plan(), epoch, NodeId(0))
+            .execute(&workload.reference_plan(), epoch, NodeId(0))
             .unwrap();
         assert_eq!(report.rows, workload.reference());
         assert!(!failure_sweep_points(report.running_time, 3).is_empty());
+    }
+
+    #[test]
+    fn facade_reaches_the_optimizer() {
+        // Compile a catalogue workload's logical query through the
+        // facade re-exports and execute the optimizer-chosen plan.
+        let workload = TpchWorkload::scaled(TpchQuery::Q6, 9, 200);
+        let (storage, epoch) = deploy(&workload, 4).unwrap();
+        let plan = compiled_plan(&workload, &storage, epoch).unwrap();
+        let stats = Statistics::collect(&storage, epoch);
+        let cost = estimate_plan_cost(&plan, &stats).unwrap();
+        let hand = estimate_plan_cost(&workload.reference_plan(), &stats).unwrap();
+        assert!(cost.total() <= hand.total());
+        let report = QueryExecutor::new(&storage, EngineConfig::default())
+            .execute(&plan, epoch, NodeId(0))
+            .unwrap();
+        assert_eq!(report.rows, workload.reference());
     }
 }

@@ -112,8 +112,12 @@ impl Predicate {
 
     /// Estimated selectivity used by the optimizer's cost model when no
     /// better statistics exist (textbook defaults).
+    ///
+    /// The result is always a probability: every combinator clamps into
+    /// `[0.0, 1.0]`, so floating-point drift in deeply nested `And`/`Or`/
+    /// `Not` trees can never escape the unit interval.
     pub fn estimated_selectivity(&self) -> f64 {
-        match self {
+        let s = match self {
             Predicate::True => 1.0,
             Predicate::Compare { op, .. } | Predicate::CompareColumns { op, .. } => match op {
                 CmpOp::Eq => 0.1,
@@ -121,13 +125,17 @@ impl Predicate {
                 _ => 0.33,
             },
             Predicate::Between { .. } => 0.25,
-            Predicate::And(ps) => ps.iter().map(Predicate::estimated_selectivity).product(),
+            Predicate::And(ps) => ps
+                .iter()
+                .map(Predicate::estimated_selectivity)
+                .product::<f64>(),
             Predicate::Or(ps) => {
                 let none: f64 = ps.iter().map(|p| 1.0 - p.estimated_selectivity()).product();
                 1.0 - none
             }
             Predicate::Not(p) => 1.0 - p.estimated_selectivity(),
-        }
+        };
+        s.clamp(0.0, 1.0)
     }
 }
 
@@ -271,6 +279,31 @@ mod tests {
             let s = p.estimated_selectivity();
             assert!((0.0..=1.0).contains(&s), "{s} out of range for {p:?}");
         }
+    }
+
+    #[test]
+    fn deeply_nested_selectivity_stays_in_the_unit_interval() {
+        // Regression: build pathological nestings of And/Or/Not and verify
+        // the estimate never drifts outside [0, 1] at any depth.
+        let mut p = Predicate::cmp(0, CmpOp::Eq, 1i64);
+        for depth in 0..96 {
+            p = match depth % 3 {
+                0 => Predicate::And(vec![p, Predicate::cmp(1, CmpOp::Ne, 2i64)]),
+                1 => Predicate::Or(vec![p, Predicate::Not(Box::new(Predicate::True))]),
+                _ => Predicate::Not(Box::new(p)),
+            };
+            let s = p.estimated_selectivity();
+            assert!(
+                (0.0..=1.0).contains(&s),
+                "selectivity {s} escaped [0, 1] at depth {depth}"
+            );
+        }
+        // Wide conjunctions and disjunctions of extreme children saturate
+        // at the interval's endpoints instead of drifting past them.
+        let wide_and = Predicate::And(vec![Predicate::cmp(0, CmpOp::Eq, 1i64); 400]);
+        assert_eq!(wide_and.estimated_selectivity(), 0.0);
+        let wide_or = Predicate::Or(vec![Predicate::cmp(0, CmpOp::Lt, 1i64); 400]);
+        assert_eq!(wide_or.estimated_selectivity(), 1.0);
     }
 
     #[test]

@@ -1,31 +1,75 @@
 //! # orchestra-optimizer
 //!
-//! Query planning for the ORCHESTRA engine.
+//! The System-R-style cost-based optimizer of the ORCHESTRA engine.
 //!
 //! The paper's prototype "performs query optimization using a
 //! System-R-style dynamic programming algorithm" over statistics kept by
-//! the relation coordinators.  This crate is the home for that planner:
-//! it will translate logical query descriptions into
-//! [`orchestra_engine::PhysicalPlan`]s via
-//! [`orchestra_engine::PlanBuilder`], choosing join orders, deciding
-//! where to place `Rehash` boundaries, pushing sargable predicates into
-//! the leaf scans, and electing covering-index scans when only key
-//! attributes are referenced — costed against the coordinator
-//! cardinalities exposed by
-//! [`orchestra_storage::DistributedStorage::relation_cardinality`] and
-//! the selectivity estimates of
-//! [`orchestra_engine::Predicate::estimated_selectivity`].
+//! the relation coordinators.  This crate implements that planner as a
+//! logical layer above [`orchestra_engine::PlanBuilder`]:
 //!
-//! Today it provides [`estimated_output_cardinality`], the shared
-//! cardinality arithmetic the cost model is built around; the ROADMAP
-//! tracks the full dynamic-programming planner.
+//! * [`LogicalQuery`] ([`logical`]) — the declarative input: relation
+//!   slots, an equi-join graph, conjunctive single-relation predicates,
+//!   a select list of scalar expressions over global [`ColRef`]s, and an
+//!   optional aggregation;
+//! * [`Statistics`] ([`stats`]) — the statistics snapshot a compilation
+//!   runs against: per-relation [`TableStats`] pulled from the
+//!   coordinator cardinalities
+//!   ([`orchestra_storage::DistributedStorage::relation_cardinality`])
+//!   and catalog schemas, plus the participant count of the routing
+//!   snapshot the query would be disseminated with;
+//! * [`cost`] — the network-aware cost model: a plan's cost is its
+//!   estimated inter-node traffic in bytes, with rehash and ship volumes
+//!   derived from the snapshot's node count and selectivities from
+//!   [`orchestra_engine::Predicate::estimated_selectivity`];
+//!   [`estimate_plan_cost`] applies the same model to any already-built
+//!   [`orchestra_engine::PhysicalPlan`] so optimizer-chosen and
+//!   hand-built plans are comparable under one yardstick;
+//! * [`compile`] ([`planner`]) — the bottom-up dynamic-programming
+//!   enumerator over connected join-graph subsets, with sargable
+//!   predicates pushed into the leaf scans, covering-index scans elected
+//!   when only key attributes are referenced, replicated scans elected
+//!   for replicated relations, unreferenced columns pruned early, and
+//!   `Rehash` boundaries placed only where an input's partitioning does
+//!   not already cover the join keys.  Compilation is deterministic:
+//!   the same query over the same statistics always emits the
+//!   byte-identical plan.
+//!
+//! The workload catalogue (`orchestra-workloads`) expresses STBenchmark
+//! and the TPC-H-style queries as [`LogicalQuery`]s compiled here, and
+//! the experiment harness (`orchestra-bench`) compares the compiled
+//! plans against the hand-built oracles in its `plan_quality`
+//! experiment.
+
+pub mod cost;
+pub mod logical;
+pub mod planner;
+pub mod stats;
+
+pub use cost::{estimate_plan_cost, PlanCost};
+pub use logical::{col, Aggregation, ColRef, JoinEdge, LogicalExpr, LogicalQuery};
+pub use planner::compile;
+pub use stats::{Statistics, TableStats};
 
 use orchestra_engine::Predicate;
 
 /// Estimate the number of rows surviving `predicate` over an input of
 /// `input_cardinality` rows — the elementary step of the cost model.
+///
+/// Saturates at the representable extremes instead of rounding through
+/// `f64` arithmetic: inputs too large for `f64` to hold exactly come
+/// back unchanged under a selectivity of 1.0, and no estimate ever
+/// exceeds the input cardinality or `usize::MAX`.
 pub fn estimated_output_cardinality(input_cardinality: usize, predicate: &Predicate) -> usize {
-    (input_cardinality as f64 * predicate.estimated_selectivity()).round() as usize
+    let selectivity = predicate.estimated_selectivity();
+    if selectivity >= 1.0 {
+        return input_cardinality;
+    }
+    let estimate = input_cardinality as f64 * selectivity;
+    if estimate >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        (estimate.round() as usize).min(input_cardinality)
+    }
 }
 
 #[cfg(test)]
@@ -39,5 +83,25 @@ mod tests {
         let eq = Predicate::cmp(0, CmpOp::Eq, 7i64);
         assert_eq!(estimated_output_cardinality(1000, &eq), 100);
         assert_eq!(estimated_output_cardinality(0, &eq), 0);
+    }
+
+    #[test]
+    fn huge_inputs_saturate_instead_of_rounding_through_f64() {
+        // usize::MAX is not representable in f64; a selectivity of 1.0
+        // must return the input unchanged rather than the rounded 2^64.
+        assert_eq!(
+            estimated_output_cardinality(usize::MAX, &Predicate::True),
+            usize::MAX
+        );
+        // Near-1.0 selectivities on huge inputs stay within bounds.
+        let ne = Predicate::cmp(0, CmpOp::Ne, 7i64);
+        let est = estimated_output_cardinality(usize::MAX, &ne);
+        assert!(est > usize::MAX / 2);
+        assert!(est < usize::MAX);
+        // One below a power of two: f64 rounding used to overshoot the
+        // input; the estimate is now clamped to it.
+        let big = (1usize << 53) + 1;
+        assert!(estimated_output_cardinality(big, &Predicate::True) == big);
+        assert!(estimated_output_cardinality(big, &ne) <= big);
     }
 }

@@ -1,0 +1,275 @@
+//! Logical query descriptions.
+//!
+//! A [`LogicalQuery`] is the declarative input of the optimizer: the
+//! relations a query reads, the equi-join graph connecting them,
+//! conjunctive single-relation predicates, a select list of scalar
+//! expressions over the joined row, and an optional aggregation.  Columns
+//! are addressed *globally* as [`ColRef`]s — `(relation slot, column
+//! index)` pairs — because at this level no operator layout exists yet;
+//! the planner lowers them to the positional references of
+//! [`orchestra_engine::PhysicalPlan`] operators once a join order has
+//! been chosen.
+
+use orchestra_common::Value;
+use orchestra_engine::{AggFunc, Predicate, ScalarExpr};
+use std::collections::BTreeSet;
+
+/// A global column reference: column `column` of the query's
+/// `relation`-th relation slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Index of the relation slot within the [`LogicalQuery`].
+    pub relation: usize,
+    /// Column index within that relation's schema.
+    pub column: usize,
+}
+
+/// Shorthand constructor for a [`ColRef`].
+pub fn col(relation: usize, column: usize) -> ColRef {
+    ColRef { relation, column }
+}
+
+/// A scalar expression over global columns — the logical counterpart of
+/// [`ScalarExpr`], which the planner lowers once positions are known.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalExpr {
+    /// A global column reference.
+    Column(ColRef),
+    /// A literal constant.
+    Literal(Value),
+    /// Addition.
+    Add(Box<LogicalExpr>, Box<LogicalExpr>),
+    /// Subtraction.
+    Sub(Box<LogicalExpr>, Box<LogicalExpr>),
+    /// Multiplication.
+    Mul(Box<LogicalExpr>, Box<LogicalExpr>),
+    /// String concatenation.
+    Concat(Vec<LogicalExpr>),
+}
+
+impl LogicalExpr {
+    /// Shorthand for a column reference.
+    pub fn col(relation: usize, column: usize) -> LogicalExpr {
+        LogicalExpr::Column(col(relation, column))
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> LogicalExpr {
+        LogicalExpr::Literal(v.into())
+    }
+
+    /// Collect every [`ColRef`] the expression mentions.
+    pub fn columns_into(&self, out: &mut BTreeSet<ColRef>) {
+        match self {
+            LogicalExpr::Column(c) => {
+                out.insert(*c);
+            }
+            LogicalExpr::Literal(_) => {}
+            LogicalExpr::Add(a, b) | LogicalExpr::Sub(a, b) | LogicalExpr::Mul(a, b) => {
+                a.columns_into(out);
+                b.columns_into(out);
+            }
+            LogicalExpr::Concat(parts) => {
+                for p in parts {
+                    p.columns_into(out);
+                }
+            }
+        }
+    }
+
+    /// Lower to a positional [`ScalarExpr`] given the physical layout
+    /// (position `i` of the input row holds global column `layout[i]`).
+    /// Returns `None` if a referenced column is absent from the layout.
+    pub fn lower(&self, layout: &[ColRef]) -> Option<ScalarExpr> {
+        Some(match self {
+            LogicalExpr::Column(c) => ScalarExpr::Column(layout.iter().position(|l| l == c)?),
+            LogicalExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            LogicalExpr::Add(a, b) => {
+                ScalarExpr::Add(Box::new(a.lower(layout)?), Box::new(b.lower(layout)?))
+            }
+            LogicalExpr::Sub(a, b) => {
+                ScalarExpr::Sub(Box::new(a.lower(layout)?), Box::new(b.lower(layout)?))
+            }
+            LogicalExpr::Mul(a, b) => {
+                ScalarExpr::Mul(Box::new(a.lower(layout)?), Box::new(b.lower(layout)?))
+            }
+            LogicalExpr::Concat(parts) => ScalarExpr::Concat(
+                parts
+                    .iter()
+                    .map(|p| p.lower(layout))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+        })
+    }
+}
+
+/// One equi-join edge of the join graph: `left = right`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Column of one relation.
+    pub left: ColRef,
+    /// Equal column of another relation.
+    pub right: ColRef,
+}
+
+/// The aggregation of a query, expressed over *select-list positions*:
+/// `group_by` and each aggregate input index into [`LogicalQuery::select`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Aggregation {
+    /// Leading select-list positions forming the group key.
+    pub group_by: Vec<usize>,
+    /// Aggregate functions and the select-list position each consumes.
+    pub aggs: Vec<(AggFunc, usize)>,
+}
+
+/// A declarative query over the distributed store: relations, equi-join
+/// graph, conjunctive single-relation predicates, a select list, and an
+/// optional aggregation.  Built incrementally; compiled to a
+/// [`orchestra_engine::PhysicalPlan`] by [`crate::compile`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LogicalQuery {
+    /// Relation names, one per slot, in the order slots were added.
+    pub relations: Vec<String>,
+    /// Sargable conjuncts: `(relation slot, predicate over that
+    /// relation's own column indices)`.
+    pub predicates: Vec<(usize, Predicate)>,
+    /// The equi-join graph.
+    pub joins: Vec<JoinEdge>,
+    /// The select list, evaluated over the joined row.
+    pub select: Vec<LogicalExpr>,
+    /// Optional aggregation over the select list.
+    pub aggregation: Option<Aggregation>,
+}
+
+impl LogicalQuery {
+    /// An empty query; add relations, filters, joins and a select list.
+    pub fn new() -> LogicalQuery {
+        LogicalQuery::default()
+    }
+
+    /// Add a relation slot, returning its index for [`ColRef`]s.
+    pub fn relation(&mut self, name: impl Into<String>) -> usize {
+        self.relations.push(name.into());
+        self.relations.len() - 1
+    }
+
+    /// Add a conjunctive predicate over one relation's own columns.
+    pub fn filter(&mut self, relation: usize, predicate: Predicate) -> &mut Self {
+        self.predicates.push((relation, predicate));
+        self
+    }
+
+    /// Add an equi-join edge `left = right`.
+    pub fn join(&mut self, left: ColRef, right: ColRef) -> &mut Self {
+        self.joins.push(JoinEdge { left, right });
+        self
+    }
+
+    /// Set the select list.
+    pub fn select(&mut self, exprs: Vec<LogicalExpr>) -> &mut Self {
+        self.select = exprs;
+        self
+    }
+
+    /// Set the aggregation (group-by positions and aggregate functions,
+    /// both indexing into the select list).
+    pub fn aggregate(&mut self, group_by: Vec<usize>, aggs: Vec<(AggFunc, usize)>) -> &mut Self {
+        self.aggregation = Some(Aggregation { group_by, aggs });
+        self
+    }
+
+    /// Every global column the select list references.
+    pub fn select_columns(&self) -> BTreeSet<ColRef> {
+        let mut out = BTreeSet::new();
+        for e in &self.select {
+            e.columns_into(&mut out);
+        }
+        out
+    }
+}
+
+/// Collect the column indices a [`Predicate`] mentions.
+pub fn predicate_columns(p: &Predicate, out: &mut BTreeSet<usize>) {
+    match p {
+        Predicate::True => {}
+        Predicate::Compare { column, .. } | Predicate::Between { column, .. } => {
+            out.insert(*column);
+        }
+        Predicate::CompareColumns { left, right, .. } => {
+            out.insert(*left);
+            out.insert(*right);
+        }
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                predicate_columns(q, out);
+            }
+        }
+        Predicate::Not(q) => predicate_columns(q, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_engine::CmpOp;
+
+    #[test]
+    fn builder_accumulates_query_parts() {
+        let mut q = LogicalQuery::new();
+        let r = q.relation("R");
+        let s = q.relation("S");
+        q.filter(r, Predicate::cmp(1, CmpOp::Eq, 7i64))
+            .join(col(r, 0), col(s, 1))
+            .select(vec![LogicalExpr::col(r, 0), LogicalExpr::col(s, 2)])
+            .aggregate(vec![0], vec![(AggFunc::Sum, 1)]);
+        assert_eq!(q.relations, vec!["R", "S"]);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left, col(r, 0));
+        assert_eq!(q.joins[0].right, col(s, 1));
+        assert_eq!(q.select_columns().len(), 2);
+        assert!(q.aggregation.is_some());
+    }
+
+    #[test]
+    fn expressions_lower_against_a_layout() {
+        let layout = [col(1, 3), col(0, 0)];
+        let e = LogicalExpr::Mul(
+            Box::new(LogicalExpr::col(0, 0)),
+            Box::new(LogicalExpr::Sub(
+                Box::new(LogicalExpr::lit(100i64)),
+                Box::new(LogicalExpr::col(1, 3)),
+            )),
+        );
+        let lowered = e.lower(&layout).unwrap();
+        assert_eq!(
+            lowered,
+            ScalarExpr::Mul(
+                Box::new(ScalarExpr::col(1)),
+                Box::new(ScalarExpr::Sub(
+                    Box::new(ScalarExpr::lit(100i64)),
+                    Box::new(ScalarExpr::col(0)),
+                )),
+            )
+        );
+        // A column missing from the layout cannot be lowered.
+        assert!(LogicalExpr::col(2, 0).lower(&layout).is_none());
+    }
+
+    #[test]
+    fn predicate_column_collection_recurses() {
+        let p = Predicate::And(vec![
+            Predicate::cmp(3, CmpOp::Lt, 5i64),
+            Predicate::Or(vec![
+                Predicate::CompareColumns {
+                    left: 1,
+                    op: CmpOp::Eq,
+                    right: 4,
+                },
+                Predicate::Not(Box::new(Predicate::cmp(0, CmpOp::Ge, 2i64))),
+            ]),
+        ]);
+        let mut cols = BTreeSet::new();
+        predicate_columns(&p, &mut cols);
+        assert_eq!(cols, [0, 1, 3, 4].into_iter().collect());
+    }
+}

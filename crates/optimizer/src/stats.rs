@@ -1,0 +1,164 @@
+//! The statistics layer the cost model reads.
+//!
+//! The paper keeps per-relation statistics at the relation coordinators;
+//! here [`Statistics::collect`] pulls them out of the storage layer — the
+//! tuple counts via
+//! [`orchestra_storage::DistributedStorage::relation_cardinality`]
+//! (coordinator metadata), the schema shape from the catalog, and the
+//! participant count from the routing table the initiator would snapshot
+//! with the query.
+
+use crate::cost::{NUMERIC_COLUMN_BYTES, TUPLE_OVERHEAD_BYTES};
+use orchestra_common::{ColumnType, Epoch, Relation};
+use orchestra_storage::DistributedStorage;
+use std::collections::BTreeMap;
+
+/// Estimated wire bytes of one value of each column type (the engine's
+/// batch encoding: a tag byte plus the payload; strings are sized for the
+/// workloads' typical 25-character fields).
+fn column_width_bytes(ty: ColumnType) -> f64 {
+    match ty {
+        ColumnType::Int | ColumnType::Double => NUMERIC_COLUMN_BYTES,
+        ColumnType::Str => 30.0,
+    }
+}
+
+/// Statistics of one relation, snapshotted at an epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableStats {
+    /// Relation name.
+    pub name: String,
+    /// Tuple count at the snapshot epoch (from coordinator metadata).
+    pub cardinality: usize,
+    /// Number of columns.
+    pub arity: usize,
+    /// Number of leading key (partitioning) columns.
+    pub key_len: usize,
+    /// Is the relation replicated in full at every node?
+    pub replicated: bool,
+    /// Estimated wire bytes per column value.
+    pub column_widths: Vec<f64>,
+}
+
+impl TableStats {
+    /// Derive the static half of the stats from a catalog entry.
+    pub fn from_relation(relation: &Relation, cardinality: usize) -> TableStats {
+        let schema = relation.schema();
+        TableStats {
+            name: relation.name().to_string(),
+            cardinality,
+            arity: schema.arity(),
+            key_len: schema.key_len(),
+            replicated: relation.is_replicated(),
+            column_widths: (0..schema.arity())
+                .map(|i| column_width_bytes(schema.column_type(i)))
+                .collect(),
+        }
+    }
+
+    /// Estimated wire bytes of one full row.
+    pub fn row_bytes(&self) -> f64 {
+        TUPLE_OVERHEAD_BYTES + self.column_widths.iter().sum::<f64>()
+    }
+
+    /// Estimated wire bytes of one key-only row (covering index scans).
+    pub fn key_bytes(&self) -> f64 {
+        TUPLE_OVERHEAD_BYTES + self.column_widths[..self.key_len].iter().sum::<f64>()
+    }
+}
+
+/// The statistics snapshot a compilation runs against: one
+/// [`TableStats`] per registered relation plus the participant count of
+/// the routing snapshot the query would be disseminated with.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statistics {
+    /// Participant count (the routing snapshot's node count).
+    pub nodes: usize,
+    tables: BTreeMap<String, TableStats>,
+}
+
+impl Statistics {
+    /// Snapshot the statistics of every registered relation at `epoch`.
+    pub fn collect(storage: &DistributedStorage, epoch: Epoch) -> Statistics {
+        let mut tables = BTreeMap::new();
+        for relation in storage.relations() {
+            let cardinality = storage.relation_cardinality(relation.name(), epoch);
+            tables.insert(
+                relation.name().to_string(),
+                TableStats::from_relation(relation, cardinality),
+            );
+        }
+        Statistics {
+            nodes: storage.routing().node_count(),
+            tables,
+        }
+    }
+
+    /// Build a statistics snapshot directly from table stats (tests,
+    /// what-if planning).
+    pub fn from_tables(nodes: usize, tables: Vec<TableStats>) -> Statistics {
+        Statistics {
+            nodes,
+            tables: tables.into_iter().map(|t| (t.name.clone(), t)).collect(),
+        }
+    }
+
+    /// The stats of one relation, if registered.
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name)
+    }
+
+    /// All table stats, ordered by relation name (deterministic).
+    pub fn tables(&self) -> impl Iterator<Item = &TableStats> {
+        self.tables.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_common::{ColumnType, Schema};
+
+    fn stats_of(relation: &Relation, cardinality: usize) -> TableStats {
+        TableStats::from_relation(relation, cardinality)
+    }
+
+    #[test]
+    fn table_stats_mirror_the_catalog_entry() {
+        let rel = Relation::partitioned(
+            "orders",
+            Schema::keyed_on_first(vec![
+                ("o_orderkey", ColumnType::Int),
+                ("o_comment", ColumnType::Str),
+            ]),
+        );
+        let t = stats_of(&rel, 500);
+        assert_eq!(t.name, "orders");
+        assert_eq!(t.cardinality, 500);
+        assert_eq!(t.arity, 2);
+        assert_eq!(t.key_len, 1);
+        assert!(!t.replicated);
+        assert_eq!(t.row_bytes(), 2.0 + 9.0 + 30.0);
+        assert_eq!(t.key_bytes(), 2.0 + 9.0);
+    }
+
+    #[test]
+    fn replicated_flag_carries_over() {
+        let rel = Relation::replicated(
+            "nation",
+            Schema::keyed_on_first(vec![("id", ColumnType::Int)]),
+        );
+        assert!(stats_of(&rel, 25).replicated);
+    }
+
+    #[test]
+    fn from_tables_orders_by_name() {
+        let b = Relation::partitioned("b", Schema::keyed_on_first(vec![("k", ColumnType::Int)]));
+        let a = Relation::partitioned("a", Schema::keyed_on_first(vec![("k", ColumnType::Int)]));
+        let s = Statistics::from_tables(4, vec![stats_of(&b, 2), stats_of(&a, 1)]);
+        let names: Vec<&str> = s.tables().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(s.table("b").unwrap().cardinality, 2);
+        assert!(s.table("zzz").is_none());
+    }
+}

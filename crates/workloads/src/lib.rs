@@ -16,26 +16,32 @@
 //!   pipelined joins plus rehash for Q3, single-shot aggregation for Q6).
 //!
 //! Every catalogue entry implements the [`Workload`] trait — relations,
-//! data batch, physical plan, and a single-node reference answer computed
-//! directly from the generated rows — so the benchmark harness and the
-//! correctness tests drive all of them uniformly.  Generators publish
-//! through [`orchestra_storage::UpdateBatch`] so data flows through the
-//! same versioned-publication path the paper's participants use.
+//! data batch, a [`orchestra_optimizer::LogicalQuery`] describing the
+//! query declaratively, a hand-built physical plan kept as a test
+//! oracle, and a single-node reference answer computed directly from the
+//! generated rows — so the benchmark harness and the correctness tests
+//! drive all of them uniformly.  The harness routes execution through
+//! the optimizer ([`compiled_plan`]), while the hand-built
+//! [`Workload::reference_plan`]s pin down what the optimizer must beat
+//! or match.  Generators publish through
+//! [`orchestra_storage::UpdateBatch`] so data flows through the same
+//! versioned-publication path the paper's participants use.
 
 pub mod stbenchmark;
 pub mod tpch;
 
 use orchestra_common::{rng, Epoch, NodeId, Relation, Result, Tuple, Value};
 use orchestra_engine::PhysicalPlan;
+use orchestra_optimizer::{LogicalQuery, Statistics};
 use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
 use orchestra_substrate::{AllocationScheme, RoutingTable};
 
 pub use stbenchmark::{ConcatenateScenario, CopyScenario};
 pub use tpch::{TpchDataset, TpchQuery, TpchWorkload};
 
-/// One benchmark workload: source relations, deterministic data, a fixed
-/// physical plan, and the single-node reference answer the distributed
-/// run must reproduce tuple for tuple.
+/// One benchmark workload: source relations, deterministic data, a
+/// declarative query, a hand-built oracle plan, and the single-node
+/// reference answer the distributed run must reproduce tuple for tuple.
 pub trait Workload {
     /// Short machine-readable name (used in experiment output).
     fn name(&self) -> String;
@@ -43,12 +49,27 @@ pub trait Workload {
     fn relations(&self) -> Vec<Relation>;
     /// The deterministic data, as one publishable batch.
     fn batch(&self) -> UpdateBatch;
-    /// The fixed physical plan of the workload's query.
-    fn plan(&self) -> PhysicalPlan;
+    /// The workload's query as a logical description, ready for
+    /// [`orchestra_optimizer::compile`] (see [`compiled_plan`]).
+    fn logical(&self) -> LogicalQuery;
+    /// The hand-built physical plan of the workload's query, kept as the
+    /// oracle the optimizer-compiled plan is validated against.
+    fn reference_plan(&self) -> PhysicalPlan;
     /// The answer computed directly from the generated rows on a single
     /// node, bypassing every distributed code path, sorted like
     /// [`orchestra_engine::QueryReport::rows`].
     fn reference(&self) -> Vec<Tuple>;
+}
+
+/// Compile a workload's logical query against the statistics of a
+/// deployed cluster — the plan the experiment harness executes.
+pub fn compiled_plan(
+    workload: &dyn Workload,
+    storage: &DistributedStorage,
+    epoch: Epoch,
+) -> Result<PhysicalPlan> {
+    let stats = Statistics::collect(storage, epoch);
+    orchestra_optimizer::compile(&workload.logical(), &stats)
 }
 
 /// Stand up an `nodes`-node balanced cluster holding the workload's data:
@@ -140,7 +161,20 @@ mod tests {
             &storage,
             orchestra_engine::EngineConfig::default(),
         );
-        let report = exec.execute(&w.plan(), epoch, NodeId(0)).unwrap();
+        let report = exec.execute(&w.reference_plan(), epoch, NodeId(0)).unwrap();
+        assert_eq!(report.rows, w.reference());
+    }
+
+    #[test]
+    fn compiled_plans_execute_like_the_hand_built_oracles() {
+        let w = ConcatenateScenario { seed: 3, rows: 30 };
+        let (storage, epoch) = deploy(&w, 4).unwrap();
+        let plan = compiled_plan(&w, &storage, epoch).unwrap();
+        let exec = orchestra_engine::QueryExecutor::new(
+            &storage,
+            orchestra_engine::EngineConfig::default(),
+        );
+        let report = exec.execute(&plan, epoch, NodeId(0)).unwrap();
         assert_eq!(report.rows, w.reference());
     }
 }

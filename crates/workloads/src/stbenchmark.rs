@@ -14,6 +14,7 @@
 use crate::{generated_relation, generated_relation_wide, Workload};
 use orchestra_common::{ColumnType, Relation, Schema, Tuple, Value};
 use orchestra_engine::{PhysicalPlan, PlanBuilder, ScalarExpr};
+use orchestra_optimizer::{LogicalExpr, LogicalQuery};
 use orchestra_storage::UpdateBatch;
 
 /// Separator the `Concatenate` mapping inserts between glued fields.
@@ -49,7 +50,14 @@ impl Workload for CopyScenario {
         batch
     }
 
-    fn plan(&self) -> PhysicalPlan {
+    fn logical(&self) -> LogicalQuery {
+        let mut q = LogicalQuery::new();
+        let src = q.relation("st_source");
+        q.select(vec![LogicalExpr::col(src, 0), LogicalExpr::col(src, 1)]);
+        q
+    }
+
+    fn reference_plan(&self) -> PhysicalPlan {
         let mut b = PlanBuilder::new();
         let scan = b.scan("st_source", 2, None);
         let ship = b.ship(scan);
@@ -104,7 +112,23 @@ impl Workload for ConcatenateScenario {
         batch
     }
 
-    fn plan(&self) -> PhysicalPlan {
+    fn logical(&self) -> LogicalQuery {
+        let mut q = LogicalQuery::new();
+        let parts = q.relation("st_parts");
+        q.select(vec![
+            LogicalExpr::col(parts, 0),
+            LogicalExpr::Concat(vec![
+                LogicalExpr::col(parts, 1),
+                LogicalExpr::lit(CONCAT_SEPARATOR),
+                LogicalExpr::col(parts, 2),
+                LogicalExpr::lit(CONCAT_SEPARATOR),
+                LogicalExpr::col(parts, 3),
+            ]),
+        ]);
+        q
+    }
+
+    fn reference_plan(&self) -> PhysicalPlan {
         let mut b = PlanBuilder::new();
         let scan = b.scan("st_parts", 4, None);
         let glued = b.compute(
@@ -155,9 +179,28 @@ mod tests {
         let (storage, epoch) = deploy(workload, nodes).unwrap();
         assert_eq!(epoch, Epoch(0));
         QueryExecutor::new(&storage, EngineConfig::default())
-            .execute(&workload.plan(), epoch, NodeId(0))
+            .execute(&workload.reference_plan(), epoch, NodeId(0))
             .unwrap()
             .rows
+    }
+
+    /// Both scenarios' logical queries compile to plans that reproduce
+    /// the reference answer — the optimizer path and the hand-built path
+    /// agree.
+    #[test]
+    fn compiled_scenarios_match_their_references() {
+        let copy = CopyScenario { seed: 11, rows: 60 };
+        let concat = ConcatenateScenario { seed: 13, rows: 40 };
+        let workloads: [&dyn Workload; 2] = [&copy, &concat];
+        for w in workloads {
+            let (storage, epoch) = deploy(w, 5).unwrap();
+            let plan = crate::compiled_plan(w, &storage, epoch).unwrap();
+            let rows = QueryExecutor::new(&storage, EngineConfig::default())
+                .execute(&plan, epoch, NodeId(0))
+                .unwrap()
+                .rows;
+            assert_eq!(rows, w.reference(), "{}", w.name());
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use crate::Workload;
 use orchestra_common::{rng, ColumnType, Relation, Schema, Tuple, Value};
 use orchestra_engine::{AggFunc, AggMode, CmpOp, PhysicalPlan, PlanBuilder, Predicate, ScalarExpr};
+use orchestra_optimizer::{col, LogicalExpr, LogicalQuery};
 use orchestra_storage::UpdateBatch;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -188,9 +189,43 @@ impl TpchDataset {
     // Q1: pricing summary report
     // ------------------------------------------------------------------
 
-    /// Q1 plan: scan with the sargable shipdate predicate, compute the
-    /// discounted-price term, then distributed two-phase aggregation
-    /// grouped on `(l_returnflag, l_linestatus)`.
+    /// Q1 as a logical query: the shipdate conjunct, the select list of
+    /// grouping attributes plus the discounted-price term, and the five
+    /// aggregates over it.
+    pub fn q1_logical(&self) -> LogicalQuery {
+        let mut q = LogicalQuery::new();
+        let l = q.relation("lineitem");
+        q.filter(l, Predicate::cmp(8, CmpOp::Le, Q1_SHIPDATE_CUTOFF))
+            .select(vec![
+                LogicalExpr::col(l, 6),
+                LogicalExpr::col(l, 7),
+                LogicalExpr::col(l, 2),
+                LogicalExpr::col(l, 3),
+                LogicalExpr::Mul(
+                    Box::new(LogicalExpr::col(l, 3)),
+                    Box::new(LogicalExpr::Sub(
+                        Box::new(LogicalExpr::lit(100i64)),
+                        Box::new(LogicalExpr::col(l, 4)),
+                    )),
+                ),
+            ])
+            .aggregate(
+                vec![0, 1],
+                vec![
+                    (AggFunc::Sum, 2),
+                    (AggFunc::Sum, 3),
+                    (AggFunc::Sum, 4),
+                    (AggFunc::Avg, 2),
+                    (AggFunc::Count, 2),
+                ],
+            );
+        q
+    }
+
+    /// Hand-built Q1 plan (the optimizer oracle): scan with the sargable
+    /// shipdate predicate, compute the discounted-price term, then
+    /// distributed two-phase aggregation grouped on
+    /// `(l_returnflag, l_linestatus)`.
     pub fn q1_plan(&self) -> PhysicalPlan {
         let mut b = PlanBuilder::new();
         let scan = b.scan(
@@ -271,9 +306,40 @@ impl TpchDataset {
     // Q3: shipping priority
     // ------------------------------------------------------------------
 
-    /// Q3 plan: `customer ⋈ orders ⋈ lineitem` as two pipelined hash
-    /// joins over rehashed inputs, then two-phase aggregation grouped on
-    /// `(o_orderkey, o_orderdate, o_shippriority)`.
+    /// Q3 as a logical query: the segment/date conjuncts, the
+    /// `customer ⋈ orders ⋈ lineitem` equi-join graph, and revenue
+    /// aggregation grouped on `(o_orderkey, o_orderdate,
+    /// o_shippriority)`.
+    pub fn q3_logical(&self) -> LogicalQuery {
+        let mut q = LogicalQuery::new();
+        let c = q.relation("customer");
+        let o = q.relation("orders");
+        let l = q.relation("lineitem");
+        q.filter(c, Predicate::cmp(1, CmpOp::Eq, Q3_SEGMENT))
+            .filter(o, Predicate::cmp(2, CmpOp::Lt, Q3_PIVOT_DATE))
+            .filter(l, Predicate::cmp(8, CmpOp::Gt, Q3_PIVOT_DATE))
+            .join(col(c, 0), col(o, 1))
+            .join(col(o, 0), col(l, 1))
+            .select(vec![
+                LogicalExpr::col(o, 0),
+                LogicalExpr::col(o, 2),
+                LogicalExpr::col(o, 3),
+                LogicalExpr::Mul(
+                    Box::new(LogicalExpr::col(l, 3)),
+                    Box::new(LogicalExpr::Sub(
+                        Box::new(LogicalExpr::lit(100i64)),
+                        Box::new(LogicalExpr::col(l, 4)),
+                    )),
+                ),
+            ])
+            .aggregate(vec![0, 1, 2], vec![(AggFunc::Sum, 3)]);
+        q
+    }
+
+    /// Hand-built Q3 plan (the optimizer oracle): `customer ⋈ orders ⋈
+    /// lineitem` as two pipelined hash joins over rehashed inputs, then
+    /// two-phase aggregation grouped on `(o_orderkey, o_orderdate,
+    /// o_shippriority)`.
     pub fn q3_plan(&self) -> PhysicalPlan {
         let mut b = PlanBuilder::new();
         let customer = b.scan(
@@ -375,8 +441,38 @@ impl TpchDataset {
     // Q6: forecasting revenue change
     // ------------------------------------------------------------------
 
-    /// Q6 plan: sargable triple-predicate scan, compute the revenue term,
-    /// ship to the initiator, single-shot ungrouped aggregation there.
+    /// Q6 as a logical query: the three sargable conjuncts and the
+    /// ungrouped revenue sum.
+    pub fn q6_logical(&self) -> LogicalQuery {
+        let mut q = LogicalQuery::new();
+        let l = q.relation("lineitem");
+        q.filter(
+            l,
+            Predicate::And(vec![
+                Predicate::Between {
+                    column: 8,
+                    low: Value::Int(Q6_DATE_LO),
+                    high: Value::Int(Q6_DATE_HI),
+                },
+                Predicate::Between {
+                    column: 4,
+                    low: Value::Int(Q6_DISCOUNT_LO),
+                    high: Value::Int(Q6_DISCOUNT_HI),
+                },
+                Predicate::cmp(2, CmpOp::Lt, Q6_QUANTITY_LT),
+            ]),
+        )
+        .select(vec![LogicalExpr::Mul(
+            Box::new(LogicalExpr::col(l, 3)),
+            Box::new(LogicalExpr::col(l, 4)),
+        )])
+        .aggregate(vec![], vec![(AggFunc::Sum, 0)]);
+        q
+    }
+
+    /// Hand-built Q6 plan (the optimizer oracle): sargable
+    /// triple-predicate scan, compute the revenue term, ship to the
+    /// initiator, single-shot ungrouped aggregation there.
     pub fn q6_plan(&self) -> PhysicalPlan {
         let mut b = PlanBuilder::new();
         let scan = b.scan(
@@ -488,7 +584,15 @@ impl Workload for TpchWorkload {
         self.dataset.batch()
     }
 
-    fn plan(&self) -> PhysicalPlan {
+    fn logical(&self) -> LogicalQuery {
+        match self.query {
+            TpchQuery::Q1 => self.dataset.q1_logical(),
+            TpchQuery::Q3 => self.dataset.q3_logical(),
+            TpchQuery::Q6 => self.dataset.q6_logical(),
+        }
+    }
+
+    fn reference_plan(&self) -> PhysicalPlan {
         match self.query {
             TpchQuery::Q1 => self.dataset.q1_plan(),
             TpchQuery::Q3 => self.dataset.q3_plan(),
@@ -543,7 +647,7 @@ mod tests {
         let w = TpchWorkload::scaled(TpchQuery::Q1, 7, 300);
         let (storage, epoch) = deploy(&w, 6).unwrap();
         let report = QueryExecutor::new(&storage, EngineConfig::default())
-            .execute(&w.plan(), epoch, NodeId(0))
+            .execute(&w.reference_plan(), epoch, NodeId(0))
             .unwrap();
         let expected = w.reference();
         assert_eq!(expected.len(), 6, "3 flags × 2 statuses");

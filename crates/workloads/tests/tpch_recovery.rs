@@ -32,7 +32,7 @@ fn assert_matches_reference_under_failures(workload: &dyn Workload) -> QueryRepo
         workload.name()
     );
 
-    let plan = workload.plan();
+    let plan = workload.reference_plan();
     let baseline = QueryExecutor::new(&storage, EngineConfig::default())
         .execute(&plan, epoch, INITIATOR)
         .unwrap();
