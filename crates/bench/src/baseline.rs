@@ -1,0 +1,170 @@
+//! The CI baseline-regression gate.
+//!
+//! CI commits a `BENCH_BASELINE.json` — the bench binary's
+//! `--experiment plan_quality` output at a known-good commit — and
+//! [`check_plan_quality_baseline`] compares a fresh run against it:
+//! every estimated plan cost and every measured traffic figure must stay
+//! within `tolerance` (CI uses 5%) of the baseline, per workload.  A
+//! *lower* value is always fine — the gate only catches regressions.
+//!
+//! Refreshing the baseline after an intentional change is one line:
+//!
+//! ```sh
+//! cargo run --release -p orchestra-bench -- --experiment plan_quality > BENCH_BASELINE.json
+//! ```
+
+use crate::json::Json;
+
+/// The `plan_quality` fields gated against the baseline: estimated
+/// optimizer cost and measured traffic, for both the compiled and the
+/// hand-built plan.
+const GATED_FIELDS: [&str; 4] = [
+    "optimized_estimated_bytes",
+    "hand_estimated_bytes",
+    "optimized_bytes",
+    "hand_bytes",
+];
+
+/// Compare `current` against `baseline` (both in the bench binary's
+/// document shape).  Returns the per-field log lines on success, or the
+/// list of violations if any gated field regressed beyond `tolerance`
+/// (a fraction: 0.05 allows +5%), a workload disappeared, or either
+/// document is malformed.
+pub fn check_plan_quality_baseline(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passed = Vec::new();
+    let mut violations = Vec::new();
+
+    let baseline_workloads = match workloads_of(baseline) {
+        Ok(w) => w,
+        Err(e) => return Err(vec![format!("baseline document: {e}")]),
+    };
+    let current_workloads = match workloads_of(current) {
+        Ok(w) => w,
+        Err(e) => return Err(vec![format!("current document: {e}")]),
+    };
+
+    for (name, base_quality) in &baseline_workloads {
+        let Some(cur_quality) = current_workloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, q)| q)
+        else {
+            violations.push(format!(
+                "workload {name} present in the baseline but missing from the current run"
+            ));
+            continue;
+        };
+        for field in GATED_FIELDS {
+            let (Some(base), Some(cur)) = (
+                base_quality.get(field).and_then(Json::as_f64),
+                cur_quality.get(field).and_then(Json::as_f64),
+            ) else {
+                violations.push(format!("workload {name}: field {field} missing"));
+                continue;
+            };
+            let limit = base * (1.0 + tolerance);
+            if cur > limit {
+                violations.push(format!(
+                    "workload {name}: {field} regressed {cur:.0} > {base:.0} (+{:.1}% \
+                     exceeds the {:.0}% tolerance)",
+                    (cur / base - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else {
+                passed.push(format!(
+                    "workload {name}: {field} {cur:.0} within {base:.0} +{:.0}%",
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(passed)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Extract `(workload name, plan_quality object)` pairs from a bench
+/// document.
+fn workloads_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+    let experiments = doc
+        .get("experiments")
+        .and_then(Json::items)
+        .ok_or("no \"experiments\" array")?;
+    let mut out = Vec::with_capacity(experiments.len());
+    for entry in experiments {
+        let name = entry
+            .get("workload")
+            .and_then(Json::as_str_val)
+            .ok_or("experiment entry without a \"workload\" name")?;
+        let quality = entry
+            .get("plan_quality")
+            .ok_or_else(|| format!("workload {name} has no \"plan_quality\" section"))?;
+        out.push((name.to_string(), quality));
+    }
+    if out.is_empty() {
+        return Err("empty \"experiments\" array".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(optimized_bytes: f64) -> Json {
+        Json::object(vec![(
+            "experiments",
+            Json::Array(vec![Json::object(vec![
+                ("workload", Json::str("tpch-q3")),
+                (
+                    "plan_quality",
+                    Json::object(vec![
+                        ("optimized_estimated_bytes", Json::Float(1000.0)),
+                        ("hand_estimated_bytes", Json::Float(2000.0)),
+                        ("optimized_bytes", Json::Float(optimized_bytes)),
+                        ("hand_bytes", Json::Float(3000.0)),
+                    ]),
+                ),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = doc(1000.0);
+        let current = doc(1049.0); // +4.9%
+        let passed = check_plan_quality_baseline(&current, &baseline, 0.05).unwrap();
+        assert_eq!(passed.len(), 4);
+        // Improvements always pass.
+        assert!(check_plan_quality_baseline(&doc(10.0), &baseline, 0.05).is_ok());
+    }
+
+    #[test]
+    fn regressions_beyond_tolerance_fail_with_the_offending_field() {
+        let baseline = doc(1000.0);
+        let current = doc(1051.0); // +5.1%
+        let violations = check_plan_quality_baseline(&current, &baseline, 0.05).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("optimized_bytes"), "{violations:?}");
+        assert!(violations[0].contains("tpch-q3"), "{violations:?}");
+    }
+
+    #[test]
+    fn missing_workloads_and_fields_fail() {
+        let baseline = doc(1000.0);
+        let empty = Json::object(vec![("experiments", Json::Array(vec![]))]);
+        assert!(check_plan_quality_baseline(&empty, &baseline, 0.05).is_err());
+        let no_section = Json::object(vec![(
+            "experiments",
+            Json::Array(vec![Json::object(vec![("workload", Json::str("other"))])]),
+        )]);
+        assert!(check_plan_quality_baseline(&no_section, &baseline, 0.05).is_err());
+    }
+}

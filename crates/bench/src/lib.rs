@@ -36,16 +36,20 @@
 //! are plotted from.  Bandwidth-sensitivity sweeps (Figure 17) reuse
 //! [`run_scale_out`] with WAN [`orchestra_simnet::ClusterProfile`]s.
 
+pub mod baseline;
 pub mod experiments;
 pub mod json;
+pub mod throughput;
 
 use orchestra_simnet::SimTime;
 
+pub use baseline::check_plan_quality_baseline;
 pub use experiments::{
     run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, PlanQuality,
     RecoveryPoint, RecoverySweep, ScaleOutPoint, TaggingOverhead, INITIATOR,
 };
 pub use json::Json;
+pub use throughput::{run_throughput, QueryLatency, ThroughputPoint, ThroughputSweep};
 
 /// Evenly spaced virtual failure instants across a baseline running
 /// time, excluding the endpoints — the x-axis of a recovery-cost sweep.

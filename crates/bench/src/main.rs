@@ -1,23 +1,34 @@
-//! The `orchestra-bench` binary: run a small configuration of every
-//! experiment — scale-out, recovery sweep, tagging overhead and plan
-//! quality — over two TPC-H queries (Q1 and the three-way-join Q3) and
-//! one STBenchmark scenario, and print the results as one JSON document
-//! on stdout.  All queries execute through the System-R optimizer.
+//! The `orchestra-bench` binary: run the experiments — scale-out,
+//! recovery sweep, tagging overhead, plan quality and the concurrent
+//! throughput sweep — over two TPC-H queries and one STBenchmark
+//! scenario (the throughput sweep mixes all five catalogue workloads),
+//! and print the results as one JSON document on stdout.  All queries
+//! execute through the System-R optimizer.
 //!
 //! ```sh
-//! cargo run --release -p orchestra-bench
+//! cargo run --release -p orchestra-bench                      # everything
+//! cargo run --release -p orchestra-bench -- --experiment throughput
+//! cargo run --release -p orchestra-bench -- --check-baseline BENCH_BASELINE.json
 //! ```
+//!
+//! `--experiment <name>` restricts the run to one experiment — the fast
+//! subsets CI's smoke and determinism gates use.  An unknown name lists
+//! the valid set and exits non-zero.  `--check-baseline <path>` runs the
+//! `plan_quality` experiment and fails (exit 1) if any estimated cost or
+//! measured traffic regressed more than 5% versus the committed
+//! baseline; refresh it with
+//! `cargo run --release -p orchestra-bench -- --experiment plan_quality > BENCH_BASELINE.json`.
 //!
 //! Exit status is non-zero (with a message on stderr) if any experiment
 //! fails — including any distributed answer that disagrees with its
 //! workload's single-node reference.
 
 use orchestra_bench::{
-    run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, Json, PlanQuality,
-    RecoverySweep, ScaleOutPoint, TaggingOverhead,
+    check_plan_quality_baseline, run_plan_quality, run_recovery_sweep, run_scale_out,
+    run_tagging_overhead, run_throughput, Json,
 };
 use orchestra_common::{NodeId, Result};
-use orchestra_engine::EngineConfig;
+use orchestra_engine::{AdmissionPolicy, EngineConfig};
 use orchestra_workloads::{CopyScenario, TpchQuery, TpchWorkload, Workload};
 
 /// Cluster sizes of the scale-out experiment.
@@ -28,18 +39,75 @@ const SWEEP_NODES: u16 = 6;
 const SWEEP_VICTIM: NodeId = NodeId(5);
 /// Failure instants per recovery sweep.
 const SWEEP_POINTS: usize = 3;
+/// Cluster size of the throughput sweep.
+const THROUGHPUT_NODES: u16 = 8;
+/// Concurrency levels of the throughput sweep.
+const THROUGHPUT_LEVELS: [usize; 4] = [1, 2, 4, 8];
+/// Seed of the throughput stream's data and arrival order.
+const THROUGHPUT_SEED: u64 = 42;
+/// Rows per workload in the throughput stream.
+const THROUGHPUT_ROWS: usize = 160;
+/// Copies of the five-workload mix in the stream.
+const THROUGHPUT_COPIES: usize = 2;
+/// Tolerated regression fraction of the baseline gate.
+const BASELINE_TOLERANCE: f64 = 0.05;
+
+/// The selectable experiments, in documentation order.
+const EXPERIMENTS: [&str; 6] = [
+    "all",
+    "scale_out",
+    "recovery_sweep",
+    "tagging_overhead",
+    "plan_quality",
+    "throughput",
+];
 
 fn main() {
-    match run() {
-        Ok(doc) => println!("{doc}"),
-        Err(e) => {
-            eprintln!("orchestra-bench failed: {e}");
-            std::process::exit(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Mode::Run(experiment)) => match run(&experiment) {
+            Ok(doc) => println!("{doc}"),
+            Err(e) => {
+                eprintln!("orchestra-bench failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Ok(Mode::CheckBaseline(path)) => {
+            if let Err(e) = check_baseline(&path) {
+                eprintln!("baseline gate failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("valid experiments: {}", EXPERIMENTS.join(", "));
+            eprintln!("usage: orchestra-bench [--experiment <name>] [--check-baseline <path>]");
+            std::process::exit(2);
         }
     }
 }
 
-fn run() -> Result<Json> {
+enum Mode {
+    Run(String),
+    CheckBaseline(String),
+}
+
+fn parse_args(args: &[String]) -> std::result::Result<Mode, String> {
+    match args {
+        [] => Ok(Mode::Run("all".into())),
+        [flag, name] if flag == "--experiment" => {
+            if EXPERIMENTS.contains(&name.as_str()) {
+                Ok(Mode::Run(name.clone()))
+            } else {
+                Err(format!("unknown experiment \"{name}\""))
+            }
+        }
+        [flag, path] if flag == "--check-baseline" => Ok(Mode::CheckBaseline(path.clone())),
+        _ => Err(format!("unrecognized arguments: {}", args.join(" "))),
+    }
+}
+
+fn run(experiment: &str) -> Result<Json> {
     let tpch = TpchWorkload::scaled(TpchQuery::Q1, 42, 240);
     let tpch_joins = TpchWorkload::scaled(TpchQuery::Q3, 42, 240);
     let stbenchmark = CopyScenario {
@@ -47,40 +115,106 @@ fn run() -> Result<Json> {
         rows: 240,
     };
     let workloads: [&dyn Workload; 3] = [&tpch, &tpch_joins, &stbenchmark];
+    let all = experiment == "all";
 
     let config = EngineConfig::default();
-    let mut experiments = Vec::new();
-    for workload in workloads {
-        let scale_out = run_scale_out(workload, &SCALE_OUT_NODES, &config)?;
-        let sweep = run_recovery_sweep(workload, SWEEP_NODES, SWEEP_VICTIM, SWEEP_POINTS, &config)?;
-        let tagging = run_tagging_overhead(workload, SWEEP_NODES, &config)?;
-        let quality = run_plan_quality(workload, SWEEP_NODES, &config)?;
-        experiments.push(workload_json(
-            workload, &scale_out, &sweep, &tagging, &quality,
+    let mut doc = vec![
+        ("benchmark", Json::str("orchestra")),
+        ("experiment", Json::str(experiment)),
+    ];
+
+    let per_workload = all
+        || matches!(
+            experiment,
+            "scale_out" | "recovery_sweep" | "tagging_overhead" | "plan_quality"
+        );
+    if per_workload {
+        let mut experiments = Vec::new();
+        for workload in workloads {
+            let mut entry = vec![("workload", Json::str(workload.name()))];
+            if all || experiment == "scale_out" {
+                let points = run_scale_out(workload, &SCALE_OUT_NODES, &config)?;
+                entry.push((
+                    "scale_out",
+                    Json::Array(points.iter().map(|p| p.to_json()).collect()),
+                ));
+            }
+            if all || experiment == "recovery_sweep" {
+                let sweep =
+                    run_recovery_sweep(workload, SWEEP_NODES, SWEEP_VICTIM, SWEEP_POINTS, &config)?;
+                entry.push(("recovery_sweep", sweep.to_json()));
+            }
+            if all || experiment == "tagging_overhead" {
+                let tagging = run_tagging_overhead(workload, SWEEP_NODES, &config)?;
+                entry.push(("tagging_overhead", tagging.to_json()));
+            }
+            if all || experiment == "plan_quality" {
+                let quality = run_plan_quality(workload, SWEEP_NODES, &config)?;
+                entry.push(("plan_quality", quality.to_json()));
+            }
+            experiments.push(Json::object(entry));
+        }
+        doc.push(("experiments", Json::Array(experiments)));
+    }
+
+    if all || experiment == "throughput" {
+        let mut policies = Vec::new();
+        for policy in [AdmissionPolicy::Fifo, AdmissionPolicy::ShortestCostFirst] {
+            let sweep = run_throughput(
+                THROUGHPUT_SEED,
+                THROUGHPUT_ROWS,
+                THROUGHPUT_COPIES,
+                THROUGHPUT_NODES,
+                &THROUGHPUT_LEVELS,
+                policy,
+                &config,
+            )?;
+            policies.push(sweep.to_json());
+        }
+        doc.push((
+            "throughput",
+            Json::object(vec![
+                ("nodes", Json::UInt(THROUGHPUT_NODES as u64)),
+                (
+                    "levels",
+                    Json::Array(
+                        THROUGHPUT_LEVELS
+                            .iter()
+                            .map(|l| Json::UInt(*l as u64))
+                            .collect(),
+                    ),
+                ),
+                ("policies", Json::Array(policies)),
+            ]),
         ));
     }
 
-    Ok(Json::object(vec![
-        ("benchmark", Json::str("orchestra")),
-        ("experiments", Json::Array(experiments)),
-    ]))
+    Ok(Json::object(doc))
 }
 
-fn workload_json(
-    workload: &dyn Workload,
-    scale_out: &[ScaleOutPoint],
-    sweep: &RecoverySweep,
-    tagging: &TaggingOverhead,
-    quality: &PlanQuality,
-) -> Json {
-    Json::object(vec![
-        ("workload", Json::str(workload.name())),
-        (
-            "scale_out",
-            Json::Array(scale_out.iter().map(ScaleOutPoint::to_json).collect()),
-        ),
-        ("recovery_sweep", sweep.to_json()),
-        ("tagging_overhead", tagging.to_json()),
-        ("plan_quality", quality.to_json()),
-    ])
+fn check_baseline(path: &str) -> Result<()> {
+    use orchestra_common::OrchestraError;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| OrchestraError::Execution(format!("cannot read {path}: {e}")))?;
+    let baseline = Json::parse(&text)
+        .map_err(|e| OrchestraError::Execution(format!("cannot parse {path}: {e}")))?;
+    let current = run("plan_quality")?;
+    match check_plan_quality_baseline(&current, &baseline, BASELINE_TOLERANCE) {
+        Ok(passed) => {
+            for line in passed {
+                eprintln!("ok: {line}");
+            }
+            Ok(())
+        }
+        Err(violations) => {
+            for line in &violations {
+                eprintln!("REGRESSION: {line}");
+            }
+            Err(OrchestraError::Execution(format!(
+                "{} plan-quality figure(s) regressed beyond {:.0}% of {path}",
+                violations.len(),
+                BASELINE_TOLERANCE * 100.0
+            )))
+        }
+    }
 }

@@ -31,12 +31,14 @@ pub use orchestra_workloads as workloads;
 
 pub use orchestra_bench::{
     failure_sweep_points, run_plan_quality, run_recovery_sweep, run_scale_out,
-    run_tagging_overhead, PlanQuality, RecoverySweep, ScaleOutPoint, TaggingOverhead,
+    run_tagging_overhead, run_throughput, PlanQuality, RecoverySweep, ScaleOutPoint,
+    TaggingOverhead, ThroughputPoint, ThroughputSweep,
 };
 pub use orchestra_common::{Epoch, NodeId, Relation, Schema, Tuple, Value};
 pub use orchestra_engine::{
-    EngineConfig, FailureSpec, PhysicalPlan, PlanBuilder, QueryExecutor, QueryReport,
-    RecoveryStrategy,
+    AdmissionPolicy, EngineConfig, FailureSpec, PhysicalPlan, PlanBuilder, QueryExecutor,
+    QueryReport, QuerySession, RecoveryStrategy, SchedulerConfig, SessionId, SessionReport,
+    SessionScheduler, WorkloadReport,
 };
 pub use orchestra_optimizer::{
     compile, estimate_plan_cost, LogicalExpr, LogicalQuery, PlanCost, Statistics, TableStats,
@@ -45,8 +47,8 @@ pub use orchestra_simnet::{ClusterProfile, SimTime};
 pub use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
 pub use orchestra_substrate::{AllocationScheme, RoutingTable};
 pub use orchestra_workloads::{
-    compiled_plan, deploy, ConcatenateScenario, CopyScenario, TpchDataset, TpchQuery, TpchWorkload,
-    Workload,
+    compiled_plan, deploy, deploy_all, mixed_stream, ConcatenateScenario, CopyScenario,
+    TpchDataset, TpchQuery, TpchWorkload, Workload,
 };
 
 #[cfg(test)]
@@ -98,6 +100,44 @@ mod tests {
             .unwrap();
         assert_eq!(report.rows, workload.reference());
         assert!(!failure_sweep_points(report.running_time, 3).is_empty());
+    }
+
+    #[test]
+    fn facade_reaches_the_session_scheduler() {
+        // Two catalogue workloads scheduled concurrently over one
+        // cluster, reached purely through facade re-exports.
+        let q6 = TpchWorkload::scaled(TpchQuery::Q6, 3, 120);
+        let copy = CopyScenario { seed: 3, rows: 60 };
+        let all: [&dyn Workload; 2] = [&q6, &copy];
+        let (storage, epoch) = deploy_all(&all, 4).unwrap();
+        let stats = Statistics::collect(&storage, epoch);
+        let sessions: Vec<QuerySession> = all
+            .iter()
+            .map(|w| {
+                let plan = compile(&w.logical(), &stats).unwrap();
+                let cost = estimate_plan_cost(&plan, &stats).unwrap().total();
+                QuerySession {
+                    name: w.name(),
+                    plan,
+                    epoch,
+                    initiator: NodeId(0),
+                    estimated_cost: cost,
+                }
+            })
+            .collect();
+        let scheduler = SessionScheduler::new(SchedulerConfig {
+            max_concurrent: 2,
+            queue_capacity: 4,
+            policy: AdmissionPolicy::ShortestCostFirst,
+        });
+        let workload = scheduler
+            .run(&storage, &EngineConfig::default(), &sessions)
+            .unwrap();
+        assert_eq!(workload.sessions.len(), 2);
+        for (i, sr) in workload.sessions.iter().enumerate() {
+            assert_eq!(sr.report.rows, all[i].reference(), "{}", sr.name);
+        }
+        assert!(workload.link_utilization > 0.0);
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! the heirs.  This module also owns the engine's wire payloads
 //! ([`Payload`]) and plan dissemination, since both exist purely to move
 //! bytes between nodes.
+//!
+//! Every message on the wire travels inside a [`Wire`] envelope tagged
+//! with the [`SessionId`] of the query that produced it.  A single query
+//! owns its simulator outright and the tag is inert; under the
+//! multi-query scheduler (`scheduler`), N queries multiplex one shared
+//! simulator and the tag is what keeps their batches, end-of-stream
+//! markers and recovery rounds from bleeding into each other when a node
+//! failure hits several in-flight queries at once.
 
 use super::pipeline::Runtime;
 use crate::batch::TupleBatch;
@@ -21,6 +29,29 @@ use std::collections::HashMap;
 
 /// Wire size of an end-of-stream marker.
 pub(super) const EOS_BYTES: usize = 8;
+
+/// Identifies one query session among those multiplexed over a shared
+/// simulated network.  A stand-alone [`super::QueryExecutor`] run is
+/// session 0 of a network of its own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session {}", self.0)
+    }
+}
+
+/// The envelope every engine message crosses the wire in: the payload
+/// plus the session that produced it, so deliveries can be dispatched to
+/// the right query's runtime.
+#[derive(Clone, Debug)]
+pub(super) struct Wire {
+    /// The query session the payload belongs to.
+    pub(super) session: SessionId,
+    /// The engine message itself.
+    pub(super) payload: Payload,
+}
 
 /// The engine-defined message type delivered by the simulator.
 #[derive(Clone, Debug)]

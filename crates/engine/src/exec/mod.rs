@@ -53,8 +53,14 @@
 //!   push loop, and the end-of-stream segment-closure cascade;
 //! * `scan` — leaf scans over the versioned store (distributed,
 //!   replicated and covering-index);
-//! * `exchange` — rehash/ship batching, routing-snapshot consultation
-//!   and the recovery output caches (`ExchangeLayer`);
+//! * `exchange` — rehash/ship batching, routing-snapshot consultation,
+//!   the recovery output caches (`ExchangeLayer`), and the
+//!   session-tagged wire envelope ([`SessionId`]);
+//! * `session` — the per-session handle onto a simulator shared by
+//!   several concurrent queries (shared-clock multiplexing);
+//! * `scheduler` — the multi-query [`SessionScheduler`]: admission
+//!   control over a bounded run queue, N runtimes interleaved over one
+//!   simulator, per-session recovery, [`WorkloadReport`] assembly;
 //! * `recovery` — the Restart and Incremental strategies;
 //! * `report` — [`QueryReport`] assembly and per-link traffic
 //!   accounting (`RunStats`).
@@ -64,18 +70,25 @@ mod pipeline;
 mod recovery;
 mod report;
 mod scan;
+pub mod scheduler;
+mod session;
 
 #[cfg(test)]
 mod tests;
 
 use crate::plan::PhysicalPlan;
-use orchestra_common::{Epoch, NodeId, Result};
+use orchestra_common::{Epoch, NodeId, OrchestraError, Result};
 use orchestra_simnet::{ClusterProfile, SimTime};
 use orchestra_storage::DistributedStorage;
 
 use pipeline::Runtime;
+use session::SessionSim;
 
+pub use exchange::SessionId;
 pub use report::QueryReport;
+pub use scheduler::{
+    AdmissionPolicy, QuerySession, SchedulerConfig, SessionReport, SessionScheduler, WorkloadReport,
+};
 
 /// How the executor reacts to a node failure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -178,13 +191,14 @@ impl<'a> QueryExecutor<'a> {
         epoch: Epoch,
         initiator: NodeId,
     ) -> Result<QueryReport> {
+        let sim = SessionSim::exclusive(self.storage.routing(), self.config.profile);
         Runtime::new(
             StorageHandle::Borrowed(self.storage),
             &self.config,
             plan,
             epoch,
             initiator,
-            None,
+            sim,
         )?
         .run()
     }
@@ -202,6 +216,15 @@ impl<'a> QueryExecutor<'a> {
         initiator: NodeId,
         failure: FailureSpec,
     ) -> Result<QueryReport> {
+        let table = self.storage.routing();
+        if !table.contains_node(failure.node) {
+            return Err(OrchestraError::Execution(format!(
+                "failure target {} is not a member of the routing table",
+                failure.node
+            )));
+        }
+        let mut sim = SessionSim::exclusive(table, self.config.profile);
+        sim.fail_node(failure.node, failure.at);
         let scratch = Box::new(self.storage.clone());
         Runtime::new(
             StorageHandle::Scratch(scratch),
@@ -209,7 +232,7 @@ impl<'a> QueryExecutor<'a> {
             plan,
             epoch,
             initiator,
-            Some(failure),
+            sim,
         )?
         .run()
     }

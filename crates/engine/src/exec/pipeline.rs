@@ -13,12 +13,13 @@
 
 use super::exchange::{ExchangeLayer, Payload, EOS_BYTES};
 use super::report::RunStats;
-use super::{EngineConfig, FailureSpec, QueryReport, StorageHandle};
+use super::session::SessionSim;
+use super::{EngineConfig, QueryReport, StorageHandle};
 use crate::ops::{AggState, JoinState};
 use crate::plan::{AggMode, OpId, OperatorKind, PhysicalPlan};
 use crate::provenance::{Phase, TaggedTuple};
 use orchestra_common::{Epoch, KeyRange, NodeId, OrchestraError, Result, Tuple};
-use orchestra_simnet::{Delivery, SimTime, Simulator};
+use orchestra_simnet::{Delivery, SimTime};
 use orchestra_substrate::RoutingTable;
 use std::collections::{HashMap, HashSet};
 
@@ -40,7 +41,7 @@ pub(super) struct Runtime<'a> {
     pub(super) epoch: Epoch,
     pub(super) initiator: NodeId,
 
-    pub(super) sim: Simulator<Payload>,
+    pub(super) sim: SessionSim,
     /// The routing table of the current phase (original snapshot, then
     /// recovery tables).
     pub(super) table: RoutingTable,
@@ -84,7 +85,7 @@ impl<'a> Runtime<'a> {
         plan: &'a PhysicalPlan,
         epoch: Epoch,
         initiator: NodeId,
-        failure: Option<FailureSpec>,
+        sim: SessionSim,
     ) -> Result<Runtime<'a>> {
         let table = storage.get().routing().clone();
         if !table.contains_node(initiator) {
@@ -92,25 +93,7 @@ impl<'a> Runtime<'a> {
                 "initiator {initiator} is not a member of the routing table"
             )));
         }
-        if let Some(f) = failure {
-            if !table.contains_node(f.node) {
-                return Err(OrchestraError::Execution(format!(
-                    "failure target {} is not a member of the routing table",
-                    f.node
-                )));
-            }
-        }
         let participants = table.nodes();
-        let node_slots = participants
-            .iter()
-            .map(|n| n.index())
-            .max()
-            .expect("routing table has nodes")
-            + 1;
-        let mut sim = Simulator::new(node_slots, config.profile);
-        if let Some(f) = failure {
-            sim.fail_node(f.node, f.at);
-        }
 
         let segment_roots: Vec<OpId> = plan
             .operators()
@@ -156,11 +139,27 @@ impl<'a> Runtime<'a> {
         })
     }
 
-    pub(super) fn run(mut self) -> Result<QueryReport> {
+    /// Start the query at virtual time `at`: set up this phase's
+    /// end-of-stream expectations and disseminate plan + snapshot.  The
+    /// stand-alone executor starts at time zero; the scheduler starts
+    /// each session at its admission instant.
+    pub(super) fn begin(&mut self, at: SimTime) {
         self.reset_eos_counters();
-        self.disseminate(SimTime::ZERO);
+        self.disseminate(at);
+    }
+
+    /// Has this session exhausted its recovery-round budget?
+    pub(super) fn rounds_exhausted(&self) -> bool {
+        self.stats.rounds >= self.config.max_recovery_rounds
+    }
+
+    /// Drive the query to completion over an exclusively owned
+    /// simulator.  The multi-query scheduler replaces this loop with its
+    /// own (shared) one, dispatching deliveries by session tag.
+    pub(super) fn run(mut self) -> Result<QueryReport> {
+        self.begin(SimTime::ZERO);
         loop {
-            while let Some(d) = self.sim.next() {
+            while let Some(d) = self.sim.next_own() {
                 self.handle(d)?;
             }
             if self.done {
@@ -172,7 +171,7 @@ impl<'a> Runtime<'a> {
                     "query stalled with no failed node (engine bug)".into(),
                 ));
             }
-            if self.stats.rounds >= self.config.max_recovery_rounds {
+            if self.rounds_exhausted() {
                 return Err(OrchestraError::Execution(format!(
                     "query did not complete within {} recovery rounds",
                     self.config.max_recovery_rounds
@@ -215,7 +214,7 @@ impl<'a> Runtime<'a> {
     // Event handling
     // ------------------------------------------------------------------
 
-    fn handle(&mut self, d: Delivery<Payload>) -> Result<()> {
+    pub(super) fn handle(&mut self, d: Delivery<Payload>) -> Result<()> {
         match d.payload {
             Payload::Start => self.on_start(d.to, d.time),
             Payload::Batch { op, rows } => {

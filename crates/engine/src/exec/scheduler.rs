@@ -1,0 +1,384 @@
+//! The multi-query session scheduler.
+//!
+//! Every layer below this one runs exactly one query over a dedicated
+//! simulated network.  [`SessionScheduler`] is what turns the executor
+//! into a *serving* system: it drives N query runtimes interleaved over
+//! **one** shared simulator, so batches from different queries contend
+//! for the same uplinks, downlinks and CPUs, and the clock advances
+//! globally rather than per query.
+//!
+//! ## Admission control
+//!
+//! Submitted sessions enter a bounded run queue (capacity
+//! [`SchedulerConfig::queue_capacity`]; submitting more is an error, the
+//! system is loaded beyond its configured bound).  At most
+//! [`SchedulerConfig::max_concurrent`] sessions execute at once; a slot
+//! frees when a session's `Output` segment closes.  The admission order
+//! is governed by [`AdmissionPolicy`]:
+//!
+//! * [`AdmissionPolicy::Fifo`] — strictly by submission order;
+//! * [`AdmissionPolicy::ShortestCostFirst`] — by the optimizer's
+//!   estimated plan cost ([`QuerySession::estimated_cost`], network
+//!   bytes from `orchestra_optimizer::estimate_plan_cost`), submission
+//!   order breaking ties — the classic shortest-job-first heuristic that
+//!   trades worst-case latency for mean latency.
+//!
+//! ## Failures
+//!
+//! A [`super::FailureSpec`] kills a node *of the shared network*: every
+//! in-flight session loses its deliveries to and from the victim at
+//! once.  When the event queue quiesces with sessions incomplete, the
+//! scheduler runs each stalled session's own recovery (Restart or
+//! Incremental, per the engine config) — the per-session wire tags
+//! ([`SessionId`]) are what keep one query's purge/retransmission from
+//! touching another's state.  Sessions admitted after the failure execute on the
+//! survivors from the start via the same recovery path.
+//!
+//! ## Reports
+//!
+//! Each finished session yields a [`SessionReport`] — queue wait,
+//! latency and the full per-query [`QueryReport`] with session-exact
+//! traffic.  The run as a whole yields a [`WorkloadReport`]: makespan,
+//! aggregate traffic, peak concurrency, and the shared network's link
+//! utilization, the quantities a throughput/latency experiment sweeps.
+
+use super::exchange::{SessionId, Wire};
+use super::pipeline::Runtime;
+use super::session::{shared_sim, SessionSim, SharedSim};
+use super::{EngineConfig, FailureSpec, QueryReport, StorageHandle};
+use crate::plan::PhysicalPlan;
+use orchestra_common::{Epoch, NodeId, OrchestraError, Result};
+use orchestra_simnet::{Delivery, SimTime};
+use orchestra_storage::DistributedStorage;
+use std::collections::VecDeque;
+
+/// How the scheduler picks the next session to admit from the run queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AdmissionPolicy {
+    /// Strictly by submission order.
+    Fifo,
+    /// Cheapest estimated plan first ([`QuerySession::estimated_cost`]),
+    /// submission order breaking ties.
+    ShortestCostFirst,
+}
+
+/// Configuration of the multi-query scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Sessions executing concurrently at most.
+    pub max_concurrent: usize,
+    /// Bound of the run queue: submitting more sessions than this in one
+    /// workload is rejected at admission.
+    pub queue_capacity: usize,
+    /// Admission order of queued sessions.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            max_concurrent: 4,
+            queue_capacity: 64,
+            policy: AdmissionPolicy::Fifo,
+        }
+    }
+}
+
+/// One query submitted to the scheduler.
+#[derive(Clone, Debug)]
+pub struct QuerySession {
+    /// Label carried through to the session's report.
+    pub name: String,
+    /// The physical plan to execute.
+    pub plan: PhysicalPlan,
+    /// The data version the query reads.
+    pub epoch: Epoch,
+    /// The node the query is initiated from (receives the answer).
+    pub initiator: NodeId,
+    /// The optimizer's estimated plan cost in network bytes
+    /// (`orchestra_optimizer::estimate_plan_cost(..).total()`), consulted
+    /// by [`AdmissionPolicy::ShortestCostFirst`].
+    pub estimated_cost: f64,
+}
+
+/// One session's outcome within a scheduled workload.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// The session's id (its submission index).
+    pub session: SessionId,
+    /// The submitted [`QuerySession::name`].
+    pub name: String,
+    /// Virtual time spent waiting in the run queue before admission
+    /// (every session arrives at time zero).
+    pub queue_wait: SimTime,
+    /// Virtual instant the session's answer was complete.
+    pub finished_at: SimTime,
+    /// Admission-to-completion time: `finished_at - queue_wait`.
+    pub latency: SimTime,
+    /// The session's full per-query report (rows, session-exact traffic,
+    /// recovery counters).
+    pub report: QueryReport,
+}
+
+/// The outcome of one scheduled workload: every session's report plus
+/// the shared network's aggregate measurements.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Completion instant of the last session.
+    pub makespan: SimTime,
+    /// Bytes shipped between distinct nodes, all sessions combined.
+    pub total_bytes: u64,
+    /// Inter-node messages, all sessions combined.
+    pub total_messages: u64,
+    /// Aggregate link utilization over `[0, makespan]`: transfer time
+    /// summed over every uplink and downlink, divided by the window's
+    /// total link capacity.
+    pub link_utilization: f64,
+    /// Most sessions ever executing at once (never exceeds
+    /// [`SchedulerConfig::max_concurrent`]).
+    pub peak_concurrency: usize,
+    /// Session ids in the order they were admitted.
+    pub admission_order: Vec<SessionId>,
+    /// Per-session reports, in submission order.
+    pub sessions: Vec<SessionReport>,
+}
+
+/// Drives N query runtimes interleaved over one shared simulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionScheduler {
+    config: SchedulerConfig,
+}
+
+impl SessionScheduler {
+    /// A scheduler with `config`.
+    pub fn new(config: SchedulerConfig) -> SessionScheduler {
+        SessionScheduler { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Run `sessions` to completion over `storage`, failure-free.
+    pub fn run(
+        &self,
+        storage: &DistributedStorage,
+        engine: &EngineConfig,
+        sessions: &[QuerySession],
+    ) -> Result<WorkloadReport> {
+        self.run_inner(storage, engine, sessions, None)
+    }
+
+    /// Run `sessions` while killing `failure.node` at `failure.at` on the
+    /// shared network — every in-flight session is hit at once.  Each
+    /// session recovers under `engine.strategy` against its own scratch
+    /// copy of the storage, exactly like a stand-alone failure run.
+    pub fn run_with_failure(
+        &self,
+        storage: &DistributedStorage,
+        engine: &EngineConfig,
+        sessions: &[QuerySession],
+        failure: FailureSpec,
+    ) -> Result<WorkloadReport> {
+        self.run_inner(storage, engine, sessions, Some(failure))
+    }
+
+    fn run_inner(
+        &self,
+        storage: &DistributedStorage,
+        engine: &EngineConfig,
+        sessions: &[QuerySession],
+        failure: Option<FailureSpec>,
+    ) -> Result<WorkloadReport> {
+        if sessions.is_empty() {
+            return Err(OrchestraError::Execution(
+                "the scheduler needs at least one session".into(),
+            ));
+        }
+        if self.config.max_concurrent == 0 {
+            return Err(OrchestraError::Execution(
+                "max_concurrent must be at least 1".into(),
+            ));
+        }
+        if sessions.len() > self.config.queue_capacity {
+            return Err(OrchestraError::Execution(format!(
+                "admission rejected: {} sessions exceed the run-queue bound of {}",
+                sessions.len(),
+                self.config.queue_capacity
+            )));
+        }
+        let table = storage.routing();
+        for s in sessions {
+            if !table.contains_node(s.initiator) {
+                return Err(OrchestraError::Execution(format!(
+                    "initiator {} of session \"{}\" is not a member of the routing table",
+                    s.initiator, s.name
+                )));
+            }
+        }
+        if let Some(f) = failure {
+            if !table.contains_node(f.node) {
+                return Err(OrchestraError::Execution(format!(
+                    "failure target {} is not a member of the routing table",
+                    f.node
+                )));
+            }
+        }
+
+        let shared: SharedSim = shared_sim(table, engine.profile);
+        if let Some(f) = failure {
+            shared.borrow_mut().fail_node(f.node, f.at);
+        }
+
+        let mut queue = self.admission_queue(sessions);
+        let mut runtimes: Vec<Option<Runtime>> = sessions.iter().map(|_| None).collect();
+        let mut finished: Vec<Option<SessionReport>> = sessions.iter().map(|_| None).collect();
+        let mut admitted_at: Vec<SimTime> = vec![SimTime::ZERO; sessions.len()];
+        let mut admission_order = Vec::with_capacity(sessions.len());
+        let mut active = 0usize;
+        let mut peak_concurrency = 0usize;
+
+        loop {
+            // Admit while there is queued work and free capacity.
+            while active < self.config.max_concurrent {
+                let Some(idx) = queue.pop_front() else { break };
+                let now = shared.borrow().now();
+                let session = &sessions[idx];
+                let sim = SessionSim::attach(shared.clone(), SessionId(idx as u32));
+                // A failure run needs a per-session scratch copy so each
+                // session's recovery can mark the dead node unreadable
+                // without disturbing the caller (or the other sessions).
+                let handle = if failure.is_some() {
+                    StorageHandle::Scratch(Box::new(storage.clone()))
+                } else {
+                    StorageHandle::Borrowed(storage)
+                };
+                let mut runtime = Runtime::new(
+                    handle,
+                    engine,
+                    &session.plan,
+                    session.epoch,
+                    session.initiator,
+                    sim,
+                )?;
+                runtime.begin(now);
+                runtimes[idx] = Some(runtime);
+                admitted_at[idx] = now;
+                admission_order.push(SessionId(idx as u32));
+                active += 1;
+                peak_concurrency = peak_concurrency.max(active);
+            }
+
+            let popped = shared.borrow_mut().next_any();
+            match popped {
+                Some((delivery, delivered)) => {
+                    let idx = delivery.payload.session.0 as usize;
+                    // Stragglers of an already finished session (e.g. a
+                    // replica fetch still in flight when the answer
+                    // completed) carry no work.
+                    let Some(runtime) = runtimes[idx].as_mut() else {
+                        continue;
+                    };
+                    if !delivered {
+                        runtime.sim.note_receiver_drop();
+                        continue;
+                    }
+                    let Delivery {
+                        time,
+                        from,
+                        to,
+                        payload: Wire { payload, .. },
+                    } = delivery;
+                    runtime.handle(Delivery {
+                        time,
+                        from,
+                        to,
+                        payload,
+                    })?;
+                    if runtime.done {
+                        let runtime = runtimes[idx].take().expect("runtime is active");
+                        let report = runtime.into_report();
+                        let queue_wait = admitted_at[idx];
+                        let finished_at = report.running_time;
+                        finished[idx] = Some(SessionReport {
+                            session: SessionId(idx as u32),
+                            name: sessions[idx].name.clone(),
+                            queue_wait,
+                            finished_at,
+                            latency: finished_at.saturating_sub(queue_wait),
+                            report,
+                        });
+                        active -= 1;
+                    }
+                }
+                None => {
+                    // Quiesced: done, waiting on admission, or stalled.
+                    if active == 0 && queue.is_empty() {
+                        break;
+                    }
+                    if active == 0 {
+                        continue; // free capacity — admit at the top.
+                    }
+                    let now = shared.borrow().now();
+                    let failed = shared.borrow().failed_nodes_at(now);
+                    if failed.is_empty() {
+                        return Err(OrchestraError::Execution(
+                            "workload stalled with no failed node (engine bug)".into(),
+                        ));
+                    }
+                    // Every still-active session stalled on the same
+                    // failure; recover each one against its own state,
+                    // in session order for determinism.
+                    for (idx, slot) in runtimes.iter_mut().enumerate() {
+                        let Some(runtime) = slot.as_mut() else {
+                            continue;
+                        };
+                        if runtime.rounds_exhausted() {
+                            return Err(OrchestraError::Execution(format!(
+                                "session \"{}\" did not complete within {} recovery rounds",
+                                sessions[idx].name, engine.max_recovery_rounds
+                            )));
+                        }
+                        runtime.recover(&failed)?;
+                    }
+                }
+            }
+        }
+
+        let sessions_out: Vec<SessionReport> = finished
+            .into_iter()
+            .map(|r| r.expect("every session finished"))
+            .collect();
+        let makespan = sessions_out
+            .iter()
+            .map(|s| s.finished_at)
+            .fold(SimTime::ZERO, SimTime::max);
+        let sim = shared.borrow();
+        Ok(WorkloadReport {
+            makespan,
+            total_bytes: sim.stats().total_bytes(),
+            total_messages: sim.stats().total_messages(),
+            link_utilization: sim.link_utilization(makespan),
+            peak_concurrency,
+            admission_order,
+            sessions: sessions_out,
+        })
+    }
+
+    /// The run queue in admission order under the configured policy.
+    fn admission_queue(&self, sessions: &[QuerySession]) -> VecDeque<usize> {
+        let mut order: Vec<usize> = (0..sessions.len()).collect();
+        if self.config.policy == AdmissionPolicy::ShortestCostFirst {
+            // Stable sort: equal (or incomparable) costs keep
+            // submission order.
+            order.sort_by(|&a, &b| {
+                sessions[a]
+                    .estimated_cost
+                    .partial_cmp(&sessions[b].estimated_cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        order.into()
+    }
+}

@@ -382,3 +382,295 @@ fn incremental_recovery_returns_the_full_answer() {
     assert!(report.recovered);
     assert_eq!(report.rows, baseline.rows);
 }
+
+// ----------------------------------------------------------------------
+// The multi-query session scheduler
+// ----------------------------------------------------------------------
+
+/// A join plan whose rehash keys are not the partitioning keys, so its
+/// batches genuinely cross the shared links.
+fn join_plan() -> crate::plan::PhysicalPlan {
+    let mut pb = PlanBuilder::new();
+    let r = pb.scan("R", 3, None);
+    let sc = pb.scan("S", 2, None);
+    let r_re = pb.rehash(r, vec![2]);
+    let s_re = pb.rehash(sc, vec![1]);
+    let join = pb.hash_join(r_re, s_re, vec![2], vec![1]);
+    let ship = pb.ship(join);
+    pb.output(ship)
+}
+
+fn agg_plan() -> crate::plan::PhysicalPlan {
+    let mut pb = PlanBuilder::new();
+    let scan = pb.scan("R", 3, None);
+    let re = pb.rehash(scan, vec![1]);
+    let agg = pb.two_phase_aggregate(re, vec![1], vec![(AggFunc::Sum, 2), (AggFunc::Count, 2)]);
+    pb.output(agg)
+}
+
+fn session(name: &str, plan: crate::plan::PhysicalPlan, epoch: Epoch, cost: f64) -> QuerySession {
+    QuerySession {
+        name: name.into(),
+        plan,
+        epoch,
+        initiator: NodeId(0),
+        estimated_cost: cost,
+    }
+}
+
+/// The S rows `join_plan` reads (R.v = S.w joins k with 10·k).
+fn publish_s_matching(s: &mut DistributedStorage, count: i64) {
+    let mut b = UpdateBatch::new();
+    for k in 0..count {
+        b.insert("S", Tuple::new(vec![Value::Int(k), Value::Int(k * 10)]));
+    }
+    s.publish(&b).unwrap();
+}
+
+#[test]
+fn single_session_workload_matches_the_stand_alone_executor() {
+    let mut s = cluster(4);
+    publish_r(&mut s, 100);
+    let config = EngineConfig::default();
+    let stand_alone = QueryExecutor::new(&s, config.clone())
+        .execute(&scan_ship_plan(), Epoch(0), NodeId(0))
+        .unwrap();
+
+    let scheduler = SessionScheduler::new(SchedulerConfig::default());
+    let workload = scheduler
+        .run(
+            &s,
+            &config,
+            &[session("only", scan_ship_plan(), Epoch(0), 1.0)],
+        )
+        .unwrap();
+    assert_eq!(workload.sessions.len(), 1);
+    let report = &workload.sessions[0].report;
+    assert_eq!(report.rows, stand_alone.rows);
+    assert_eq!(report.total_bytes, stand_alone.total_bytes);
+    assert_eq!(report.running_time, stand_alone.running_time);
+    assert_eq!(report.link_traffic, stand_alone.link_traffic);
+    assert_eq!(workload.makespan, stand_alone.running_time);
+    assert_eq!(workload.total_bytes, stand_alone.total_bytes);
+    assert_eq!(workload.peak_concurrency, 1);
+    assert_eq!(workload.sessions[0].queue_wait, SimTime::ZERO);
+}
+
+#[test]
+fn concurrent_sessions_share_the_network_and_keep_their_answers() {
+    let mut s = cluster(6);
+    publish_r(&mut s, 120);
+    publish_s_matching(&mut s, 120);
+    let config = EngineConfig::default();
+    let exec = QueryExecutor::new(&s, config.clone());
+    let expected: Vec<_> = [scan_ship_plan(), join_plan(), agg_plan()]
+        .iter()
+        .map(|p| exec.execute(p, Epoch(1), NodeId(0)).unwrap().rows)
+        .collect();
+
+    let scheduler = SessionScheduler::new(SchedulerConfig {
+        max_concurrent: 3,
+        ..SchedulerConfig::default()
+    });
+    let sessions = [
+        session("scan", scan_ship_plan(), Epoch(1), 3.0),
+        session("join", join_plan(), Epoch(1), 2.0),
+        session("agg", agg_plan(), Epoch(1), 1.0),
+    ];
+    let workload = scheduler.run(&s, &config, &sessions).unwrap();
+
+    // Every query keeps its exact stand-alone answer despite contending
+    // for the same links, CPUs and clock.
+    for (i, sr) in workload.sessions.iter().enumerate() {
+        assert_eq!(sr.report.rows, expected[i], "session {i} answer");
+    }
+    assert_eq!(workload.peak_concurrency, 3);
+    // Per-session traffic partitions the shared network's aggregate.
+    let per_session: u64 = workload
+        .sessions
+        .iter()
+        .map(|sr| sr.report.total_bytes)
+        .sum();
+    assert_eq!(per_session, workload.total_bytes);
+    assert!(workload.link_utilization > 0.0 && workload.link_utilization <= 1.0);
+    // The makespan is the last completion.
+    let last = workload
+        .sessions
+        .iter()
+        .map(|sr| sr.finished_at)
+        .fold(SimTime::ZERO, SimTime::max);
+    assert_eq!(workload.makespan, last);
+}
+
+#[test]
+fn fifo_and_cost_first_admission_orders_are_deterministic() {
+    let mut s = cluster(4);
+    publish_r(&mut s, 80);
+    let config = EngineConfig::default();
+    // Costs deliberately out of submission order: 30, 10, 20.
+    let sessions = [
+        session("expensive", scan_ship_plan(), Epoch(0), 30.0),
+        session("cheap", scan_ship_plan(), Epoch(0), 10.0),
+        session("middle", scan_ship_plan(), Epoch(0), 20.0),
+    ];
+
+    let run = |policy| {
+        let scheduler = SessionScheduler::new(SchedulerConfig {
+            max_concurrent: 1,
+            policy,
+            ..SchedulerConfig::default()
+        });
+        scheduler.run(&s, &config, &sessions).unwrap()
+    };
+
+    let fifo = run(AdmissionPolicy::Fifo);
+    let ids = |w: &WorkloadReport| w.admission_order.iter().map(|s| s.0).collect::<Vec<_>>();
+    assert_eq!(ids(&fifo), vec![0, 1, 2]);
+    let cost_first = run(AdmissionPolicy::ShortestCostFirst);
+    assert_eq!(ids(&cost_first), vec![1, 2, 0]);
+
+    // With one slot, later admissions wait in the queue.
+    assert_eq!(fifo.peak_concurrency, 1);
+    assert_eq!(fifo.sessions[0].queue_wait, SimTime::ZERO);
+    assert!(fifo.sessions[1].queue_wait > SimTime::ZERO);
+    assert!(fifo.sessions[2].queue_wait > fifo.sessions[1].queue_wait);
+    // Under cost-first, the expensive submission waits longest.
+    assert!(cost_first.sessions[0].queue_wait > cost_first.sessions[2].queue_wait);
+
+    // Bit-for-bit deterministic replay.
+    let again = run(AdmissionPolicy::ShortestCostFirst);
+    assert_eq!(ids(&again), ids(&cost_first));
+    assert_eq!(again.makespan, cost_first.makespan);
+    assert_eq!(again.total_bytes, cost_first.total_bytes);
+    for (a, b) in again.sessions.iter().zip(&cost_first.sessions) {
+        assert_eq!(a.report.rows, b.report.rows);
+        assert_eq!(a.latency, b.latency);
+    }
+}
+
+#[test]
+fn run_queue_bound_rejects_oversubmission() {
+    let mut s = cluster(4);
+    publish_r(&mut s, 20);
+    let scheduler = SessionScheduler::new(SchedulerConfig {
+        max_concurrent: 2,
+        queue_capacity: 2,
+        policy: AdmissionPolicy::Fifo,
+    });
+    let sessions: Vec<QuerySession> = (0..3)
+        .map(|i| session(&format!("q{i}"), scan_ship_plan(), Epoch(0), i as f64))
+        .collect();
+    let err = scheduler
+        .run(&s, &EngineConfig::default(), &sessions)
+        .unwrap_err();
+    assert!(err.message().contains("run-queue bound"), "{err}");
+
+    // Within the bound, concurrency never exceeds the configured slots.
+    let workload = scheduler
+        .run(&s, &EngineConfig::default(), &sessions[..2])
+        .unwrap();
+    assert!(workload.peak_concurrency <= 2);
+}
+
+#[test]
+fn concurrency_reduces_makespan_over_serial_execution() {
+    let mut s = cluster(6);
+    publish_r(&mut s, 120);
+    publish_s_matching(&mut s, 120);
+    let config = EngineConfig::default();
+    let sessions = [
+        session("scan", scan_ship_plan(), Epoch(1), 1.0),
+        session("join", join_plan(), Epoch(1), 2.0),
+        session("agg", agg_plan(), Epoch(1), 3.0),
+    ];
+    let run = |slots| {
+        SessionScheduler::new(SchedulerConfig {
+            max_concurrent: slots,
+            ..SchedulerConfig::default()
+        })
+        .run(&s, &config, &sessions)
+        .unwrap()
+    };
+    let serial = run(1);
+    let concurrent = run(3);
+    assert!(
+        concurrent.makespan < serial.makespan,
+        "interleaving must shorten the makespan: {} vs {}",
+        concurrent.makespan,
+        serial.makespan
+    );
+    assert!(
+        concurrent.link_utilization > serial.link_utilization,
+        "a shorter window moving the same bytes is busier: {} vs {}",
+        concurrent.link_utilization,
+        serial.link_utilization
+    );
+}
+
+#[test]
+fn failure_during_concurrent_sessions_recovers_each_one() {
+    let mut s = cluster(6);
+    publish_r(&mut s, 120);
+    publish_s_matching(&mut s, 120);
+    let config = EngineConfig::default();
+    let exec = QueryExecutor::new(&s, config.clone());
+    let expected: Vec<_> = [scan_ship_plan(), join_plan(), agg_plan()]
+        .iter()
+        .map(|p| exec.execute(p, Epoch(1), NodeId(0)).unwrap().rows)
+        .collect();
+    let baseline = SessionScheduler::new(SchedulerConfig {
+        max_concurrent: 3,
+        ..SchedulerConfig::default()
+    })
+    .run(
+        &s,
+        &config,
+        &[
+            session("scan", scan_ship_plan(), Epoch(1), 1.0),
+            session("join", join_plan(), Epoch(1), 2.0),
+            session("agg", agg_plan(), Epoch(1), 3.0),
+        ],
+    )
+    .unwrap();
+
+    for strategy in [RecoveryStrategy::Restart, RecoveryStrategy::Incremental] {
+        let run_config = EngineConfig {
+            strategy,
+            ..config.clone()
+        };
+        let failure = FailureSpec::at_time(
+            NodeId(4),
+            SimTime::from_micros(baseline.makespan.as_micros() / 2),
+        );
+        let workload = SessionScheduler::new(SchedulerConfig {
+            max_concurrent: 3,
+            ..SchedulerConfig::default()
+        })
+        .run_with_failure(
+            &s,
+            &run_config,
+            &[
+                session("scan", scan_ship_plan(), Epoch(1), 1.0),
+                session("join", join_plan(), Epoch(1), 2.0),
+                session("agg", agg_plan(), Epoch(1), 3.0),
+            ],
+            failure,
+        )
+        .unwrap();
+        let recovered = workload
+            .sessions
+            .iter()
+            .filter(|sr| sr.report.recovered)
+            .count();
+        assert!(
+            recovered > 0,
+            "{strategy:?}: the mid-makespan failure must interrupt at least one session"
+        );
+        for (i, sr) in workload.sessions.iter().enumerate() {
+            assert_eq!(
+                sr.report.rows, expected[i],
+                "{strategy:?}: session {i} must recover to its exact answer"
+            );
+        }
+    }
+}

@@ -60,7 +60,10 @@ pub mod ops;
 pub mod plan;
 pub mod provenance;
 
-pub use exec::{EngineConfig, FailureSpec, QueryExecutor, QueryReport, RecoveryStrategy};
+pub use exec::{
+    AdmissionPolicy, EngineConfig, FailureSpec, QueryExecutor, QueryReport, QuerySession,
+    RecoveryStrategy, SchedulerConfig, SessionId, SessionReport, SessionScheduler, WorkloadReport,
+};
 pub use expr::{AggFunc, CmpOp, Predicate, ScalarExpr};
 pub use plan::{AggMode, OpId, Operator, OperatorKind, PhysicalPlan, PlanBuilder};
 pub use provenance::{Phase, TaggedTuple};

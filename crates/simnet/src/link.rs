@@ -25,6 +25,10 @@ pub struct LinkState {
     pub uplink_free_at: SimTime,
     /// Earliest time the node can start receiving the next message.
     pub downlink_free_at: SimTime,
+    /// Cumulative time the uplink has spent transferring bytes.
+    pub uplink_busy: SimTime,
+    /// Cumulative time the downlink has spent transferring bytes.
+    pub downlink_busy: SimTime,
 }
 
 impl LinkState {
@@ -42,9 +46,17 @@ impl LinkState {
         profile: &ClusterProfile,
     ) -> SimTime {
         let start = self.uplink_free_at.max(ready);
-        let done = start + profile.transfer_time(bytes);
+        let occupied = profile.transfer_time(bytes);
+        let done = start + occupied;
         self.uplink_free_at = done;
+        self.uplink_busy += occupied;
         done
+    }
+
+    /// Total time this node's links have spent transferring bytes, both
+    /// directions combined — the numerator of a utilization figure.
+    pub fn busy_time(&self) -> SimTime {
+        self.uplink_busy + self.downlink_busy
     }
 
     /// Reserve the downlink for a transfer of `bytes` whose first byte
@@ -57,8 +69,10 @@ impl LinkState {
         profile: &ClusterProfile,
     ) -> SimTime {
         let start = self.downlink_free_at.max(arrival_start);
-        let done = start + profile.transfer_time(bytes);
+        let occupied = profile.transfer_time(bytes);
+        let done = start + occupied;
         self.downlink_free_at = done;
+        self.downlink_busy += occupied;
         done
     }
 }
@@ -86,6 +100,18 @@ mod tests {
         // became free.
         let done = link.reserve_uplink(SimTime::from_secs(10), 1000, &profile);
         assert_eq!(done, SimTime::from_secs(10) + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn busy_time_accumulates_transfer_time_not_idle_gaps() {
+        let profile = ClusterProfile::wan(1000.0, 0.0); // 1 MB/s
+        let mut link = LinkState::idle();
+        link.reserve_uplink(SimTime::ZERO, 1000, &profile); // 1 ms
+        link.reserve_uplink(SimTime::from_secs(5), 1000, &profile); // 1 ms, after a gap
+        link.reserve_downlink(SimTime::from_secs(7), 2000, &profile); // 2 ms
+        assert_eq!(link.uplink_busy, SimTime::from_millis(2));
+        assert_eq!(link.downlink_busy, SimTime::from_millis(2));
+        assert_eq!(link.busy_time(), SimTime::from_millis(4));
     }
 
     #[test]

@@ -237,20 +237,70 @@ impl<M> Simulator<M> {
     /// calls between pops, which a borrowing iterator would forbid.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Delivery<M>> {
-        while let Some(ev) = self.queue.pop() {
-            self.now = self.now.max(ev.time);
-            if self.is_failed_at(ev.to, ev.time) {
-                self.dropped += 1;
-                continue;
+        while let Some((d, delivered)) = self.next_any() {
+            if delivered {
+                return Some(d);
             }
-            return Some(Delivery {
+        }
+        None
+    }
+
+    /// Pop the next event, delivered or not.  The flag is `false` when
+    /// the destination was failed at the delivery instant: the event was
+    /// counted as dropped and must not be processed, but callers that
+    /// multiplex several sessions over one simulator can still read the
+    /// payload to attribute the drop.  `None` means the simulation has
+    /// quiesced.
+    pub fn next_any(&mut self) -> Option<(Delivery<M>, bool)> {
+        let ev = self.queue.pop()?;
+        self.now = self.now.max(ev.time);
+        let delivered = !self.is_failed_at(ev.to, ev.time);
+        if !delivered {
+            self.dropped += 1;
+        }
+        Some((
+            Delivery {
                 time: ev.time,
                 from: ev.from,
                 to: ev.to,
                 payload: ev.payload,
-            });
+            },
+            delivered,
+        ))
+    }
+
+    /// Total time all links have spent transferring bytes, both
+    /// directions over every node.
+    pub fn link_busy_time(&self) -> SimTime {
+        self.links
+            .iter()
+            .fold(SimTime::ZERO, |acc, l| acc + l.busy_time())
+    }
+
+    /// Aggregate link utilization over the window `[0, until]`: transfer
+    /// time summed across every node's uplink and downlink, divided by
+    /// the total link capacity of the window (`2 × nodes × until`).
+    /// Returns 0 for an empty window.
+    ///
+    /// Busy time accrues in full at reservation, so a transfer still in
+    /// flight at `until` contributes its whole duration: the figure is
+    /// an upper bound on the window's true utilization.  Each direction
+    /// is clamped to the window (a link cannot be busy longer than the
+    /// window lasts), which also caps the result at 1.0.
+    pub fn link_utilization(&self, until: SimTime) -> f64 {
+        let capacity = 2 * self.links.len() as u64 * until.as_micros();
+        if capacity == 0 {
+            return 0.0;
         }
-        None
+        let busy: u64 = self
+            .links
+            .iter()
+            .map(|l| {
+                l.uplink_busy.as_micros().min(until.as_micros())
+                    + l.downlink_busy.as_micros().min(until.as_micros())
+            })
+            .sum();
+        busy as f64 / capacity as f64
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -365,6 +415,39 @@ mod tests {
         assert!(s.is_failed_at(NodeId(1), SimTime::from_millis(1)));
         assert!(!s.is_failed_at(NodeId(1), SimTime::ZERO));
         assert_eq!(s.failed_nodes_at(SimTime::from_secs(1)).len(), 1);
+    }
+
+    #[test]
+    fn next_any_surfaces_dropped_deliveries() {
+        let mut s = sim(2);
+        s.send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "doomed")
+            .unwrap();
+        s.fail_node(NodeId(1), SimTime::from_millis(1));
+        let (d, delivered) = s.next_any().unwrap();
+        assert!(!delivered, "receiver is dead at the delivery instant");
+        assert_eq!(d.payload, "doomed");
+        assert_eq!(s.dropped_messages(), 1);
+        assert!(s.next_any().is_none());
+    }
+
+    #[test]
+    fn link_utilization_tracks_busy_fraction() {
+        let mut s = sim(2); // 1 MB/s, 10 ms latency
+        assert_eq!(s.link_utilization(SimTime::from_secs(1)), 0.0);
+        // 1000 bytes = 1 ms on the uplink + 1 ms on the downlink.
+        s.send(NodeId(0), NodeId(1), 1000, SimTime::ZERO, "m");
+        assert_eq!(s.link_busy_time(), SimTime::from_millis(2));
+        // 2 ms busy over a 100 ms window of 2 nodes × 2 directions.
+        let util = s.link_utilization(SimTime::from_millis(100));
+        assert!((util - 2.0 / 400.0).abs() < 1e-12, "{util}");
+        assert_eq!(s.link_utilization(SimTime::ZERO), 0.0);
+        // A transfer longer than the window is clamped to it: the
+        // utilization figure never exceeds 1.0 even when stragglers are
+        // still in flight at the window's end.
+        s.send(NodeId(0), NodeId(1), 10_000_000, SimTime::ZERO, "big"); // 10 s
+        let clamped = s.link_utilization(SimTime::from_millis(100));
+        assert!(clamped <= 1.0, "{clamped}");
+        assert!((clamped - 0.5).abs() < 0.02, "{clamped}"); // 2 of 4 links saturated
     }
 
     #[test]

@@ -30,7 +30,7 @@
 pub mod stbenchmark;
 pub mod tpch;
 
-use orchestra_common::{rng, Epoch, NodeId, Relation, Result, Tuple, Value};
+use orchestra_common::{rng, Epoch, NodeId, OrchestraError, Relation, Result, Tuple, Value};
 use orchestra_engine::PhysicalPlan;
 use orchestra_optimizer::{LogicalQuery, Statistics};
 use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
@@ -77,15 +77,100 @@ pub fn compiled_plan(
 /// size), register the relations, publish the batch, and return the
 /// storage together with the epoch to query.
 pub fn deploy(workload: &dyn Workload, nodes: u16) -> Result<(DistributedStorage, Epoch)> {
+    deploy_all(&[workload], nodes)
+}
+
+/// Stand up one cluster holding the data of *several* workloads — the
+/// substrate of a concurrent session stream, where queries over
+/// different datasets share links and storage nodes.
+///
+/// Relations are deduplicated by name: workloads that read the same
+/// relation (the TPC-H queries all scan `lineitem`) contribute its
+/// schema and rows exactly once.  A name reused with a *different*
+/// schema — or with the same schema but different generated data, which
+/// would silently invalidate the later workload's reference answer — is
+/// a configuration error, not a silent overwrite.  All rows are
+/// published as one batch, so a single epoch covers every workload's
+/// data.
+pub fn deploy_all(workloads: &[&dyn Workload], nodes: u16) -> Result<(DistributedStorage, Epoch)> {
+    use orchestra_storage::Update;
     let ids: Vec<NodeId> = (0..nodes).map(NodeId).collect();
     let replication = 3.min(ids.len().max(1));
     let routing = RoutingTable::build(&ids, AllocationScheme::Balanced, replication);
     let mut storage = DistributedStorage::new(routing, StorageConfig::default());
-    for relation in workload.relations() {
-        storage.register_relation(relation);
+    let mut registered: Vec<Relation> = Vec::new();
+    let mut contributed: std::collections::BTreeMap<String, Vec<Update>> =
+        std::collections::BTreeMap::new();
+    let mut merged = UpdateBatch::new();
+    for workload in workloads {
+        let batch = workload.batch();
+        for relation in workload.relations() {
+            let name = relation.name().to_string();
+            match registered.iter().find(|r| r.name() == name) {
+                Some(existing) if existing == &relation => {
+                    // Same schema — the data must be identical too, or
+                    // queries of this workload would run over rows its
+                    // reference answer was never computed from.
+                    if contributed.get(&name).map(Vec::as_slice) != Some(batch.updates_for(&name)) {
+                        return Err(OrchestraError::Execution(format!(
+                            "workload {} re-publishes relation {name} with different data",
+                            workload.name()
+                        )));
+                    }
+                }
+                Some(_) => {
+                    return Err(OrchestraError::Execution(format!(
+                        "workload {} re-registers relation {name} with a different schema",
+                        workload.name()
+                    )))
+                }
+                None => {
+                    storage.register_relation(relation.clone());
+                    registered.push(relation);
+                    let updates = batch.updates_for(&name).to_vec();
+                    for update in &updates {
+                        if let Update::Insert(tuple) = update {
+                            merged.insert(&name, tuple.clone());
+                        } else {
+                            return Err(OrchestraError::Execution(format!(
+                                "workload {} publishes non-insert updates; deploy_all only \
+                                 merges inserts",
+                                workload.name()
+                            )));
+                        }
+                    }
+                    contributed.insert(name, updates);
+                }
+            }
+        }
     }
-    let epoch = storage.publish(&workload.batch())?;
+    let epoch = storage.publish(&merged)?;
     Ok((storage, epoch))
+}
+
+/// A deterministic mixed stream of catalogue workloads — `copies`
+/// interleavings of the STBenchmark scenarios (`Copy`, `Concatenate`)
+/// and the TPC-H queries (Q1, Q3, Q6) over one shared dataset, in an
+/// arrival order shuffled by the in-tree RNG.  The same `(seed, rows,
+/// copies)` always yields the same stream, so throughput experiments
+/// replay exactly.
+pub fn mixed_stream(seed: u64, rows: usize, copies: usize) -> Vec<Box<dyn Workload>> {
+    let mut stream: Vec<Box<dyn Workload>> = Vec::with_capacity(copies * 5);
+    for _ in 0..copies {
+        stream.push(Box::new(CopyScenario { seed, rows }));
+        stream.push(Box::new(ConcatenateScenario { seed, rows }));
+        stream.push(Box::new(TpchWorkload::scaled(TpchQuery::Q1, seed, rows)));
+        stream.push(Box::new(TpchWorkload::scaled(TpchQuery::Q3, seed, rows)));
+        stream.push(Box::new(TpchWorkload::scaled(TpchQuery::Q6, seed, rows)));
+    }
+    // Fisher–Yates over the arrival order, seeded independently of the
+    // data generators.
+    let mut r = rng::seeded_stream(seed, "session-stream");
+    for i in (1..stream.len()).rev() {
+        let j = r.random_range(0..(i as u64 + 1)) as usize;
+        stream.swap(i, j);
+    }
+    stream
 }
 
 /// Generate `rows` deterministic tuples `(id, field)` for a relation
@@ -150,6 +235,80 @@ mod tests {
             assert_eq!(rows[5].value(col).as_str().unwrap().len(), 25);
         }
         assert_eq!(rows, generated_relation_wide(7, "source", 20, 3));
+    }
+
+    #[test]
+    fn deploy_all_dedups_shared_relations_and_answers_every_query() {
+        // Q1 and Q6 share the whole TPC-H dataset; Copy brings its own
+        // relation.  One cluster must answer all three exactly.
+        let q1 = TpchWorkload::scaled(TpchQuery::Q1, 11, 160);
+        let q6 = TpchWorkload::scaled(TpchQuery::Q6, 11, 160);
+        let copy = CopyScenario { seed: 11, rows: 80 };
+        let all: [&dyn Workload; 3] = [&q1, &q6, &copy];
+        let (storage, epoch) = deploy_all(&all, 4).unwrap();
+        let exec = orchestra_engine::QueryExecutor::new(
+            &storage,
+            orchestra_engine::EngineConfig::default(),
+        );
+        for w in all {
+            let report = exec.execute(&w.reference_plan(), epoch, NodeId(0)).unwrap();
+            assert_eq!(report.rows, w.reference(), "{} answer", w.name());
+        }
+    }
+
+    #[test]
+    fn deploy_all_rejects_conflicting_schemas() {
+        // Two STBenchmark scenarios generate distinct relations, but a
+        // second Copy with a different row count would regenerate
+        // st_source with different *data* under the same schema — that
+        // is fine.  A conflicting schema is simulated by two datasets
+        // whose generated relation name collides at a different arity:
+        // none exists in the catalogue, so assert the dedup path instead.
+        let a = CopyScenario { seed: 1, rows: 40 };
+        let b = CopyScenario { seed: 1, rows: 40 };
+        let all: [&dyn Workload; 2] = [&a, &b];
+        let (storage, epoch) = deploy_all(&all, 3).unwrap();
+        // st_source registered exactly once with 40 rows, not 80.
+        assert_eq!(storage.relation_cardinality("st_source", epoch), 40);
+
+        // Same schema but different generated data must be rejected, or
+        // the later workload's reference answer would silently describe
+        // rows that were never deployed.
+        let other_data = CopyScenario { seed: 2, rows: 40 };
+        let conflicting: [&dyn Workload; 2] = [&a, &other_data];
+        let Err(err) = deploy_all(&conflicting, 3) else {
+            panic!("different data under the same relation name must be rejected");
+        };
+        assert!(err.message().contains("different data"), "{err}");
+        let other_size = CopyScenario { seed: 1, rows: 50 };
+        let conflicting: [&dyn Workload; 2] = [&a, &other_size];
+        assert!(deploy_all(&conflicting, 3).is_err());
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic_and_shuffled() {
+        let names = |s: &[Box<dyn Workload>]| s.iter().map(|w| w.name()).collect::<Vec<_>>();
+        let a = mixed_stream(5, 120, 2);
+        let b = mixed_stream(5, 120, 2);
+        assert_eq!(a.len(), 10);
+        assert_eq!(names(&a), names(&b), "same seed, same arrival order");
+        let submission: Vec<String> = names(&a);
+        let c = mixed_stream(6, 120, 2);
+        assert_ne!(names(&c), submission, "a different seed reshuffles");
+        // All five catalogue entries appear in every copy.
+        for expected in [
+            "stbenchmark-copy",
+            "stbenchmark-concatenate",
+            "tpch-q1",
+            "tpch-q3",
+            "tpch-q6",
+        ] {
+            assert_eq!(
+                submission.iter().filter(|n| n.as_str() == expected).count(),
+                2,
+                "{expected} must appear once per copy in {submission:?}"
+            );
+        }
     }
 
     #[test]
