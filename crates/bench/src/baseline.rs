@@ -1,16 +1,19 @@
 //! The CI baseline-regression gate.
 //!
 //! CI commits a `BENCH_BASELINE.json` — the bench binary's
-//! `--experiment plan_quality` output at a known-good commit — and
-//! [`check_plan_quality_baseline`] compares a fresh run against it:
-//! every estimated plan cost and every measured traffic figure must stay
-//! within `tolerance` (CI uses 5%) of the baseline, per workload.  A
-//! *lower* value is always fine — the gate only catches regressions.
+//! `--experiment baseline` output (the `plan_quality` and `maintenance`
+//! experiments) at a known-good commit — and the checks here compare a
+//! fresh run against it: every estimated plan cost, every measured
+//! traffic figure ([`check_plan_quality_baseline`]) and every
+//! maintenance shipped-bytes total ([`check_maintenance_baseline`])
+//! must stay within `tolerance` (CI uses 5%) of the baseline, per
+//! workload.  A *lower* value is always fine — the gate only catches
+//! regressions.
 //!
 //! Refreshing the baseline after an intentional change is one line:
 //!
 //! ```sh
-//! cargo run --release -p orchestra-bench -- --experiment plan_quality > BENCH_BASELINE.json
+//! cargo run --release -p orchestra-bench -- --experiment baseline > BENCH_BASELINE.json
 //! ```
 
 use crate::json::Json;
@@ -90,6 +93,107 @@ pub fn check_plan_quality_baseline(
     }
 }
 
+/// The `maintenance` fields gated per (workload, sweep): the measured
+/// shipped-byte totals of both refresh strategies.
+const GATED_MAINTENANCE_FIELDS: [&str; 2] = ["total_incremental_bytes", "total_recompute_bytes"];
+
+/// Compare the `maintenance` sections of `current` against `baseline`:
+/// per workload and sweep label, both measured shipped-bytes totals must
+/// stay within `tolerance` of the baseline (lower is always fine).
+pub fn check_maintenance_baseline(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passed = Vec::new();
+    let mut violations = Vec::new();
+
+    let baseline_sweeps = match maintenance_sweeps_of(baseline) {
+        Ok(s) => s,
+        Err(e) => return Err(vec![format!("baseline document: {e}")]),
+    };
+    let current_sweeps = match maintenance_sweeps_of(current) {
+        Ok(s) => s,
+        Err(e) => return Err(vec![format!("current document: {e}")]),
+    };
+
+    for (key, base_sweep) in &baseline_sweeps {
+        let Some(cur_sweep) = current_sweeps
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, s)| s)
+        else {
+            violations.push(format!(
+                "maintenance sweep {key} present in the baseline but missing from the \
+                 current run"
+            ));
+            continue;
+        };
+        for field in GATED_MAINTENANCE_FIELDS {
+            let (Some(base), Some(cur)) = (
+                base_sweep.get(field).and_then(Json::as_f64),
+                cur_sweep.get(field).and_then(Json::as_f64),
+            ) else {
+                violations.push(format!("maintenance sweep {key}: field {field} missing"));
+                continue;
+            };
+            if cur > base * (1.0 + tolerance) {
+                violations.push(format!(
+                    "maintenance sweep {key}: {field} regressed {cur:.0} > {base:.0} \
+                     (+{:.1}% exceeds the {:.0}% tolerance)",
+                    (cur / base - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else {
+                passed.push(format!(
+                    "maintenance sweep {key}: {field} {cur:.0} within {base:.0} +{:.0}%",
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(passed)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Extract `("workload/sweep-label", sweep object)` pairs from a bench
+/// document's per-workload `maintenance` sections.
+fn maintenance_sweeps_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+    let experiments = doc
+        .get("experiments")
+        .and_then(Json::items)
+        .ok_or("no \"experiments\" array")?;
+    let mut out = Vec::new();
+    for entry in experiments {
+        let name = entry
+            .get("workload")
+            .and_then(Json::as_str_val)
+            .ok_or("experiment entry without a \"workload\" name")?;
+        let maintenance = entry
+            .get("maintenance")
+            .ok_or_else(|| format!("workload {name} has no \"maintenance\" section"))?;
+        let sweeps = maintenance
+            .get("sweeps")
+            .and_then(Json::items)
+            .ok_or_else(|| format!("workload {name}: maintenance has no \"sweeps\" array"))?;
+        for sweep in sweeps {
+            let label = sweep
+                .get("label")
+                .and_then(Json::as_str_val)
+                .ok_or_else(|| format!("workload {name}: maintenance sweep without a label"))?;
+            out.push((format!("{name}/{label}"), sweep));
+        }
+    }
+    if out.is_empty() {
+        return Err("no maintenance sweeps".into());
+    }
+    Ok(out)
+}
+
 /// Extract `(workload name, plan_quality object)` pairs from a bench
 /// document.
 fn workloads_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
@@ -154,6 +258,46 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("optimized_bytes"), "{violations:?}");
         assert!(violations[0].contains("tpch-q3"), "{violations:?}");
+    }
+
+    fn maintenance_doc(incremental: f64) -> Json {
+        Json::object(vec![(
+            "experiments",
+            Json::Array(vec![Json::object(vec![
+                ("workload", Json::str("tpch-q1")),
+                (
+                    "maintenance",
+                    Json::object(vec![(
+                        "sweeps",
+                        Json::Array(vec![Json::object(vec![
+                            ("label", Json::str("small-delta")),
+                            ("total_incremental_bytes", Json::Float(incremental)),
+                            ("total_recompute_bytes", Json::Float(9000.0)),
+                        ])]),
+                    )]),
+                ),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn maintenance_totals_are_gated_per_sweep() {
+        let baseline = maintenance_doc(1000.0);
+        let ok = check_maintenance_baseline(&maintenance_doc(1040.0), &baseline, 0.05).unwrap();
+        assert_eq!(ok.len(), 2);
+        let violations =
+            check_maintenance_baseline(&maintenance_doc(1100.0), &baseline, 0.05).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("tpch-q1/small-delta"),
+            "{violations:?}"
+        );
+        // A document without maintenance sections is malformed.
+        let bare = Json::object(vec![(
+            "experiments",
+            Json::Array(vec![Json::object(vec![("workload", Json::str("x"))])]),
+        )]);
+        assert!(check_maintenance_baseline(&bare, &baseline, 0.05).is_err());
     }
 
     #[test]

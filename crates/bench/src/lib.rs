@@ -18,7 +18,14 @@
 //!   without recovery support, validating the paper's "at most 2%" claim;
 //! * **plan quality** — [`run_plan_quality`]: the System-R
 //!   optimizer-compiled plan versus the hand-built oracle, comparing
-//!   estimated cost, measured traffic and simulated running time.
+//!   estimated cost, measured traffic and simulated running time;
+//! * **publication & maintenance** — [`run_maintenance`]: materialized
+//!   workload answers maintained across multi-epoch update streams,
+//!   sweeping delta size × epoch count, with the cost model's
+//!   incremental-vs-recompute decision judged against both measured
+//!   shipped-byte figures and every maintained answer cross-checked
+//!   against a fresh full run (one epoch per sweep is maintained while
+//!   a node fails mid-maintenance).
 //!
 //! Queries reach the executor through the optimizer: every experiment
 //! compiles the workload's [`orchestra_optimizer::LogicalQuery`] against
@@ -39,16 +46,21 @@
 pub mod baseline;
 pub mod experiments;
 pub mod json;
+pub mod maintenance;
 pub mod throughput;
 
 use orchestra_simnet::SimTime;
 
-pub use baseline::check_plan_quality_baseline;
+pub use baseline::{check_maintenance_baseline, check_plan_quality_baseline};
 pub use experiments::{
     run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, PlanQuality,
     RecoveryPoint, RecoverySweep, ScaleOutPoint, TaggingOverhead, INITIATOR,
 };
 pub use json::Json;
+pub use maintenance::{
+    run_maintenance, MaintenanceEpochPoint, MaintenanceFailurePoint, MaintenanceReport,
+    MaintenanceSweep, MaintenanceSweepSpec,
+};
 pub use throughput::{run_throughput, QueryLatency, ThroughputPoint, ThroughputSweep};
 
 /// Evenly spaced virtual failure instants across a baseline running

@@ -1,35 +1,39 @@
 //! The `orchestra-bench` binary: run the experiments — scale-out,
-//! recovery sweep, tagging overhead, plan quality and the concurrent
-//! throughput sweep — over two TPC-H queries and one STBenchmark
-//! scenario (the throughput sweep mixes all five catalogue workloads),
-//! and print the results as one JSON document on stdout.  All queries
-//! execute through the System-R optimizer.
+//! recovery sweep, tagging overhead, plan quality, the publication /
+//! incremental-maintenance sweep and the concurrent throughput sweep —
+//! over two TPC-H queries and one STBenchmark scenario (the throughput
+//! sweep mixes all five catalogue workloads), and print the results as
+//! one JSON document on stdout.  All queries execute through the
+//! System-R optimizer.
 //!
 //! ```sh
 //! cargo run --release -p orchestra-bench                      # everything
-//! cargo run --release -p orchestra-bench -- --experiment throughput
+//! cargo run --release -p orchestra-bench -- --experiment maintenance
 //! cargo run --release -p orchestra-bench -- --check-baseline BENCH_BASELINE.json
 //! ```
 //!
 //! `--experiment <name>` restricts the run to one experiment — the fast
 //! subsets CI's smoke and determinism gates use.  An unknown name lists
-//! the valid set and exits non-zero.  `--check-baseline <path>` runs the
-//! `plan_quality` experiment and fails (exit 1) if any estimated cost or
-//! measured traffic regressed more than 5% versus the committed
-//! baseline; refresh it with
-//! `cargo run --release -p orchestra-bench -- --experiment plan_quality > BENCH_BASELINE.json`.
+//! the valid set and exits non-zero.  The pseudo-experiment `baseline`
+//! runs exactly the gated pair (`plan_quality` + `maintenance`); its
+//! output is what `BENCH_BASELINE.json` commits.  `--check-baseline
+//! <path>` runs that pair and fails (exit 1) if any estimated cost,
+//! measured traffic, or maintenance shipped-bytes total regressed more
+//! than 5% versus the committed baseline; refresh it with
+//! `cargo run --release -p orchestra-bench -- --experiment baseline > BENCH_BASELINE.json`.
 //!
 //! Exit status is non-zero (with a message on stderr) if any experiment
-//! fails — including any distributed answer that disagrees with its
-//! workload's single-node reference.
+//! fails — including any distributed or *maintained* answer that
+//! disagrees with its workload's single-node reference.
 
 use orchestra_bench::{
-    check_plan_quality_baseline, run_plan_quality, run_recovery_sweep, run_scale_out,
-    run_tagging_overhead, run_throughput, Json,
+    check_maintenance_baseline, check_plan_quality_baseline, run_maintenance, run_plan_quality,
+    run_recovery_sweep, run_scale_out, run_tagging_overhead, run_throughput, Json,
+    MaintenanceSweepSpec,
 };
 use orchestra_common::{NodeId, Result};
 use orchestra_engine::{AdmissionPolicy, EngineConfig};
-use orchestra_workloads::{CopyScenario, TpchQuery, TpchWorkload, Workload};
+use orchestra_workloads::{CopyScenario, EpochSpec, TpchQuery, TpchWorkload, Workload};
 
 /// Cluster sizes of the scale-out experiment.
 const SCALE_OUT_NODES: [u16; 3] = [4, 6, 8];
@@ -51,15 +55,50 @@ const THROUGHPUT_ROWS: usize = 160;
 const THROUGHPUT_COPIES: usize = 2;
 /// Tolerated regression fraction of the baseline gate.
 const BASELINE_TOLERANCE: f64 = 0.05;
+/// Seed of the maintenance experiment's epoch streams.
+const MAINTENANCE_SEED: u64 = 42;
+/// Rows per workload in the maintenance experiment.  Larger than the
+/// other experiments' datasets so per-refresh fixed costs (snapshot +
+/// epoch parameters per leg) don't drown the delta-vs-full contrast the
+/// sweep measures.
+const MAINTENANCE_ROWS: usize = 600;
+/// The maintenance experiment's delta-size × epoch-count sweep: a
+/// small-delta stream the cost model should absorb incrementally, and a
+/// churn stream (the modify count swamps every relation) it should flip
+/// to recomputation on.
+const MAINTENANCE_SWEEPS: [MaintenanceSweepSpec; 2] = [
+    MaintenanceSweepSpec {
+        label: "small-delta",
+        spec: EpochSpec {
+            inserts: 2,
+            modifies: 1,
+            deletes: 1,
+        },
+        epochs: 5,
+    },
+    MaintenanceSweepSpec {
+        label: "heavy-churn",
+        spec: EpochSpec {
+            inserts: 0,
+            modifies: 400,
+            deletes: 0,
+        },
+        epochs: 2,
+    },
+];
 
-/// The selectable experiments, in documentation order.
-const EXPERIMENTS: [&str; 6] = [
+/// The selectable experiments, in documentation order.  `baseline` is
+/// the committed-baseline subset: exactly `plan_quality` plus
+/// `maintenance`, the two experiments `--check-baseline` gates.
+const EXPERIMENTS: [&str; 8] = [
     "all",
     "scale_out",
     "recovery_sweep",
     "tagging_overhead",
     "plan_quality",
+    "maintenance",
     "throughput",
+    "baseline",
 ];
 
 fn main() {
@@ -115,6 +154,15 @@ fn run(experiment: &str) -> Result<Json> {
         rows: 240,
     };
     let workloads: [&dyn Workload; 3] = [&tpch, &tpch_joins, &stbenchmark];
+    // The maintenance experiment maintains the same three queries over
+    // its own larger datasets (see `MAINTENANCE_ROWS`).
+    let m_tpch = TpchWorkload::scaled(TpchQuery::Q1, 42, MAINTENANCE_ROWS);
+    let m_tpch_joins = TpchWorkload::scaled(TpchQuery::Q3, 42, MAINTENANCE_ROWS);
+    let m_stbenchmark = CopyScenario {
+        seed: 42,
+        rows: MAINTENANCE_ROWS,
+    };
+    let maintenance_workloads: [&dyn Workload; 3] = [&m_tpch, &m_tpch_joins, &m_stbenchmark];
     let all = experiment == "all";
 
     let config = EngineConfig::default();
@@ -123,14 +171,16 @@ fn run(experiment: &str) -> Result<Json> {
         ("experiment", Json::str(experiment)),
     ];
 
+    let baseline = experiment == "baseline";
     let per_workload = all
+        || baseline
         || matches!(
             experiment,
-            "scale_out" | "recovery_sweep" | "tagging_overhead" | "plan_quality"
+            "scale_out" | "recovery_sweep" | "tagging_overhead" | "plan_quality" | "maintenance"
         );
     if per_workload {
         let mut experiments = Vec::new();
-        for workload in workloads {
+        for (i, workload) in workloads.into_iter().enumerate() {
             let mut entry = vec![("workload", Json::str(workload.name()))];
             if all || experiment == "scale_out" {
                 let points = run_scale_out(workload, &SCALE_OUT_NODES, &config)?;
@@ -148,9 +198,19 @@ fn run(experiment: &str) -> Result<Json> {
                 let tagging = run_tagging_overhead(workload, SWEEP_NODES, &config)?;
                 entry.push(("tagging_overhead", tagging.to_json()));
             }
-            if all || experiment == "plan_quality" {
+            if all || baseline || experiment == "plan_quality" {
                 let quality = run_plan_quality(workload, SWEEP_NODES, &config)?;
                 entry.push(("plan_quality", quality.to_json()));
+            }
+            if all || baseline || experiment == "maintenance" {
+                let maintenance = run_maintenance(
+                    maintenance_workloads[i],
+                    SWEEP_NODES,
+                    MAINTENANCE_SEED,
+                    &MAINTENANCE_SWEEPS,
+                    &config,
+                )?;
+                entry.push(("maintenance", maintenance.to_json()));
             }
             experiments.push(Json::object(entry));
         }
@@ -198,23 +258,32 @@ fn check_baseline(path: &str) -> Result<()> {
         .map_err(|e| OrchestraError::Execution(format!("cannot read {path}: {e}")))?;
     let baseline = Json::parse(&text)
         .map_err(|e| OrchestraError::Execution(format!("cannot parse {path}: {e}")))?;
-    let current = run("plan_quality")?;
-    match check_plan_quality_baseline(&current, &baseline, BASELINE_TOLERANCE) {
-        Ok(passed) => {
-            for line in passed {
-                eprintln!("ok: {line}");
+    let current = run("baseline")?;
+    let mut violations = Vec::new();
+    for result in [
+        check_plan_quality_baseline(&current, &baseline, BASELINE_TOLERANCE),
+        check_maintenance_baseline(&current, &baseline, BASELINE_TOLERANCE),
+    ] {
+        match result {
+            Ok(passed) => {
+                for line in passed {
+                    eprintln!("ok: {line}");
+                }
             }
-            Ok(())
-        }
-        Err(violations) => {
-            for line in &violations {
-                eprintln!("REGRESSION: {line}");
-            }
-            Err(OrchestraError::Execution(format!(
-                "{} plan-quality figure(s) regressed beyond {:.0}% of {path}",
-                violations.len(),
-                BASELINE_TOLERANCE * 100.0
-            )))
+            Err(lines) => violations.extend(lines),
         }
     }
+    if violations.is_empty() {
+        return Ok(());
+    }
+    for line in &violations {
+        eprintln!("REGRESSION: {line}");
+    }
+    Err(OrchestraError::Execution(format!(
+        "{} baseline figure(s) regressed beyond {:.0}% of {path}; refresh with \
+         `cargo run --release -p orchestra-bench -- --experiment baseline > {path}` \
+         after an intentional change",
+        violations.len(),
+        BASELINE_TOLERANCE * 100.0
+    )))
 }

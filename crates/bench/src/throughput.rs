@@ -171,6 +171,8 @@ pub fn run_throughput(
             epoch,
             initiator: NodeId((i % nodes as usize) as u16),
             estimated_cost: cost,
+            overrides: Default::default(),
+            plan_resident: false,
         });
         expected.push(workload.reference());
     }

@@ -30,25 +30,27 @@ pub use orchestra_substrate as substrate;
 pub use orchestra_workloads as workloads;
 
 pub use orchestra_bench::{
-    failure_sweep_points, run_plan_quality, run_recovery_sweep, run_scale_out,
-    run_tagging_overhead, run_throughput, PlanQuality, RecoverySweep, ScaleOutPoint,
-    TaggingOverhead, ThroughputPoint, ThroughputSweep,
+    failure_sweep_points, run_maintenance, run_plan_quality, run_recovery_sweep, run_scale_out,
+    run_tagging_overhead, run_throughput, MaintenanceReport, MaintenanceSweepSpec, PlanQuality,
+    RecoverySweep, ScaleOutPoint, TaggingOverhead, ThroughputPoint, ThroughputSweep,
 };
 pub use orchestra_common::{Epoch, NodeId, Relation, Schema, Tuple, Value};
 pub use orchestra_engine::{
-    AdmissionPolicy, EngineConfig, FailureSpec, PhysicalPlan, PlanBuilder, QueryExecutor,
-    QueryReport, QuerySession, RecoveryStrategy, SchedulerConfig, SessionId, SessionReport,
+    refresh_view, AdmissionPolicy, EngineConfig, FailureSpec, MaintenanceMode, MaintenancePlan,
+    MaintenanceRun, MaterializedView, PhysicalPlan, PlanBuilder, QueryExecutor, QueryReport,
+    QuerySession, RecoveryStrategy, ScanOverrides, SchedulerConfig, SessionId, SessionReport,
     SessionScheduler, WorkloadReport,
 };
 pub use orchestra_optimizer::{
-    compile, estimate_plan_cost, LogicalExpr, LogicalQuery, PlanCost, Statistics, TableStats,
+    choose_maintenance, compile, compile_delta_legs, estimate_plan_cost, LogicalExpr, LogicalQuery,
+    MaintenanceChoice, MaintenanceDecision, PlanCost, Statistics, TableStats,
 };
 pub use orchestra_simnet::{ClusterProfile, SimTime};
-pub use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
+pub use orchestra_storage::{DistributedStorage, RelationDelta, StorageConfig, UpdateBatch};
 pub use orchestra_substrate::{AllocationScheme, RoutingTable};
 pub use orchestra_workloads::{
-    compiled_plan, deploy, deploy_all, mixed_stream, ConcatenateScenario, CopyScenario,
-    TpchDataset, TpchQuery, TpchWorkload, Workload,
+    compiled_plan, deploy, deploy_all, epoch_stream, mixed_stream, ConcatenateScenario,
+    CopyScenario, EpochSpec, EpochStream, TpchDataset, TpchQuery, TpchWorkload, Workload,
 };
 
 #[cfg(test)]
@@ -122,6 +124,8 @@ mod tests {
                     epoch,
                     initiator: NodeId(0),
                     estimated_cost: cost,
+                    overrides: Default::default(),
+                    plan_resident: false,
                 }
             })
             .collect();
@@ -138,6 +142,43 @@ mod tests {
             assert_eq!(sr.report.rows, all[i].reference(), "{}", sr.name);
         }
         assert!(workload.link_utilization > 0.0);
+    }
+
+    #[test]
+    fn facade_reaches_view_maintenance() {
+        // Materialize a workload answer, publish a delta epoch, absorb
+        // it incrementally — all through facade re-exports.
+        let w = CopyScenario { seed: 7, rows: 80 };
+        let (mut storage, e0) = deploy(&w, 4).unwrap();
+        let plan = compiled_plan(&w, &storage, e0).unwrap();
+        let mut view = MaterializedView::new("copy", &plan).unwrap();
+        refresh_view(
+            &mut view,
+            &storage,
+            &EngineConfig::default(),
+            MaintenanceMode::Recompute,
+            e0,
+            NodeId(0),
+            None,
+        )
+        .unwrap();
+        assert_eq!(view.answer(), w.reference());
+
+        let stream = epoch_stream(&w, 3, &[EpochSpec::new(3, 2, 1)]).unwrap();
+        let e1 = storage.publish(stream.batch(0)).unwrap();
+        let run = refresh_view(
+            &mut view,
+            &storage,
+            &EngineConfig::default(),
+            MaintenanceMode::Incremental,
+            e1,
+            NodeId(0),
+            None,
+        )
+        .unwrap();
+        assert_eq!(run.legs, 1);
+        assert_eq!(view.answer(), stream.reference(0));
+        assert_eq!(view.epoch(), Some(e1));
     }
 
     #[test]

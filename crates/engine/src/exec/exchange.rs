@@ -182,12 +182,17 @@ impl ExchangeLayer {
 
 impl Runtime<'_> {
     /// Ship the plan and routing snapshot to every participant and start
-    /// the local fragments.
+    /// the local fragments.  When the plan is already resident (an
+    /// installed maintenance dataflow), only the snapshot and the
+    /// per-scan epoch parameters cross the wire.
     pub(super) fn disseminate(&mut self, at: SimTime) {
-        let bytes = self.plan.serialized_size()
-            + 64
-            + 48 * self.table.entries().len()
-            + 24 * self.participants.len();
+        let plan_bytes = if self.plan_resident {
+            16 * self.plan.scans().len()
+        } else {
+            self.plan.serialized_size()
+        };
+        let bytes =
+            plan_bytes + 64 + 48 * self.table.entries().len() + 24 * self.participants.len();
         for &node in &self.participants.clone() {
             if node == self.initiator {
                 self.sim.schedule(node, at, Payload::Start);

@@ -61,11 +61,16 @@
 //! * `scheduler` — the multi-query [`SessionScheduler`]: admission
 //!   control over a bounded run queue, N runtimes interleaved over one
 //!   simulator, per-session recovery, [`WorkloadReport`] assembly;
+//! * `ivm` — incremental view maintenance: maintenance-plan rewriting,
+//!   [`MaterializedView`] state, and the [`refresh_view`] driver that
+//!   pushes signed epoch deltas through the pipeline as scheduler
+//!   sessions;
 //! * `recovery` — the Restart and Incremental strategies;
 //! * `report` — [`QueryReport`] assembly and per-link traffic
 //!   accounting (`RunStats`).
 
 mod exchange;
+pub mod ivm;
 mod pipeline;
 mod recovery;
 mod report;
@@ -85,6 +90,10 @@ use pipeline::Runtime;
 use session::SessionSim;
 
 pub use exchange::SessionId;
+pub use ivm::{
+    refresh_view, FoldMode, MaintenanceLeg, MaintenanceMode, MaintenancePlan, MaintenanceRun,
+    MaterializedView, ScanOverrides,
+};
 pub use report::QueryReport;
 pub use scheduler::{
     AdmissionPolicy, QuerySession, SchedulerConfig, SessionReport, SessionScheduler, WorkloadReport,

@@ -12,6 +12,7 @@
 //! `report::RunStats` accumulates the measurements.
 
 use super::exchange::{ExchangeLayer, Payload, EOS_BYTES};
+use super::ivm::ScanOverrides;
 use super::report::RunStats;
 use super::session::SessionSim;
 use super::{EngineConfig, QueryReport, StorageHandle};
@@ -39,6 +40,12 @@ pub(super) struct Runtime<'a> {
     pub(super) config: &'a EngineConfig,
     pub(super) plan: &'a PhysicalPlan,
     pub(super) epoch: Epoch,
+    /// Per-scan epoch pins and delta-scan instructions (empty for
+    /// ordinary queries; set by maintenance sessions).
+    pub(super) overrides: ScanOverrides,
+    /// Participants already hold the plan (installed maintenance
+    /// dataflow): dissemination ships parameters + snapshot only.
+    pub(super) plan_resident: bool,
     pub(super) initiator: NodeId,
 
     pub(super) sim: SessionSim,
@@ -116,6 +123,8 @@ impl<'a> Runtime<'a> {
             config,
             plan,
             epoch,
+            overrides: ScanOverrides::default(),
+            plan_resident: false,
             initiator,
             sim,
             table,
@@ -197,7 +206,7 @@ impl<'a> Runtime<'a> {
         let n = self.participants.len();
         for op in self.plan.operators() {
             match op.kind {
-                OperatorKind::Rehash { .. } => {
+                OperatorKind::Rehash { .. } | OperatorKind::Broadcast => {
                     for &node in &self.participants {
                         self.eos_pending.insert((node, op.id), n);
                     }
@@ -360,6 +369,14 @@ impl<'a> Runtime<'a> {
                 for row in rows {
                     let dest = self.table.owner_of(row.tuple.hash_columns(columns));
                     self.buffer_exchange(node, op, dest, row, ready);
+                }
+            }
+            OperatorKind::Broadcast => {
+                let dests = self.participants.clone();
+                for row in rows {
+                    for &dest in &dests {
+                        self.buffer_exchange(node, op, dest, row.clone(), ready);
+                    }
                 }
             }
             OperatorKind::Ship => {

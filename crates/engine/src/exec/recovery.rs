@@ -130,6 +130,15 @@ impl Runtime<'_> {
         // under their heirs, and a second recovery round must not
         // re-send (and thereby duplicate) them.
         for (op, resend) in self.exchanges.take_cached_for_failed(node, &failed) {
+            // Broadcast output needs no re-routing: every survivor
+            // already holds its own copy of each row, and the failed
+            // node's inherited ranges are covered by the stage-3
+            // rescans.  Re-entering the operator would duplicate the
+            // rows at every survivor, so the consumed entries are
+            // simply dropped.
+            if matches!(self.plan.op(op).kind, crate::plan::OperatorKind::Broadcast) {
+                continue;
+            }
             self.stats.retransmitted += resend.len();
             // Re-enter the exchange operator itself: routing now consults
             // the recovery snapshot, so the rows land at the heirs.

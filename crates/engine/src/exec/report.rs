@@ -32,6 +32,11 @@ pub(super) struct RunStats {
 pub struct QueryReport {
     /// The final answer rows, sorted for deterministic comparison.
     pub rows: Vec<Tuple>,
+    /// The answer rows with their delta signs, sorted.  Ordinary queries
+    /// only ever produce `+1` rows; maintenance sessions (`exec::ivm`)
+    /// read the signed form, where a `-1` row retracts state from the
+    /// materialized view being maintained.
+    pub signed_rows: Vec<(Tuple, i8)>,
     /// Simulated wall-clock running time of the query (including any
     /// recovery rounds).
     pub running_time: SimTime,
@@ -61,11 +66,15 @@ pub struct QueryReport {
 
 impl Runtime<'_> {
     pub(super) fn into_report(self) -> QueryReport {
-        let mut rows: Vec<Tuple> = self.output.into_iter().map(|r| r.tuple).collect();
+        let mut signed_rows: Vec<(Tuple, i8)> =
+            self.output.into_iter().map(|r| (r.tuple, r.sign)).collect();
+        signed_rows.sort();
+        let mut rows: Vec<Tuple> = signed_rows.iter().map(|(t, _)| t.clone()).collect();
         rows.sort();
         let stats = self.sim.stats();
         QueryReport {
             rows,
+            signed_rows,
             running_time: self.finish_time,
             total_bytes: stats.total_bytes(),
             total_messages: stats.total_messages(),

@@ -12,7 +12,7 @@
 use super::pipeline::Runtime;
 use crate::plan::{OpId, OperatorKind};
 use crate::provenance::{Phase, TaggedTuple};
-use orchestra_common::{KeyRange, NodeId, OrchestraError, Result, Tuple};
+use orchestra_common::{Epoch, KeyRange, NodeId, OrchestraError, Result, Tuple};
 use orchestra_simnet::SimTime;
 use orchestra_storage::CoordinatorKey;
 
@@ -28,6 +28,16 @@ impl Runtime<'_> {
     ) -> Result<(Vec<TaggedTuple>, SimTime)> {
         let kind = &self.plan.op(op).kind;
         let profile = &self.config.profile.node;
+        // A maintenance session may pin this scan to a different epoch,
+        // or replace it with a signed delta scan over an epoch interval.
+        let epoch = self.overrides.epoch_of(op).unwrap_or(self.epoch);
+        let delta = self.overrides.delta_of(op);
+        if delta.is_some() && !matches!(kind, OperatorKind::DistributedScan { .. }) {
+            return Err(OrchestraError::Execution(format!(
+                "operator {} has no delta scan path",
+                kind.name()
+            )));
+        }
         match kind {
             OperatorKind::DistributedScan {
                 relation,
@@ -37,10 +47,40 @@ impl Runtime<'_> {
                 if ranges.is_empty() {
                     return Ok((Vec::new(), SimTime::ZERO));
                 }
+                if let Some((from, to)) = delta {
+                    let scan = self
+                        .storage
+                        .get()
+                        .delta_partition(relation, from, to, node, &ranges)?;
+                    self.stats.pages_read += scan.pages_read;
+                    self.stats.tuples_scanned += scan.tuples_read;
+                    self.stats.remote_lookups += scan.remote_lookups;
+                    let mut duration = profile.scan_time(scan.tuples_read, scan.pages_read);
+                    let now = self.sim.now();
+                    for (src, bytes) in &scan.remote_transfers {
+                        if let Some(arrival) =
+                            self.sim
+                                .send(*src, node, *bytes, now, Payload::StorageFetch)
+                        {
+                            duration = duration.max(arrival.saturating_sub(now));
+                        }
+                    }
+                    // The scan predicate applies to both signs: a removed
+                    // version only ever contributed if it passed, and an
+                    // added version only contributes if it passes.
+                    let phase = self.phase;
+                    let rows = scan
+                        .rows
+                        .into_iter()
+                        .filter(|(t, _)| predicate.as_ref().map(|p| p.eval(t)).unwrap_or(true))
+                        .map(|(t, sign)| TaggedTuple::scanned(t, node, phase).with_sign(sign))
+                        .collect();
+                    return Ok((rows, duration));
+                }
                 let scan = self
                     .storage
                     .get()
-                    .scan_partition(relation, self.epoch, node, &ranges)?;
+                    .scan_partition(relation, epoch, node, &ranges)?;
                 self.stats.pages_read += scan.pages_read;
                 self.stats.tuples_scanned += scan.tuples_read;
                 self.stats.remote_lookups += scan.remote_lookups;
@@ -67,10 +107,7 @@ impl Runtime<'_> {
                 if !self.scan_replicated {
                     return Ok((Vec::new(), SimTime::ZERO));
                 }
-                let tuples = self
-                    .storage
-                    .get()
-                    .scan_replicated(relation, self.epoch, node)?;
+                let tuples = self.storage.get().scan_replicated(relation, epoch, node)?;
                 self.stats.tuples_scanned += tuples.len();
                 let duration = profile.scan_time(tuples.len(), 1);
                 let rows = tag_scanned(tuples, predicate, node, self.phase);
@@ -84,7 +121,7 @@ impl Runtime<'_> {
                 if ranges.is_empty() {
                     return Ok((Vec::new(), SimTime::ZERO));
                 }
-                let (tuples, pages) = self.covering_scan(relation, &ranges)?;
+                let (tuples, pages) = self.covering_scan(relation, epoch, &ranges)?;
                 self.stats.pages_read += pages;
                 let duration = profile.scan_time(tuples.len(), pages);
                 let rows = tag_scanned(tuples, predicate, node, self.phase);
@@ -99,8 +136,13 @@ impl Runtime<'_> {
 
     /// Answer a key-only scan from the index pages alone, "bypassing the
     /// data storage nodes".
-    fn covering_scan(&self, relation: &str, ranges: &[KeyRange]) -> Result<(Vec<Tuple>, usize)> {
-        let Some(version_epoch) = self.storage.get().version_at(relation, self.epoch) else {
+    fn covering_scan(
+        &self,
+        relation: &str,
+        epoch: Epoch,
+        ranges: &[KeyRange],
+    ) -> Result<(Vec<Tuple>, usize)> {
+        let Some(version_epoch) = self.storage.get().version_at(relation, epoch) else {
             return Ok((Vec::new(), 0));
         };
         let version = self

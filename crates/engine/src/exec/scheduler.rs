@@ -99,6 +99,17 @@ pub struct QuerySession {
     /// (`orchestra_optimizer::estimate_plan_cost(..).total()`), consulted
     /// by [`AdmissionPolicy::ShortestCostFirst`].
     pub estimated_cost: f64,
+    /// Per-scan epoch pins and delta-scan instructions.  Empty for
+    /// ordinary queries; view-maintenance sessions (`super::ivm`) use
+    /// this to pivot individual scans onto other epochs or onto signed
+    /// epoch-interval deltas.
+    pub overrides: super::ivm::ScanOverrides,
+    /// The participants already hold this plan: dissemination ships only
+    /// the routing snapshot and the per-scan parameters, not the plan
+    /// itself.  Ad-hoc queries leave this `false`; view maintenance
+    /// installs its dataflows once at materialization and streams epoch
+    /// parameters through them on every later refresh.
+    pub plan_resident: bool,
 }
 
 /// One session's outcome within a scheduled workload.
@@ -262,6 +273,8 @@ impl SessionScheduler {
                     session.initiator,
                     sim,
                 )?;
+                runtime.overrides = session.overrides.clone();
+                runtime.plan_resident = session.plan_resident;
                 runtime.begin(now);
                 runtimes[idx] = Some(runtime);
                 admitted_at[idx] = now;

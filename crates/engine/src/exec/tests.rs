@@ -415,6 +415,8 @@ fn session(name: &str, plan: crate::plan::PhysicalPlan, epoch: Epoch, cost: f64)
         epoch,
         initiator: NodeId(0),
         estimated_cost: cost,
+        overrides: Default::default(),
+        plan_resident: false,
     }
 }
 
@@ -673,4 +675,368 @@ fn failure_during_concurrent_sessions_recovers_each_one() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental view maintenance (exec/ivm.rs)
+// ---------------------------------------------------------------------------
+
+/// A modified version of [`r_row`]: same key, flipped group, bumped value.
+fn r_row_v2(k: i64) -> Tuple {
+    Tuple::new(vec![
+        Value::Int(k),
+        Value::str(if k % 3 == 0 { "b" } else { "a" }),
+        Value::Int(k * 10 + 7),
+    ])
+}
+
+/// Fresh full run of `plan` at `epoch` — the oracle every maintained
+/// answer must equal tuple for tuple.
+fn full_run(s: &DistributedStorage, plan: &crate::plan::PhysicalPlan, epoch: Epoch) -> Vec<Tuple> {
+    QueryExecutor::new(s, EngineConfig::default())
+        .execute(plan, epoch, NodeId(0))
+        .unwrap()
+        .rows
+}
+
+#[test]
+fn maintenance_plan_strips_final_and_appends_support_count() {
+    let original = agg_plan();
+    let m = MaintenancePlan::derive(&original).unwrap();
+    // No initiator-side aggregate survives the rewrite.
+    assert!(!m.plan().operators().iter().any(|o| matches!(
+        o.kind,
+        crate::plan::OperatorKind::Aggregate {
+            mode: crate::plan::AggMode::Single | crate::plan::AggMode::Final,
+            ..
+        }
+    )));
+    let FoldMode::Partial {
+        group_by,
+        aggs,
+        count_col,
+    } = m.fold()
+    else {
+        panic!("two-phase aggregate folds as Partial, got {:?}", m.fold());
+    };
+    assert_eq!(group_by, &[0]);
+    assert_eq!(aggs.len(), 2, "sum + count of the original query");
+    // The hidden support count is the last column the ship forwards:
+    // group key + sum state + count state + hidden count.
+    assert_eq!(*count_col, 3);
+    assert_eq!(m.plan().op(m.plan().root()).arity, 4);
+    assert_eq!(m.scans().len(), 1);
+    assert_eq!(m.scans()[0].1, "R");
+    assert!(m.recompute_only().is_none());
+
+    // A scan-and-ship plan folds as a counted multiset.
+    let m = MaintenancePlan::derive(&scan_ship_plan()).unwrap();
+    assert_eq!(*m.fold(), FoldMode::Multiset);
+
+    // MIN is not subtractable: the view exists but is recompute-only.
+    let mut b = PlanBuilder::new();
+    let scan = b.scan("R", 3, None);
+    let ship = b.ship(scan);
+    let agg = b.aggregate(
+        ship,
+        vec![1],
+        vec![(AggFunc::Min, 2)],
+        crate::plan::AggMode::Single,
+    );
+    let min_plan = b.output(agg);
+    let m = MaintenancePlan::derive(&min_plan).unwrap();
+    assert!(m.recompute_only().unwrap().contains("subtractable"));
+}
+
+#[test]
+fn multiset_view_tracks_insert_modify_delete_epochs() {
+    let mut s = cluster(4);
+    publish_r(&mut s, 60); // epoch 0
+    let plan = scan_ship_plan();
+    let mut view = MaterializedView::new("copy", &plan).unwrap();
+    assert!(view.supports_incremental());
+
+    // First refresh must recompute (there is no state to maintain yet).
+    let err = refresh_view(
+        &mut view,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Incremental,
+        Epoch(0),
+        NodeId(0),
+        None,
+    )
+    .unwrap_err();
+    assert!(err.message().contains("recompute"), "{err}");
+    refresh_view(
+        &mut view,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Recompute,
+        Epoch(0),
+        NodeId(0),
+        None,
+    )
+    .unwrap();
+    assert_eq!(view.answer(), full_run(&s, &plan, Epoch(0)));
+    assert_eq!(view.epoch(), Some(Epoch(0)));
+
+    // Epoch 1: inserts, modifies and deletes in one batch.
+    let mut b = UpdateBatch::new();
+    for k in 100..110 {
+        b.insert("R", r_row(k));
+    }
+    for k in 0..8 {
+        b.modify("R", r_row_v2(k));
+    }
+    b.delete("R", vec![Value::Int(30)])
+        .delete("R", vec![Value::Int(31)]);
+    s.publish(&b).unwrap();
+    let run = refresh_view(
+        &mut view,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Incremental,
+        Epoch(1),
+        NodeId(0),
+        None,
+    )
+    .unwrap();
+    assert_eq!(run.legs, 1);
+    assert!(run.rows_folded > 0);
+    assert_eq!(view.answer(), full_run(&s, &plan, Epoch(1)));
+
+    // An epoch that does not touch R is absorbed with zero legs.
+    let mut b = UpdateBatch::new();
+    b.insert("S", Tuple::new(vec![Value::Int(999), Value::Int(0)]));
+    s.publish(&b).unwrap();
+    let run = refresh_view(
+        &mut view,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Incremental,
+        Epoch(2),
+        NodeId(0),
+        None,
+    )
+    .unwrap();
+    assert_eq!(run.legs, 0);
+    assert_eq!(run.shipped_bytes, 0);
+    assert_eq!(view.answer(), full_run(&s, &plan, Epoch(2)));
+}
+
+#[test]
+fn aggregate_view_incremental_matches_full_runs_across_epochs() {
+    let mut s = cluster(5);
+    publish_r(&mut s, 80); // epoch 0
+    let plan = agg_plan();
+    let mut view = MaterializedView::new("agg", &plan).unwrap();
+    refresh_view(
+        &mut view,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Recompute,
+        Epoch(0),
+        NodeId(0),
+        None,
+    )
+    .unwrap();
+    assert_eq!(view.answer(), full_run(&s, &plan, Epoch(0)));
+
+    for epoch in 1..=4u64 {
+        let mut b = UpdateBatch::new();
+        let base = 80 + epoch as i64 * 10;
+        for k in base..base + 5 {
+            b.insert("R", r_row(k));
+        }
+        // Modifies move rows between groups; deletes shrink them.
+        for k in (0..epoch as i64 * 6).step_by(2) {
+            b.modify("R", r_row_v2(k));
+        }
+        b.delete("R", vec![Value::Int(epoch as i64)]);
+        s.publish(&b).unwrap();
+        let run = refresh_view(
+            &mut view,
+            &s,
+            &EngineConfig::default(),
+            MaintenanceMode::Incremental,
+            Epoch(epoch),
+            NodeId(0),
+            None,
+        )
+        .unwrap();
+        assert_eq!(run.mode, MaintenanceMode::Incremental);
+        assert_eq!(
+            view.answer(),
+            full_run(&s, &plan, Epoch(epoch)),
+            "maintained answer diverged at epoch {epoch}"
+        );
+    }
+}
+
+#[test]
+fn join_view_runs_one_leg_per_changed_relation() {
+    let mut s = cluster(5);
+    publish_r(&mut s, 50);
+    publish_s_matching(&mut s, 50); // epoch 1 (S rows join R.v = S.w)
+    let plan = join_plan();
+    let mut view = MaterializedView::new("join", &plan).unwrap();
+    refresh_view(
+        &mut view,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Recompute,
+        Epoch(1),
+        NodeId(0),
+        None,
+    )
+    .unwrap();
+    assert_eq!(view.answer(), full_run(&s, &plan, Epoch(1)));
+
+    // Epoch 2 touches both relations: two telescoped legs.
+    let mut b = UpdateBatch::new();
+    for k in 200..206 {
+        b.insert("R", r_row(k));
+    }
+    b.delete("R", vec![Value::Int(5)]);
+    for k in 200..206 {
+        b.insert("S", Tuple::new(vec![Value::Int(k), Value::Int(k * 10)]));
+    }
+    b.delete("S", vec![Value::Int(7)]);
+    s.publish(&b).unwrap();
+    let run = refresh_view(
+        &mut view,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Incremental,
+        Epoch(2),
+        NodeId(0),
+        None,
+    )
+    .unwrap();
+    assert_eq!(run.legs, 2);
+    assert_eq!(view.answer(), full_run(&s, &plan, Epoch(2)));
+
+    // Recompute lands on the same answer from scratch.
+    let mut recomputed = MaterializedView::new("join2", &plan).unwrap();
+    refresh_view(
+        &mut recomputed,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Recompute,
+        Epoch(2),
+        NodeId(0),
+        None,
+    )
+    .unwrap();
+    assert_eq!(recomputed.answer(), view.answer());
+}
+
+#[test]
+fn maintenance_survives_a_mid_maintenance_node_failure() {
+    for strategy in [RecoveryStrategy::Restart, RecoveryStrategy::Incremental] {
+        let mut s = cluster(5);
+        publish_r(&mut s, 80);
+        publish_s_matching(&mut s, 80);
+        let plan = join_plan();
+        let mut view = MaterializedView::new("join", &plan).unwrap();
+        let config = EngineConfig {
+            strategy,
+            ..EngineConfig::default()
+        };
+        refresh_view(
+            &mut view,
+            &s,
+            &config,
+            MaintenanceMode::Recompute,
+            Epoch(1),
+            NodeId(0),
+            None,
+        )
+        .unwrap();
+
+        let mut b = UpdateBatch::new();
+        for k in 300..330 {
+            b.insert("R", r_row(k));
+            b.insert("S", Tuple::new(vec![Value::Int(k), Value::Int(k * 10)]));
+        }
+        for k in 0..20 {
+            b.modify("R", r_row_v2(k));
+        }
+        s.publish(&b).unwrap();
+
+        // Learn the failure-free makespan on a throwaway clone, then
+        // kill a node halfway through the real refresh.
+        let mut probe = view.clone();
+        let baseline = refresh_view(
+            &mut probe,
+            &s,
+            &config,
+            MaintenanceMode::Incremental,
+            Epoch(2),
+            NodeId(0),
+            None,
+        )
+        .unwrap();
+        let failure = FailureSpec::at_time(
+            NodeId(4),
+            SimTime::from_micros(baseline.makespan.as_micros() / 2),
+        );
+        let run = refresh_view(
+            &mut view,
+            &s,
+            &config,
+            MaintenanceMode::Incremental,
+            Epoch(2),
+            NodeId(0),
+            Some(failure),
+        )
+        .unwrap();
+        assert!(
+            run.recovered,
+            "{strategy:?}: the mid-makespan failure must interrupt maintenance"
+        );
+        assert_eq!(
+            view.answer(),
+            full_run(&s, &plan, Epoch(2)),
+            "{strategy:?}: maintained answer must survive the failure exactly"
+        );
+        assert_eq!(view.answer(), probe.answer());
+    }
+}
+
+#[test]
+fn epoch_pinned_scans_read_the_past() {
+    let mut s = cluster(4);
+    publish_r(&mut s, 30); // epoch 0
+    let mut b = UpdateBatch::new();
+    for k in 30..60 {
+        b.insert("R", r_row(k));
+    }
+    s.publish(&b).unwrap(); // epoch 1
+
+    let plan = scan_ship_plan();
+    let mut overrides = ScanOverrides::new();
+    overrides.read_at(plan.scans()[0], Epoch(0));
+    assert!(!overrides.is_empty());
+    let workload = SessionScheduler::new(SchedulerConfig::default())
+        .run(
+            &s,
+            &EngineConfig::default(),
+            &[QuerySession {
+                name: "pinned".into(),
+                plan: plan.clone(),
+                epoch: Epoch(1),
+                initiator: NodeId(0),
+                estimated_cost: 0.0,
+                overrides,
+                plan_resident: false,
+            }],
+        )
+        .unwrap();
+    assert_eq!(
+        workload.sessions[0].report.rows,
+        full_run(&s, &plan, Epoch(0)),
+        "the pinned scan must see epoch 0 despite the session reading epoch 1"
+    );
 }

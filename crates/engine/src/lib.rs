@@ -61,8 +61,10 @@ pub mod plan;
 pub mod provenance;
 
 pub use exec::{
-    AdmissionPolicy, EngineConfig, FailureSpec, QueryExecutor, QueryReport, QuerySession,
-    RecoveryStrategy, SchedulerConfig, SessionId, SessionReport, SessionScheduler, WorkloadReport,
+    refresh_view, AdmissionPolicy, EngineConfig, FailureSpec, FoldMode, MaintenanceLeg,
+    MaintenanceMode, MaintenancePlan, MaintenanceRun, MaterializedView, QueryExecutor, QueryReport,
+    QuerySession, RecoveryStrategy, ScanOverrides, SchedulerConfig, SessionId, SessionReport,
+    SessionScheduler, WorkloadReport,
 };
 pub use expr::{AggFunc, CmpOp, Predicate, ScalarExpr};
 pub use plan::{AggMode, OpId, Operator, OperatorKind, PhysicalPlan, PlanBuilder};

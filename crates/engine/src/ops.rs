@@ -139,23 +139,45 @@ impl Accumulator {
 
     /// Fold one raw input value into the accumulator.
     pub fn update(&mut self, value: &Value) {
+        self.update_signed(value, 1);
+    }
+
+    /// Is this accumulator *subtractable* — can a retraction be folded by
+    /// inverting the contribution of the original insertion?  COUNT, SUM
+    /// and AVG are; MIN and MAX are not (removing the current extremum
+    /// would require the discarded runners-up).
+    pub fn is_subtractable(&self) -> bool {
+        !matches!(self, Accumulator::Min(_) | Accumulator::Max(_))
+    }
+
+    /// Fold one raw input value with a delta sign: `+1` accumulates as
+    /// [`Self::update`], `-1` inverts the contribution.  Retractions into
+    /// MIN/MAX are a planning error (maintenance plans refuse
+    /// non-subtractable aggregates) and panic.
+    pub fn update_signed(&mut self, value: &Value, sign: i64) {
         match self {
-            Accumulator::Count(c) => *c += 1,
-            Accumulator::Sum(s) => *s = s.add(value),
+            Accumulator::Count(c) => *c += sign,
+            Accumulator::Sum(s) => {
+                if !value.is_null() {
+                    *s = s.add(&signed_value(value, sign));
+                }
+            }
             Accumulator::Min(m) => {
+                assert!(sign > 0, "MIN cannot fold a retraction");
                 if m.as_ref().map(|cur| value < cur).unwrap_or(true) && !value.is_null() {
                     *m = Some(value.clone());
                 }
             }
             Accumulator::Max(m) => {
+                assert!(sign > 0, "MAX cannot fold a retraction");
                 if m.as_ref().map(|cur| value > cur).unwrap_or(true) && !value.is_null() {
                     *m = Some(value.clone());
                 }
             }
             Accumulator::Avg(s, c) => {
                 if !value.is_null() {
-                    *s = s.add(value);
-                    *c += 1;
+                    *s = s.add(&signed_value(value, sign));
+                    *c += sign;
                 }
             }
         }
@@ -164,22 +186,36 @@ impl Accumulator {
     /// Merge a *partial state* (as produced by [`Self::partial_values`]) —
     /// the re-aggregation path of a `Final` aggregate.
     pub fn merge_partial(&mut self, state: &[Value]) {
+        self.merge_partial_signed(state, 1);
+    }
+
+    /// Merge a partial state with a delta sign: `-1` removes the state's
+    /// whole contribution (the retraction path of view maintenance).
+    pub fn merge_partial_signed(&mut self, state: &[Value], sign: i64) {
         match self {
-            Accumulator::Count(c) => *c += state[0].as_int().unwrap_or(0),
-            Accumulator::Sum(s) => *s = s.add(&state[0]),
+            Accumulator::Count(c) => *c += sign * state[0].as_int().unwrap_or(0),
+            Accumulator::Sum(s) => {
+                if !state[0].is_null() {
+                    *s = s.add(&signed_value(&state[0], sign));
+                }
+            }
             Accumulator::Min(m) => {
+                assert!(sign > 0, "MIN cannot fold a retraction");
                 if !state[0].is_null() && m.as_ref().map(|cur| &state[0] < cur).unwrap_or(true) {
                     *m = Some(state[0].clone());
                 }
             }
             Accumulator::Max(m) => {
+                assert!(sign > 0, "MAX cannot fold a retraction");
                 if !state[0].is_null() && m.as_ref().map(|cur| &state[0] > cur).unwrap_or(true) {
                     *m = Some(state[0].clone());
                 }
             }
             Accumulator::Avg(s, c) => {
-                *s = s.add(&state[0]);
-                *c += state[1].as_int().unwrap_or(0);
+                if !state[0].is_null() {
+                    *s = s.add(&signed_value(&state[0], sign));
+                }
+                *c += sign * state[1].as_int().unwrap_or(0);
             }
         }
     }
@@ -212,6 +248,16 @@ impl Accumulator {
     }
 }
 
+/// A numeric value scaled by a delta sign (`-1` negates, `+1` is the
+/// identity).  `Int(0).sub` keeps integers integer and promotes doubles.
+fn signed_value(value: &Value, sign: i64) -> Value {
+    if sign >= 0 {
+        value.clone()
+    } else {
+        Value::Int(0).sub(value)
+    }
+}
+
 /// One sub-group of an aggregate: the accumulators for a particular
 /// `(group key, provenance set, phase)` combination, plus whether it has
 /// already been emitted downstream.
@@ -238,7 +284,8 @@ impl AggState {
         self.groups.len()
     }
 
-    /// Fold one raw input row (modes `Single` and `Partial`).
+    /// Fold one raw input row (modes `Single` and `Partial`), honouring
+    /// the row's delta sign — a retraction inverts its contribution.
     pub fn update_raw(&mut self, row: &TaggedTuple, group_by: &[usize], aggs: &[(AggFunc, usize)]) {
         let key: Vec<Value> = group_by
             .iter()
@@ -252,7 +299,7 @@ impl AggState {
                 emitted: false,
             });
         for (i, (_, col)) in aggs.iter().enumerate() {
-            entry.accumulators[i].update(row.tuple.value(*col));
+            entry.accumulators[i].update_signed(row.tuple.value(*col), row.sign as i64);
         }
     }
 
@@ -280,7 +327,7 @@ impl AggState {
             let state: Vec<Value> = (0..width)
                 .map(|k| row.tuple.value(col + k).clone())
                 .collect();
-            entry.accumulators[i].merge_partial(&state);
+            entry.accumulators[i].merge_partial_signed(&state, row.sign as i64);
         }
     }
 
@@ -326,10 +373,13 @@ impl AggState {
             }
             let mut provenance = key.1;
             provenance.insert(node);
+            // Emitted states are assertions: any retractions the
+            // sub-group absorbed are already folded into its values.
             out.push(TaggedTuple {
                 tuple: Tuple::new(values),
                 provenance,
                 phase,
+                sign: 1,
             });
         }
         out
@@ -583,6 +633,63 @@ mod tests {
             merged.merge_partial(&p2.partial_values());
             assert_eq!(merged.final_value(), direct.final_value(), "{func:?}");
         }
+    }
+
+    #[test]
+    fn signed_updates_invert_insertions_exactly() {
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg] {
+            let mut acc = Accumulator::new(func);
+            assert!(acc.is_subtractable());
+            for v in [10i64, -3, 7] {
+                acc.update(&Value::Int(v));
+            }
+            let snapshot = acc.partial_values();
+            // Fold three more rows in, then retract them: the state must
+            // return to the snapshot.
+            for v in [5i64, 5, 20] {
+                acc.update_signed(&Value::Int(v), 1);
+            }
+            for v in [5i64, 5, 20] {
+                acc.update_signed(&Value::Int(v), -1);
+            }
+            assert_eq!(acc.partial_values(), snapshot, "{func:?}");
+            // Retracting a whole partial state works the same way.
+            let mut other = Accumulator::new(func);
+            other.update(&Value::Int(100));
+            acc.merge_partial_signed(&other.partial_values(), 1);
+            acc.merge_partial_signed(&other.partial_values(), -1);
+            assert_eq!(acc.partial_values(), snapshot, "{func:?}");
+        }
+        assert!(!Accumulator::new(AggFunc::Min).is_subtractable());
+        assert!(!Accumulator::new(AggFunc::Max).is_subtractable());
+    }
+
+    #[test]
+    #[should_panic(expected = "MIN cannot fold a retraction")]
+    fn min_rejects_retractions() {
+        let mut acc = Accumulator::new(AggFunc::Min);
+        acc.update_signed(&Value::Int(1), -1);
+    }
+
+    #[test]
+    fn agg_state_folds_row_signs() {
+        let mut agg = AggState::new();
+        let aggs = [(AggFunc::Sum, 1), (AggFunc::Count, 1)];
+        agg.update_raw(
+            &tagged(vec![Value::str("g"), Value::Int(10)], 0),
+            &[0],
+            &aggs,
+        );
+        agg.update_raw(
+            &tagged(vec![Value::str("g"), Value::Int(4)], 0).with_sign(-1),
+            &[0],
+            &aggs,
+        );
+        let rows = agg.collapsed_final(&aggs);
+        assert_eq!(
+            rows[0].values(),
+            &[Value::str("g"), Value::Int(6), Value::Int(0)]
+        );
     }
 
     #[test]

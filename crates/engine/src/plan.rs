@@ -109,6 +109,13 @@ pub enum OperatorKind {
         /// Columns forming the repartitioning key.
         columns: Vec<usize>,
     },
+    /// Replicate every input tuple to all participants of the routing
+    /// snapshot.  A join whose other input stays in place (under *any*
+    /// disjoint partitioning) is correct above a broadcast, because each
+    /// stationary row exists at exactly one node — the exchange view
+    /// maintenance uses to join a small signed delta stream against a
+    /// large relation without moving the relation.
+    Broadcast,
     /// Send all input tuples to the query initiator.
     Ship,
     /// Collect final results at the initiator (implicit root).
@@ -128,6 +135,7 @@ impl OperatorKind {
             OperatorKind::HashJoin { .. } => "HashJoin",
             OperatorKind::Aggregate { .. } => "Aggregate",
             OperatorKind::Rehash { .. } => "Rehash",
+            OperatorKind::Broadcast => "Broadcast",
             OperatorKind::Ship => "Ship",
             OperatorKind::Output => "Output",
         }
@@ -145,7 +153,10 @@ impl OperatorKind {
 
     /// Does this operator move tuples between nodes?
     pub fn is_exchange(&self) -> bool {
-        matches!(self, OperatorKind::Rehash { .. } | OperatorKind::Ship)
+        matches!(
+            self,
+            OperatorKind::Rehash { .. } | OperatorKind::Broadcast | OperatorKind::Ship
+        )
     }
 
     /// Is this a blocking operator (emits only at end-of-stream)?
@@ -419,6 +430,12 @@ impl PlanBuilder {
             "rehash column out of range"
         );
         self.push(OperatorKind::Rehash { columns }, vec![child], arity)
+    }
+
+    /// Add a broadcast-to-all-participants above `child`.
+    pub fn broadcast(&mut self, child: OpId) -> OpId {
+        let arity = self.arity_of(child);
+        self.push(OperatorKind::Broadcast, vec![child], arity)
     }
 
     /// Add a ship-to-initiator above `child`.

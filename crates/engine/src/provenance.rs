@@ -22,7 +22,14 @@ pub type Phase = u32;
 /// "at most 2%" extra network traffic.
 pub const TAG_WIRE_BYTES: usize = 32 + 4;
 
-/// A tuple annotated with its provenance and phase.
+/// A tuple annotated with its provenance and phase, plus the *sign* that
+/// makes it a delta: `+1` for an assertion (the only sign ordinary
+/// queries ever produce) and `-1` for a retraction flowing through a
+/// maintenance pipeline (`exec::ivm`).  Signs multiply through joins and
+/// are folded by aggregates, so a retracted base tuple cancels exactly
+/// the derived state its original insertion created.  The sign rides
+/// inside the per-tuple framing the batch encoding already charges for,
+/// so it adds no wire bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaggedTuple {
     /// The data tuple.
@@ -32,6 +39,8 @@ pub struct TaggedTuple {
     pub provenance: NodeSet,
     /// The phase in which this tuple was (re)produced.
     pub phase: Phase,
+    /// `+1` for an assertion, `-1` for a retraction.
+    pub sign: i8,
 }
 
 impl TaggedTuple {
@@ -42,7 +51,14 @@ impl TaggedTuple {
             tuple,
             provenance: NodeSet::singleton(node),
             phase,
+            sign: 1,
         }
+    }
+
+    /// Flip or set the sign (delta scans tag removed versions `-1`).
+    pub fn with_sign(mut self, sign: i8) -> TaggedTuple {
+        self.sign = sign;
+        self
     }
 
     /// Record that `node` has now processed this tuple.
@@ -53,7 +69,9 @@ impl TaggedTuple {
 
     /// Combine two tuples into a derived tuple (e.g. a join result): the
     /// data is `tuple`, the provenance the union of the parents' plus the
-    /// deriving node, the phase the maximum of the parents'.
+    /// deriving node, the phase the maximum of the parents', the sign
+    /// the product (a retraction joined with an assertion retracts the
+    /// derived row).
     pub fn derived(
         tuple: Tuple,
         left: &TaggedTuple,
@@ -66,6 +84,7 @@ impl TaggedTuple {
             tuple,
             provenance,
             phase: left.phase.max(right.phase),
+            sign: left.sign * right.sign,
         }
     }
 
@@ -76,6 +95,7 @@ impl TaggedTuple {
             tuple,
             provenance: self.provenance,
             phase: self.phase,
+            sign: self.sign,
         }
     }
 
@@ -132,6 +152,19 @@ mod tests {
     fn wire_size_includes_tag_only_when_asked() {
         let x = TaggedTuple::scanned(t(1), NodeId(0), 0);
         assert_eq!(x.wire_size(false) + TAG_WIRE_BYTES, x.wire_size(true));
+    }
+
+    #[test]
+    fn signs_default_positive_and_multiply_through_derivation() {
+        let assertion = TaggedTuple::scanned(t(1), NodeId(0), 0);
+        assert_eq!(assertion.sign, 1);
+        let retraction = TaggedTuple::scanned(t(2), NodeId(1), 0).with_sign(-1);
+        assert_eq!(retraction.sign, -1);
+        let j = TaggedTuple::derived(t(3), &assertion, &retraction, NodeId(2));
+        assert_eq!(j.sign, -1, "assertion × retraction retracts");
+        let jj = TaggedTuple::derived(t(4), &retraction, &retraction, NodeId(2));
+        assert_eq!(jj.sign, 1, "two retractions assert");
+        assert_eq!(retraction.with_tuple(t(9)).sign, -1);
     }
 
     #[test]

@@ -272,6 +272,16 @@ fn walk(
             cost.network_bytes += child.rows * child.row_bytes() * exchange_fraction(stats.nodes);
             child
         }
+        OperatorKind::Broadcast => {
+            let child = walk(plan, operator.children[0], stats, cost)?;
+            // Every row goes to every *other* participant (the local
+            // copy is an in-memory handover).  Row-count estimates stay
+            // logical: each stationary join partner still meets each
+            // broadcast row exactly once.
+            cost.network_bytes +=
+                child.rows * child.row_bytes() * (stats.nodes.saturating_sub(1)) as f64;
+            child
+        }
         OperatorKind::Output => walk(plan, operator.children[0], stats, cost)?,
     };
     cost.cpu_rows += est.rows;

@@ -24,6 +24,11 @@
 //!   [`estimate_plan_cost`] applies the same model to any already-built
 //!   [`orchestra_engine::PhysicalPlan`] so optimizer-chosen and
 //!   hand-built plans are comparable under one yardstick;
+//! * [`choose_maintenance`] ([`maintenance`]) — the per-epoch
+//!   incremental-vs-recompute decision for materialized workload
+//!   answers: both refresh strategies priced under the same cost model,
+//!   with per-leg what-if statistics sized from the published batch's
+//!   signed delta counts;
 //! * [`compile`] ([`planner`]) — the bottom-up dynamic-programming
 //!   enumerator over connected join-graph subsets, with sargable
 //!   predicates pushed into the leaf scans, covering-index scans elected
@@ -42,12 +47,16 @@
 
 pub mod cost;
 pub mod logical;
+pub mod maintenance;
 pub mod planner;
 pub mod stats;
 
 pub use cost::{estimate_plan_cost, PlanCost};
 pub use logical::{col, Aggregation, ColRef, JoinEdge, LogicalExpr, LogicalQuery};
-pub use planner::compile;
+pub use maintenance::{
+    choose_maintenance, compile_delta_legs, MaintenanceChoice, MaintenanceDecision,
+};
+pub use planner::{compile, compile_with, PlannerOptions};
 pub use stats::{Statistics, TableStats};
 
 use orchestra_engine::Predicate;

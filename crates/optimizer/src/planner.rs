@@ -80,6 +80,18 @@ impl Partitioning {
     }
 }
 
+/// How one join input reaches its join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Exchange {
+    /// Already placed correctly (co-partitioned or replicated).
+    InPlace,
+    /// Repartitioned on the join keys.
+    Rehash,
+    /// Replicated to every participant; the other side joins in place
+    /// under whatever partitioning it has.
+    Broadcast,
+}
+
 /// One join tree the dynamic program is considering.
 #[derive(Clone, Debug)]
 enum JoinTree {
@@ -89,8 +101,8 @@ enum JoinTree {
         right: Box<JoinTree>,
         left_keys: Vec<ColRef>,
         right_keys: Vec<ColRef>,
-        rehash_left: bool,
-        rehash_right: bool,
+        left_exchange: Exchange,
+        right_exchange: Exchange,
     },
 }
 
@@ -113,23 +125,50 @@ enum AggPlacement {
     TwoPhase,
 }
 
+/// Optional planner features.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlannerOptions {
+    /// Also enumerate *broadcast joins*: replicate one input to every
+    /// participant and join the other in place under whatever
+    /// partitioning it already has.  Costed at `rows × (n-1) × bytes`,
+    /// this wins when one side is tiny — the structural situation of a
+    /// view-maintenance delta leg, which is why leg compilation turns
+    /// it on while ad-hoc compilation keeps the classic rehash-only
+    /// search space.
+    pub broadcast_joins: bool,
+}
+
 /// Compile a logical query into a physical plan under the given
 /// statistics snapshot.  Deterministic: the same `(query, stats)` always
 /// yields the byte-identical plan.
 pub fn compile(query: &LogicalQuery, stats: &Statistics) -> Result<PhysicalPlan> {
-    let planner = Planner::new(query, stats)?;
+    compile_with(query, stats, PlannerOptions::default())
+}
+
+/// [`compile`] with explicit [`PlannerOptions`].
+pub fn compile_with(
+    query: &LogicalQuery,
+    stats: &Statistics,
+    options: PlannerOptions,
+) -> Result<PhysicalPlan> {
+    let planner = Planner::new(query, stats, options)?;
     planner.plan()
 }
 
 struct Planner<'a> {
     query: &'a LogicalQuery,
     stats: &'a Statistics,
+    options: PlannerOptions,
     tables: Vec<&'a TableStats>,
     leaves: Vec<Leaf>,
 }
 
 impl<'a> Planner<'a> {
-    fn new(query: &'a LogicalQuery, stats: &'a Statistics) -> Result<Planner<'a>> {
+    fn new(
+        query: &'a LogicalQuery,
+        stats: &'a Statistics,
+        options: PlannerOptions,
+    ) -> Result<Planner<'a>> {
         let n = query.relations.len();
         if n == 0 {
             return Err(OrchestraError::Planning(
@@ -166,6 +205,7 @@ impl<'a> Planner<'a> {
         let planner = Planner {
             query,
             stats,
+            options,
             tables,
             leaves: Vec::new(),
         };
@@ -363,8 +403,10 @@ impl<'a> Planner<'a> {
         (keys_a, keys_b)
     }
 
-    /// Join candidates `ca` (over `a`) and `cb` (over `b`), or `None`
-    /// when the combination is not executable (two replicated inputs).
+    /// Join candidates `ca` (over `a`) and `cb` (over `b`): the
+    /// co-partitioning (rehash) variant, plus — when enabled — the two
+    /// broadcast variants.  Empty when the combination is not executable
+    /// (two replicated inputs).
     fn join_candidates(
         &self,
         ca: &Candidate,
@@ -373,76 +415,137 @@ impl<'a> Planner<'a> {
         b: usize,
         keys_a: &[ColRef],
         keys_b: &[ColRef],
-    ) -> Option<Candidate> {
+    ) -> Vec<Candidate> {
         let a_replicated = ca.partitioning == Partitioning::Replicated;
         let b_replicated = cb.partitioning == Partitioning::Replicated;
         if a_replicated && b_replicated {
             // Every node holds both inputs in full; the join result would
             // be duplicated at every participant.
-            return None;
+            return Vec::new();
         }
-        // A replicated input joins in place on either side; two
-        // partitioned inputs must be co-partitioned on the join keys.
-        let (rehash_a, rehash_b) = if a_replicated || b_replicated {
-            (false, false)
-        } else {
-            (
-                !ca.partitioning.covers(keys_a),
-                !cb.partitioning.covers(keys_b),
-            )
-        };
-
-        let mut cost = ca.cost;
-        cost.add(cb.cost);
-        let frac = exchange_fraction(self.stats.nodes);
-        if rehash_a {
-            cost.network_bytes += ca.rows * self.row_bytes(a) * frac;
-            cost.cpu_rows += ca.rows;
-        }
-        if rehash_b {
-            cost.network_bytes += cb.rows * self.row_bytes(b) * frac;
-            cost.cpu_rows += cb.rows;
-        }
-
         let distinct = ca.max_base.max(cb.max_base);
         let rows = join_output_rows(ca.rows, cb.rows, distinct);
-        cost.cpu_rows += rows;
-
-        // Partitioning of the joined rows: key-value equivalence plus
-        // every property of an input that did not move.
-        let mut lists: BTreeSet<Vec<ColRef>> = BTreeSet::new();
-        if !a_replicated && !b_replicated {
-            lists.insert(keys_a.to_vec());
-            lists.insert(keys_b.to_vec());
-        }
-        for (candidate, replicated, rehashed, own_keys, other_keys) in [
-            (ca, a_replicated, rehash_a, keys_a, keys_b),
-            (cb, b_replicated, rehash_b, keys_b, keys_a),
-        ] {
-            if replicated || rehashed {
-                continue;
-            }
-            if let Partitioning::Hash(own) = &candidate.partitioning {
-                lists.extend(own.iter().cloned());
-                if own.contains(own_keys) {
-                    lists.insert(other_keys.to_vec());
-                }
-            }
-        }
-        Some(Candidate {
+        let base_cost = {
+            let mut cost = ca.cost;
+            cost.add(cb.cost);
+            cost.cpu_rows += rows;
+            cost
+        };
+        let build = |cost: PlanCost,
+                     partitioning: Partitioning,
+                     left_exchange: Exchange,
+                     right_exchange: Exchange| Candidate {
             cost,
             rows,
             max_base: distinct,
-            partitioning: Partitioning::Hash(lists),
+            partitioning,
             tree: JoinTree::Join {
                 left: Box::new(ca.tree.clone()),
                 right: Box::new(cb.tree.clone()),
                 left_keys: keys_a.to_vec(),
                 right_keys: keys_b.to_vec(),
-                rehash_left: rehash_a,
-                rehash_right: rehash_b,
+                left_exchange,
+                right_exchange,
             },
-        })
+        };
+        let mut out = Vec::new();
+
+        // Variant 1: co-partitioning.  A replicated input joins in place
+        // on either side; two partitioned inputs must be co-partitioned
+        // on the join keys.
+        {
+            let (rehash_a, rehash_b) = if a_replicated || b_replicated {
+                (false, false)
+            } else {
+                (
+                    !ca.partitioning.covers(keys_a),
+                    !cb.partitioning.covers(keys_b),
+                )
+            };
+            let mut cost = base_cost;
+            let frac = exchange_fraction(self.stats.nodes);
+            if rehash_a {
+                cost.network_bytes += ca.rows * self.row_bytes(a) * frac;
+                cost.cpu_rows += ca.rows;
+            }
+            if rehash_b {
+                cost.network_bytes += cb.rows * self.row_bytes(b) * frac;
+                cost.cpu_rows += cb.rows;
+            }
+            // Partitioning of the joined rows: key-value equivalence plus
+            // every property of an input that did not move.
+            let mut lists: BTreeSet<Vec<ColRef>> = BTreeSet::new();
+            if !a_replicated && !b_replicated {
+                lists.insert(keys_a.to_vec());
+                lists.insert(keys_b.to_vec());
+            }
+            for (candidate, replicated, rehashed, own_keys, other_keys) in [
+                (ca, a_replicated, rehash_a, keys_a, keys_b),
+                (cb, b_replicated, rehash_b, keys_b, keys_a),
+            ] {
+                if replicated || rehashed {
+                    continue;
+                }
+                if let Partitioning::Hash(own) = &candidate.partitioning {
+                    lists.extend(own.iter().cloned());
+                    if own.contains(own_keys) {
+                        lists.insert(other_keys.to_vec());
+                    }
+                }
+            }
+            let exchange = |rehashed| {
+                if rehashed {
+                    Exchange::Rehash
+                } else {
+                    Exchange::InPlace
+                }
+            };
+            out.push(build(
+                cost,
+                Partitioning::Hash(lists),
+                exchange(rehash_a),
+                exchange(rehash_b),
+            ));
+        }
+
+        // Variants 2 and 3: broadcast one partitioned input into the
+        // other partitioned input, which keeps its partitioning.  The
+        // stationary side must not be replicated (every node holds it in
+        // full, so the output would be duplicated n times).
+        if self.options.broadcast_joins && !a_replicated && !b_replicated {
+            let remote = self.stats.nodes.saturating_sub(1) as f64;
+            for (moving, moving_mask, moving_keys, stationary, stationary_keys, a_moves) in [
+                (ca, a, keys_a, cb, keys_b, true),
+                (cb, b, keys_b, ca, keys_a, false),
+            ] {
+                let mut cost = base_cost;
+                cost.network_bytes += moving.rows * self.row_bytes(moving_mask) * remote;
+                cost.cpu_rows += moving.rows;
+                // The output lives where the stationary rows live: it
+                // inherits that side's partitioning, and the join-key
+                // equivalence when the stationary side was partitioned
+                // on its keys.
+                let mut lists: BTreeSet<Vec<ColRef>> = BTreeSet::new();
+                if let Partitioning::Hash(own) = &stationary.partitioning {
+                    lists.extend(own.iter().cloned());
+                    if own.contains(stationary_keys) {
+                        lists.insert(moving_keys.to_vec());
+                    }
+                }
+                let (left_exchange, right_exchange) = if a_moves {
+                    (Exchange::Broadcast, Exchange::InPlace)
+                } else {
+                    (Exchange::InPlace, Exchange::Broadcast)
+                };
+                out.push(build(
+                    cost,
+                    Partitioning::Hash(lists),
+                    left_exchange,
+                    right_exchange,
+                ));
+            }
+        }
+        out
     }
 
     /// Keep `candidate` for its subset if it is the best plan seen for
@@ -484,11 +587,7 @@ impl<'a> Planner<'a> {
                         let mut joined = Vec::new();
                         for ca in &best[a] {
                             for cb in &best[b] {
-                                if let Some(c) =
-                                    self.join_candidates(ca, a, cb, b, &keys_a, &keys_b)
-                                {
-                                    joined.push(c);
-                                }
+                                joined.extend(self.join_candidates(ca, a, cb, b, &keys_a, &keys_b));
                             }
                         }
                         for c in joined {
@@ -621,8 +720,8 @@ impl<'a> Planner<'a> {
                 right,
                 left_keys,
                 right_keys,
-                rehash_left,
-                rehash_right,
+                left_exchange,
+                right_exchange,
             } => {
                 let (mut l_op, l_layout) = self.emit(left, builder);
                 let (mut r_op, r_layout) = self.emit(right, builder);
@@ -635,11 +734,15 @@ impl<'a> Planner<'a> {
                 let l_keys: Vec<usize> = left_keys.iter().map(|k| position(&l_layout, k)).collect();
                 let r_keys: Vec<usize> =
                     right_keys.iter().map(|k| position(&r_layout, k)).collect();
-                if *rehash_left {
-                    l_op = builder.rehash(l_op, l_keys.clone());
+                match left_exchange {
+                    Exchange::Rehash => l_op = builder.rehash(l_op, l_keys.clone()),
+                    Exchange::Broadcast => l_op = builder.broadcast(l_op),
+                    Exchange::InPlace => {}
                 }
-                if *rehash_right {
-                    r_op = builder.rehash(r_op, r_keys.clone());
+                match right_exchange {
+                    Exchange::Rehash => r_op = builder.rehash(r_op, r_keys.clone()),
+                    Exchange::Broadcast => r_op = builder.broadcast(r_op),
+                    Exchange::InPlace => {}
                 }
                 let join = builder.hash_join(l_op, r_op, l_keys, r_keys);
                 let mut raw = l_layout;

@@ -103,6 +103,18 @@ impl Statistics {
         }
     }
 
+    /// A copy of the snapshot with one relation's cardinality replaced —
+    /// the what-if form the maintenance cost model uses to cost a plan
+    /// in which a single scan reads an epoch delta instead of the full
+    /// relation.
+    pub fn with_cardinality(&self, relation: &str, cardinality: usize) -> Statistics {
+        let mut copy = self.clone();
+        if let Some(table) = copy.tables.get_mut(relation) {
+            table.cardinality = cardinality;
+        }
+        copy
+    }
+
     /// The stats of one relation, if registered.
     pub fn table(&self, name: &str) -> Option<&TableStats> {
         self.tables.get(name)

@@ -355,14 +355,14 @@ impl DistributedStorage {
     // ------------------------------------------------------------------
 
     /// The version of `relation` visible at `epoch`: the latest epoch at
-    /// which the relation changed that is `<= epoch`.
+    /// which the relation changed that is `<= epoch`.  Epochs are
+    /// appended in publication order, so the answer is a binary search —
+    /// version resolution sits on every scan and delta path and a linear
+    /// walk would grow with a relation's publication history.
     pub fn version_at(&self, relation: &str, epoch: Epoch) -> Option<Epoch> {
-        self.relation_epochs
-            .get(relation)?
-            .iter()
-            .rev()
-            .find(|e| **e <= epoch)
-            .copied()
+        let epochs = self.relation_epochs.get(relation)?;
+        let idx = epochs.partition_point(|e| *e <= epoch);
+        idx.checked_sub(1).map(|i| epochs[i])
     }
 
     /// All epochs at which `relation` changed.
@@ -773,6 +773,35 @@ mod tests {
         assert_eq!(s.relation_cardinality("R", Epoch(1)), 1);
         assert_eq!(s.relation_cardinality("S", Epoch(1)), 1);
         assert_eq!(s.version_history("R"), &[Epoch(0)]);
+    }
+
+    #[test]
+    fn version_at_binary_search_matches_linear_scan() {
+        // Regression for the O(history) linear walk: publish a long,
+        // gappy history (R changes only on every third global epoch) and
+        // check the binary search against the definition at every probe.
+        let mut s = storage(3);
+        s.register_relation(Relation::partitioned(
+            "Other",
+            Schema::keyed_on_first(vec![("k", ColumnType::Int)]),
+        ));
+        for i in 0..60i64 {
+            let mut b = UpdateBatch::new();
+            if i % 3 == 0 {
+                b.insert("R", r(&format!("k{i}"), "v"));
+            } else {
+                b.insert("Other", Tuple::new(vec![Value::Int(i)]));
+            }
+            s.publish(&b).unwrap();
+        }
+        let history = s.version_history("R").to_vec();
+        assert_eq!(history.len(), 20);
+        for probe in 0..62u64 {
+            let epoch = Epoch(probe);
+            let expected = history.iter().rev().find(|e| **e <= epoch).copied();
+            assert_eq!(s.version_at("R", epoch), expected, "probe {probe}");
+        }
+        assert_eq!(s.version_at("Missing", Epoch(10)), None);
     }
 
     #[test]

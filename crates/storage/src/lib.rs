@@ -47,6 +47,7 @@
 //! owner of some state is gone.
 
 pub mod coordinator;
+pub mod delta;
 pub mod distributed;
 pub mod node_store;
 pub mod page;
@@ -54,6 +55,7 @@ pub mod replication;
 pub mod update;
 
 pub use coordinator::{CoordinatorKey, RelationVersion};
+pub use delta::{DeltaPartitionScan, PartitionDelta, RelationDelta};
 pub use distributed::{DistributedStorage, PartitionScan, RetrievalResult, StorageConfig};
 pub use node_store::NodeStore;
 pub use page::{IndexPage, PageDescriptor, PageId};

@@ -27,17 +27,47 @@
 //! [`orchestra_storage::UpdateBatch`] so data flows through the same
 //! versioned-publication path the paper's participants use.
 
+pub mod epochs;
 pub mod stbenchmark;
 pub mod tpch;
 
 use orchestra_common::{rng, Epoch, NodeId, OrchestraError, Relation, Result, Tuple, Value};
 use orchestra_engine::PhysicalPlan;
 use orchestra_optimizer::{LogicalQuery, Statistics};
-use orchestra_storage::{DistributedStorage, StorageConfig, UpdateBatch};
+use orchestra_storage::{DistributedStorage, StorageConfig, Update, UpdateBatch};
 use orchestra_substrate::{AllocationScheme, RoutingTable};
+use std::collections::BTreeMap;
 
+pub use epochs::{epoch_stream, EpochSpec, EpochStream};
 pub use stbenchmark::{ConcatenateScenario, CopyScenario};
 pub use tpch::{TpchDataset, TpchQuery, TpchWorkload};
+
+/// The rows of every relation of a workload at one point in time — the
+/// single-node mirror of what the versioned store serves at one epoch.
+/// Keyed by relation name; row order is not significant.
+pub type TableSet = BTreeMap<String, Vec<Tuple>>;
+
+/// Build the [`TableSet`] a base batch (inserts only) materializes.
+/// The multi-epoch generator ([`epochs`]) evolves such a set through
+/// modifies and deletes batch by batch.
+pub fn tables_of(batch: &UpdateBatch) -> TableSet {
+    let mut tables = TableSet::new();
+    for relation in batch.relations() {
+        let rows = batch
+            .updates_for(relation)
+            .iter()
+            .map(|u| match u {
+                Update::Insert(t) => t.clone(),
+                other => panic!(
+                    "tables_of is defined for insert-only base batches, got {other:?} \
+                     for {relation}"
+                ),
+            })
+            .collect();
+        tables.insert(relation.to_string(), rows);
+    }
+    tables
+}
 
 /// One benchmark workload: source relations, deterministic data, a
 /// declarative query, a hand-built oracle plan, and the single-node
@@ -55,10 +85,16 @@ pub trait Workload {
     /// The hand-built physical plan of the workload's query, kept as the
     /// oracle the optimizer-compiled plan is validated against.
     fn reference_plan(&self) -> PhysicalPlan;
-    /// The answer computed directly from the generated rows on a single
-    /// node, bypassing every distributed code path, sorted like
-    /// [`orchestra_engine::QueryReport::rows`].
-    fn reference(&self) -> Vec<Tuple>;
+    /// The answer the query gives over an arbitrary [`TableSet`],
+    /// computed on a single node bypassing every distributed code path,
+    /// sorted like [`orchestra_engine::QueryReport::rows`].  Multi-epoch
+    /// streams use this to pin down the exact answer at *every* epoch,
+    /// not just over the initially generated data.
+    fn reference_for(&self, tables: &TableSet) -> Vec<Tuple>;
+    /// The reference answer over the workload's own generated data.
+    fn reference(&self) -> Vec<Tuple> {
+        self.reference_for(&tables_of(&self.batch()))
+    }
 }
 
 /// Compile a workload's logical query against the statistics of a
@@ -93,7 +129,6 @@ pub fn deploy(workload: &dyn Workload, nodes: u16) -> Result<(DistributedStorage
 /// published as one batch, so a single epoch covers every workload's
 /// data.
 pub fn deploy_all(workloads: &[&dyn Workload], nodes: u16) -> Result<(DistributedStorage, Epoch)> {
-    use orchestra_storage::Update;
     let ids: Vec<NodeId> = (0..nodes).map(NodeId).collect();
     let replication = 3.min(ids.len().max(1));
     let routing = RoutingTable::build(&ids, AllocationScheme::Balanced, replication);

@@ -64,8 +64,8 @@ impl Workload for CopyScenario {
         b.output(ship)
     }
 
-    fn reference(&self) -> Vec<Tuple> {
-        let mut rows = generated_relation(self.seed, "st_source", self.rows);
+    fn reference_for(&self, tables: &crate::TableSet) -> Vec<Tuple> {
+        let mut rows = tables.get("st_source").cloned().unwrap_or_default();
         rows.sort();
         rows
     }
@@ -148,10 +148,12 @@ impl Workload for ConcatenateScenario {
         b.output(ship)
     }
 
-    fn reference(&self) -> Vec<Tuple> {
-        let mut rows: Vec<Tuple> = self
-            .source_rows()
-            .into_iter()
+    fn reference_for(&self, tables: &crate::TableSet) -> Vec<Tuple> {
+        let mut rows: Vec<Tuple> = tables
+            .get("st_parts")
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
             .map(|row| {
                 let glued = format!(
                     "{}{sep}{}{sep}{}",

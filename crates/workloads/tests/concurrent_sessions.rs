@@ -47,6 +47,8 @@ fn build_sessions(
                 epoch,
                 initiator: NodeId(i as u16),
                 estimated_cost: cost,
+                overrides: Default::default(),
+                plan_resident: false,
             }
         })
         .collect()
