@@ -1,0 +1,28 @@
+//! Regenerate the data-path equivalence fingerprints.
+//!
+//! Prints one line per (workload, failure scenario) in exactly the
+//! format `tests/columnar_equivalence.rs` commits.  Run after an
+//! *intentional* change to the simulated figures and paste the output
+//! over the `SEED_FINGERPRINTS` constant:
+//!
+//! ```sh
+//! cargo run --release -p orchestra-bench --example record_equiv
+//! ```
+
+use orchestra_bench::equiv::{equivalence_workloads, fingerprint_lines};
+
+fn main() {
+    for workload in equivalence_workloads() {
+        match fingerprint_lines(workload.as_ref()) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("record_equiv failed on {}: {e}", workload.name());
+                std::process::exit(1);
+            }
+        }
+    }
+}

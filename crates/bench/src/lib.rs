@@ -44,6 +44,7 @@
 //! [`run_scale_out`] with WAN [`orchestra_simnet::ClusterProfile`]s.
 
 pub mod baseline;
+pub mod equiv;
 pub mod experiments;
 pub mod json;
 pub mod maintenance;
@@ -53,8 +54,9 @@ use orchestra_simnet::SimTime;
 
 pub use baseline::{check_maintenance_baseline, check_plan_quality_baseline};
 pub use experiments::{
-    run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, PlanQuality,
-    RecoveryPoint, RecoverySweep, ScaleOutPoint, TaggingOverhead, INITIATOR,
+    run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, run_wall_clock,
+    wall_clock_add, wall_clock_json, PlanQuality, RecoveryPoint, RecoverySweep, ScaleOutPoint,
+    TaggingOverhead, WallClockComparison, INITIATOR,
 };
 pub use json::Json;
 pub use maintenance::{

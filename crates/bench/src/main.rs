@@ -28,7 +28,7 @@
 
 use orchestra_bench::{
     check_maintenance_baseline, check_plan_quality_baseline, run_maintenance, run_plan_quality,
-    run_recovery_sweep, run_scale_out, run_tagging_overhead, run_throughput, Json,
+    run_recovery_sweep, run_scale_out, run_tagging_overhead, run_throughput, run_wall_clock, Json,
     MaintenanceSweepSpec,
 };
 use orchestra_common::{NodeId, Result};
@@ -62,6 +62,11 @@ const MAINTENANCE_SEED: u64 = 42;
 /// epoch parameters per leg) don't drown the delta-vs-full contrast the
 /// sweep measures.
 const MAINTENANCE_ROWS: usize = 600;
+/// Rows in the wall-clock throughput comparison.  Larger still: host
+/// rows/sec is a steady-state figure, so the dataset must be big enough
+/// that per-query fixed costs (plan setup, channel creation) vanish
+/// against per-row work on both data paths.
+const WALL_CLOCK_ROWS: usize = 6000;
 /// The maintenance experiment's delta-size × epoch-count sweep: a
 /// small-delta stream the cost model should absorb incrementally, and a
 /// churn stream (the modify count swamps every relation) it should flip
@@ -90,7 +95,10 @@ const MAINTENANCE_SWEEPS: [MaintenanceSweepSpec; 2] = [
 /// The selectable experiments, in documentation order.  `baseline` is
 /// the committed-baseline subset: exactly `plan_quality` plus
 /// `maintenance`, the two experiments `--check-baseline` gates.
-const EXPERIMENTS: [&str; 8] = [
+/// `wall_clock` (the columnar-vs-legacy host-throughput comparison) runs
+/// only when selected explicitly: its figures measure the host machine
+/// and are inherently nondeterministic.
+const EXPERIMENTS: [&str; 9] = [
     "all",
     "scale_out",
     "recovery_sweep",
@@ -98,13 +106,14 @@ const EXPERIMENTS: [&str; 8] = [
     "plan_quality",
     "maintenance",
     "throughput",
+    "wall_clock",
     "baseline",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
-        Ok(Mode::Run(experiment)) => match run(&experiment) {
+        Ok(Mode::Run(options)) => match run(&options) {
             Ok(doc) => println!("{doc}"),
             Err(e) => {
                 eprintln!("orchestra-bench failed: {e}");
@@ -120,33 +129,79 @@ fn main() {
         Err(message) => {
             eprintln!("{message}");
             eprintln!("valid experiments: {}", EXPERIMENTS.join(", "));
-            eprintln!("usage: orchestra-bench [--experiment <name>] [--check-baseline <path>]");
+            eprintln!(
+                "usage: orchestra-bench [--experiment <name>] [--no-wall-clock] \
+                 [--legacy-row-path] [--check-baseline <path>]"
+            );
             std::process::exit(2);
         }
     }
 }
 
+/// A `Mode::Run` invocation's options.
+struct RunOptions {
+    experiment: String,
+    /// Emit the host wall-clock axis in scale-out and maintenance
+    /// output.  Off under `--no-wall-clock`, the form the byte-exact
+    /// determinism gate compares.
+    wall_clock: bool,
+    /// Run every experiment through the legacy row-at-a-time data path.
+    legacy_row_path: bool,
+}
+
 enum Mode {
-    Run(String),
+    Run(RunOptions),
     CheckBaseline(String),
 }
 
 fn parse_args(args: &[String]) -> std::result::Result<Mode, String> {
-    match args {
-        [] => Ok(Mode::Run("all".into())),
-        [flag, name] if flag == "--experiment" => {
-            if EXPERIMENTS.contains(&name.as_str()) {
-                Ok(Mode::Run(name.clone()))
-            } else {
-                Err(format!("unknown experiment \"{name}\""))
+    let mut experiment = "all".to_string();
+    let mut wall_clock = true;
+    let mut legacy_row_path = false;
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" => {
+                let name = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--experiment requires a name".to_string())?;
+                if !EXPERIMENTS.contains(&name.as_str()) {
+                    return Err(format!("unknown experiment \"{name}\""));
+                }
+                experiment = name.clone();
+                i += 2;
             }
+            "--no-wall-clock" => {
+                wall_clock = false;
+                i += 1;
+            }
+            "--legacy-row-path" => {
+                legacy_row_path = true;
+                i += 1;
+            }
+            "--check-baseline" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--check-baseline requires a path".to_string())?;
+                baseline_path = Some(path.clone());
+                i += 2;
+            }
+            other => return Err(format!("unrecognized argument: {other}")),
         }
-        [flag, path] if flag == "--check-baseline" => Ok(Mode::CheckBaseline(path.clone())),
-        _ => Err(format!("unrecognized arguments: {}", args.join(" "))),
+    }
+    match baseline_path {
+        Some(path) => Ok(Mode::CheckBaseline(path)),
+        None => Ok(Mode::Run(RunOptions {
+            experiment,
+            wall_clock,
+            legacy_row_path,
+        })),
     }
 }
 
-fn run(experiment: &str) -> Result<Json> {
+fn run(options: &RunOptions) -> Result<Json> {
+    let experiment = options.experiment.as_str();
     let tpch = TpchWorkload::scaled(TpchQuery::Q1, 42, 240);
     let tpch_joins = TpchWorkload::scaled(TpchQuery::Q3, 42, 240);
     let stbenchmark = CopyScenario {
@@ -165,13 +220,19 @@ fn run(experiment: &str) -> Result<Json> {
     let maintenance_workloads: [&dyn Workload; 3] = [&m_tpch, &m_tpch_joins, &m_stbenchmark];
     let all = experiment == "all";
 
-    let config = EngineConfig::default();
+    let config = EngineConfig {
+        legacy_row_path: options.legacy_row_path,
+        ..EngineConfig::default()
+    };
     let mut doc = vec![
         ("benchmark", Json::str("orchestra")),
         ("experiment", Json::str(experiment)),
     ];
 
     let baseline = experiment == "baseline";
+    // The committed baseline document must stay deterministic, so it
+    // never carries the host wall-clock axis regardless of flags.
+    let wall_clock = options.wall_clock && !baseline;
     let per_workload = all
         || baseline
         || matches!(
@@ -183,7 +244,7 @@ fn run(experiment: &str) -> Result<Json> {
         for (i, workload) in workloads.into_iter().enumerate() {
             let mut entry = vec![("workload", Json::str(workload.name()))];
             if all || experiment == "scale_out" {
-                let points = run_scale_out(workload, &SCALE_OUT_NODES, &config)?;
+                let points = run_scale_out(workload, &SCALE_OUT_NODES, &config, wall_clock)?;
                 entry.push((
                     "scale_out",
                     Json::Array(points.iter().map(|p| p.to_json()).collect()),
@@ -209,12 +270,28 @@ fn run(experiment: &str) -> Result<Json> {
                     MAINTENANCE_SEED,
                     &MAINTENANCE_SWEEPS,
                     &config,
+                    wall_clock,
                 )?;
                 entry.push(("maintenance", maintenance.to_json()));
             }
             experiments.push(Json::object(entry));
         }
         doc.push(("experiments", Json::Array(experiments)));
+    }
+
+    // Explicit selection only: host-throughput figures are inherently
+    // nondeterministic, so they never enter the byte-compared full run.
+    if experiment == "wall_clock" {
+        let wc_tpch = TpchWorkload::scaled(TpchQuery::Q1, 42, WALL_CLOCK_ROWS);
+        let comparison = run_wall_clock(&wc_tpch, SWEEP_NODES, &config)?;
+        doc.push((
+            "wall_clock",
+            Json::object(vec![
+                ("workload", Json::str(wc_tpch.name())),
+                ("rows", Json::UInt(WALL_CLOCK_ROWS as u64)),
+                ("comparison", comparison.to_json()),
+            ]),
+        ));
     }
 
     if all || experiment == "throughput" {
@@ -258,7 +335,11 @@ fn check_baseline(path: &str) -> Result<()> {
         .map_err(|e| OrchestraError::Execution(format!("cannot read {path}: {e}")))?;
     let baseline = Json::parse(&text)
         .map_err(|e| OrchestraError::Execution(format!("cannot parse {path}: {e}")))?;
-    let current = run("baseline")?;
+    let current = run(&RunOptions {
+        experiment: "baseline".into(),
+        wall_clock: false,
+        legacy_row_path: false,
+    })?;
     let mut violations = Vec::new();
     for result in [
         check_plan_quality_baseline(&current, &baseline, BASELINE_TOLERANCE),

@@ -1,0 +1,959 @@
+//! Columnar tuple batches with interned strings.
+//!
+//! The engine's data path moves tuples in blocks; storing a block as one
+//! vector per *column* instead of one [`Tuple`] per row keeps values of
+//! the same type contiguous, stores every repeated string exactly once
+//! (an interned-string pool, compared by id), and computes the per-column
+//! distinct-value dictionaries — which the wire-size encoder needs — in
+//! one cached pass on first demand, so the many intermediate batches that
+//! never reach the wire pay nothing for them.
+//!
+//! A [`ColumnarBatch`] holds:
+//!
+//! * one [`Column`] per attribute, type-specialised as `Int`/`Double`/
+//!   `Str` vectors with a lossless [`Value`] fallback for mixed or
+//!   NULL-bearing columns (a column is *demoted* the moment a value of a
+//!   different type arrives, so `Int(2)` round-trips as `Int(2)` and
+//!   never silently widens to `Double`);
+//! * a [`StringPool`]: `Str` columns store `u32` ids into the pool, so a
+//!   string that appears in a thousand rows is stored once and equality
+//!   is an integer compare;
+//! * parallel *tag columns* — sign, provenance node-set and phase — the
+//!   execution metadata the engine's recovery machinery carries per row.
+//!
+//! Conversion to and from row form ([`ColumnarBatch::push_row`],
+//! [`ColumnarBatch::tuple_at`]) is lossless: the row seams that remain
+//! in the engine (operator unit tests, the report boundary, the
+//! materialized-view fold) reconstruct exactly the values that went in.
+
+use crate::key::Key160;
+use crate::node::NodeSet;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// An interned-string pool: every distinct string is stored once and
+/// addressed by a dense `u32` id, so two cells are equal iff their ids
+/// are equal.
+#[derive(Clone, Debug, Default)]
+pub struct StringPool {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StringPool {
+    /// An empty pool.
+    pub fn new() -> StringPool {
+        StringPool::default()
+    }
+
+    /// Intern `s`, returning its id (existing id if already present).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(id) = self.index.get(s) {
+            return *id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// Intern an owned string without copying it when it is new.
+    pub fn intern_owned(&mut self, s: String) -> u32 {
+        if let Some(id) = self.index.get(&s) {
+            return *id;
+        }
+        let id = self.strings.len() as u32;
+        self.index.insert(s.clone(), id);
+        self.strings.push(s);
+        id
+    }
+
+    /// The string behind `id`.
+    pub fn get(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Translation memo for copying rows between batches: maps string ids of
+/// a *source* pool to ids in a *destination* pool, so appending many rows
+/// from the same source batch interns each distinct string once instead
+/// of hashing its bytes per row.
+#[derive(Debug, Default)]
+pub struct PoolMemo {
+    map: Vec<Option<u32>>,
+}
+
+impl PoolMemo {
+    /// A fresh memo (valid for one (source pool, destination pool) pair).
+    pub fn new() -> PoolMemo {
+        PoolMemo::default()
+    }
+
+    /// Translate `id` from `src` into `dst`, caching the answer.
+    pub fn translate(&mut self, src: &StringPool, dst: &mut StringPool, id: u32) -> u32 {
+        let i = id as usize;
+        if i >= self.map.len() {
+            self.map.resize(src.len().max(i + 1), None);
+        }
+        if let Some(mapped) = self.map[i] {
+            return mapped;
+        }
+        let mapped = dst.intern(src.get(id));
+        self.map[i] = Some(mapped);
+        mapped
+    }
+}
+
+/// The type-specialised cell storage of one column.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    /// All cells are `Value::Int`.
+    Int(Vec<i64>),
+    /// All cells are `Value::Double`.
+    Double(Vec<f64>),
+    /// All cells are `Value::Str`, stored as ids into the batch's pool.
+    Str(Vec<u32>),
+    /// Mixed-type or NULL-bearing column: the lossless row-value fallback.
+    Values(Vec<Value>),
+}
+
+/// Per-column dictionary accounting, computed lazily: total plain bytes,
+/// distinct-cell count, and the bytes of one copy of each distinct value.
+/// Within a typed column the typed equality coincides with [`Value`]
+/// equality (strings by id via the pool, doubles by IEEE bits —
+/// `total_cmp` equality); the `Values` fallback uses `Value`'s own
+/// `Hash`/`Eq`, which treats `Int(2)` and `Double(2.0)` as one distinct
+/// value exactly like the row-path dictionary encoder did.
+#[derive(Clone, Copy, Debug)]
+struct Accounting {
+    distinct: usize,
+    plain_bytes: usize,
+    dict_bytes: usize,
+}
+
+/// One column of a batch: typed cells plus lazily computed dictionary
+/// accounting.  Most batches are intermediate — built by a scan or an
+/// operator and consumed by the next operator without ever being sized
+/// for the wire — so the accounting is not maintained per push; it is
+/// computed on first demand (the flush boundary) and cached until the
+/// column next mutates.
+#[derive(Clone, Debug)]
+pub struct Column {
+    data: ColumnData,
+    acct: RefCell<Option<Accounting>>,
+}
+
+impl Column {
+    fn new() -> Column {
+        // Until the first cell arrives the variant is undetermined; an
+        // empty `Values` column promotes cheaply on first push.
+        Column {
+            data: ColumnData::Values(Vec::new()),
+            acct: RefCell::new(None),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Double(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Values(v) => v.len(),
+        }
+    }
+
+    /// Drop the cached accounting after a mutation.
+    fn invalidate(&mut self) {
+        *self.acct.get_mut() = None;
+    }
+
+    fn push_int(&mut self, v: i64) {
+        let ColumnData::Int(cells) = &mut self.data else {
+            unreachable!("push_int on a non-Int column")
+        };
+        cells.push(v);
+        self.invalidate();
+    }
+
+    fn push_double(&mut self, v: f64) {
+        let ColumnData::Double(cells) = &mut self.data else {
+            unreachable!("push_double on a non-Double column")
+        };
+        cells.push(v);
+        self.invalidate();
+    }
+
+    fn push_str_id(&mut self, id: u32) {
+        let ColumnData::Str(cells) = &mut self.data else {
+            unreachable!("push_str_id on a non-Str column")
+        };
+        cells.push(id);
+        self.invalidate();
+    }
+
+    fn push_value(&mut self, v: Value) {
+        let ColumnData::Values(cells) = &mut self.data else {
+            unreachable!("push_value on a typed column")
+        };
+        cells.push(v);
+        self.invalidate();
+    }
+
+    /// Convert a typed column to the `Values` fallback.
+    fn demote(&mut self, pool: &StringPool) {
+        let values: Vec<Value> = match &self.data {
+            ColumnData::Int(v) => v.iter().map(|x| Value::Int(*x)).collect(),
+            ColumnData::Double(v) => v.iter().map(|x| Value::Double(*x)).collect(),
+            ColumnData::Str(v) => v.iter().map(|id| Value::str(pool.get(*id))).collect(),
+            ColumnData::Values(_) => return,
+        };
+        self.data = ColumnData::Values(values);
+        self.invalidate();
+    }
+
+    /// Push a cell, demoting the column if the value's type no longer
+    /// matches the storage variant.
+    fn push(&mut self, v: Value, pool: &mut StringPool) {
+        if self.len() == 0 {
+            // First cell fixes the variant.
+            match &v {
+                Value::Int(_) => {
+                    self.data = ColumnData::Int(Vec::new());
+                }
+                Value::Double(_) => {
+                    self.data = ColumnData::Double(Vec::new());
+                }
+                Value::Str(_) => {
+                    self.data = ColumnData::Str(Vec::new());
+                }
+                Value::Null => {}
+            }
+        }
+        match (&self.data, v) {
+            (ColumnData::Int(_), Value::Int(x)) => self.push_int(x),
+            (ColumnData::Double(_), Value::Double(x)) => self.push_double(x),
+            (ColumnData::Str(_), Value::Str(s)) => {
+                let id = pool.intern_owned(s);
+                self.push_str_id(id);
+            }
+            (ColumnData::Values(_), v) => self.push_value(v),
+            (_, v) => {
+                self.demote(pool);
+                self.push_value(v);
+            }
+        }
+    }
+
+    /// Materialize the cell at `row` as a [`Value`].
+    fn value_at(&self, row: usize, pool: &StringPool) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Double(v) => Value::Double(v[row]),
+            ColumnData::Str(v) => Value::str(pool.get(v[row])),
+            ColumnData::Values(v) => v[row].clone(),
+        }
+    }
+
+    /// Serialized size of the cell at `row`.
+    fn cell_size(&self, row: usize, pool: &StringPool) -> usize {
+        match &self.data {
+            ColumnData::Int(_) | ColumnData::Double(_) => 9,
+            ColumnData::Str(v) => 5 + pool.get(v[row]).len(),
+            ColumnData::Values(v) => v[row].serialized_size(),
+        }
+    }
+
+    /// Append the wire encoding of the cell at `row` (byte-identical to
+    /// [`Value::encode_to`]).
+    fn encode_cell(&self, row: usize, pool: &StringPool, out: &mut Vec<u8>) {
+        match &self.data {
+            ColumnData::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v[row].to_be_bytes());
+            }
+            ColumnData::Double(v) => {
+                out.push(2);
+                out.extend_from_slice(&v[row].to_be_bytes());
+            }
+            ColumnData::Str(v) => {
+                let s = pool.get(v[row]);
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            ColumnData::Values(v) => v[row].encode_to(out),
+        }
+    }
+
+    fn retain(&mut self, mask: &[bool]) {
+        let mut i = 0;
+        match &mut self.data {
+            ColumnData::Int(v) => v.retain(|_| {
+                let keep = mask[i];
+                i += 1;
+                keep
+            }),
+            ColumnData::Double(v) => v.retain(|_| {
+                let keep = mask[i];
+                i += 1;
+                keep
+            }),
+            ColumnData::Str(v) => v.retain(|_| {
+                let keep = mask[i];
+                i += 1;
+                keep
+            }),
+            ColumnData::Values(v) => v.retain(|_| {
+                let keep = mask[i];
+                i += 1;
+                keep
+            }),
+        }
+        self.invalidate();
+    }
+
+    /// The cached accounting, computing it on first demand after a
+    /// mutation: one pass over the cells, one hash insert per cell.
+    fn acct(&self, pool: &StringPool) -> Accounting {
+        if let Some(a) = *self.acct.borrow() {
+            return a;
+        }
+        let mut plain_bytes = 0;
+        let mut dict_bytes = 0;
+        let distinct = match &self.data {
+            ColumnData::Int(cells) => {
+                let mut seen = HashSet::with_capacity(cells.len());
+                for v in cells {
+                    plain_bytes += 9;
+                    if seen.insert(*v) {
+                        dict_bytes += 9;
+                    }
+                }
+                seen.len()
+            }
+            ColumnData::Double(cells) => {
+                let mut seen = HashSet::with_capacity(cells.len());
+                for v in cells {
+                    plain_bytes += 9;
+                    if seen.insert(v.to_bits()) {
+                        dict_bytes += 9;
+                    }
+                }
+                seen.len()
+            }
+            ColumnData::Str(cells) => {
+                let mut seen = HashSet::with_capacity(cells.len());
+                for id in cells {
+                    let size = 5 + pool.get(*id).len();
+                    plain_bytes += size;
+                    if seen.insert(*id) {
+                        dict_bytes += size;
+                    }
+                }
+                seen.len()
+            }
+            ColumnData::Values(cells) => {
+                let mut seen = HashSet::with_capacity(cells.len());
+                for v in cells {
+                    let size = v.serialized_size();
+                    plain_bytes += size;
+                    if seen.insert(v.clone()) {
+                        dict_bytes += size;
+                    }
+                }
+                seen.len()
+            }
+        };
+        let a = Accounting {
+            distinct,
+            plain_bytes,
+            dict_bytes,
+        };
+        *self.acct.borrow_mut() = Some(a);
+        a
+    }
+
+    /// Build a column from a run of cells, interning strings into `pool`.
+    pub fn from_values(cells: Vec<Value>, pool: &mut StringPool) -> Column {
+        let mut col = Column::new();
+        for v in cells {
+            col.push(v, pool);
+        }
+        col
+    }
+
+    /// The typed cell storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Total serialized bytes of all cells (the plain encoding).
+    pub fn plain_bytes(&self, pool: &StringPool) -> usize {
+        self.acct(pool).plain_bytes
+    }
+
+    /// Serialized bytes of one copy of each distinct cell (the
+    /// dictionary).
+    pub fn dict_bytes(&self, pool: &StringPool) -> usize {
+        self.acct(pool).dict_bytes
+    }
+
+    /// Number of distinct cells.
+    pub fn distinct_count(&self, pool: &StringPool) -> usize {
+        self.acct(pool).distinct
+    }
+}
+
+/// A block of tuples stored column-wise, with interned strings and
+/// parallel sign / provenance / phase tag columns.  See the module docs
+/// for the layout.
+#[derive(Clone, Debug)]
+pub struct ColumnarBatch {
+    columns: Vec<Column>,
+    pool: StringPool,
+    signs: Vec<i8>,
+    provenance: Vec<NodeSet>,
+    phases: Vec<u32>,
+}
+
+impl ColumnarBatch {
+    /// An empty batch of `arity` columns.
+    pub fn new(arity: usize) -> ColumnarBatch {
+        ColumnarBatch {
+            columns: (0..arity).map(|_| Column::new()).collect(),
+            pool: StringPool::new(),
+            signs: Vec::new(),
+            provenance: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Build a batch from plain tuples sharing one tag (the scan-emission
+    /// seam: freshly scanned rows all carry the scanning node's tag).
+    /// Rows shorter than `arity` are padded with NULLs.
+    pub fn from_tuples<I>(
+        arity: usize,
+        tuples: I,
+        sign: i8,
+        provenance: NodeSet,
+        phase: u32,
+    ) -> Self
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut batch = ColumnarBatch::new(arity);
+        for t in tuples {
+            let mut values = t.into_values();
+            values.resize(arity, Value::Null);
+            batch.push_row_owned(values, sign, provenance, phase);
+        }
+        batch
+    }
+
+    /// Assemble a batch from prebuilt columns whose string cells are ids
+    /// into `pool`, plus parallel tag vectors.  This is how vectorized
+    /// operators that mix passthrough and computed columns (e.g.
+    /// compute-function) build their output: passthrough columns are
+    /// cloned wholesale — cells, dictionary accounting and all — against a
+    /// clone of the input pool, and only freshly computed columns pay
+    /// per-cell construction ([`Column::from_values`]).
+    pub fn from_parts(
+        pool: StringPool,
+        columns: Vec<Column>,
+        signs: Vec<i8>,
+        provenance: Vec<NodeSet>,
+        phases: Vec<u32>,
+    ) -> ColumnarBatch {
+        let rows = signs.len();
+        assert_eq!(provenance.len(), rows, "tag column length mismatch");
+        assert_eq!(phases.len(), rows, "tag column length mismatch");
+        for col in &columns {
+            assert_eq!(col.len(), rows, "column length mismatch");
+        }
+        ColumnarBatch {
+            columns,
+            pool,
+            signs,
+            provenance,
+            phases,
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Widen the batch to `arity` columns, filling any new column with
+    /// one NULL per existing row (how ragged rows are represented
+    /// column-wise: a missing cell *is* a NULL and costs its real
+    /// 1-byte serialized size).
+    pub fn pad_to_arity(&mut self, arity: usize) {
+        while self.columns.len() < arity {
+            let mut col = Column::new();
+            for _ in 0..self.len() {
+                col.push_value(Value::Null);
+            }
+            self.columns.push(col);
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.signs.is_empty()
+    }
+
+    /// Append one row, cloning the cells.  Panics if `values` does not
+    /// match the batch arity — ragged rows cannot exist column-wise; pad
+    /// them (e.g. with [`Value::Null`]) before pushing.
+    pub fn push_row(&mut self, values: &[Value], sign: i8, provenance: NodeSet, phase: u32) {
+        assert_eq!(values.len(), self.arity(), "row arity mismatch");
+        for (col, v) in self.columns.iter_mut().zip(values) {
+            col.push(v.clone(), &mut self.pool);
+        }
+        self.push_tag_row(sign, provenance, phase);
+    }
+
+    /// Append one row, consuming the cells (no string copies for new
+    /// strings).
+    pub fn push_row_owned(
+        &mut self,
+        values: Vec<Value>,
+        sign: i8,
+        provenance: NodeSet,
+        phase: u32,
+    ) {
+        assert_eq!(values.len(), self.arity(), "row arity mismatch");
+        for (col, v) in self.columns.iter_mut().zip(values) {
+            col.push(v, &mut self.pool);
+        }
+        self.push_tag_row(sign, provenance, phase);
+    }
+
+    /// Append one tag row only.  Use together with
+    /// [`Self::append_cells_from`] when assembling a row from other
+    /// batches (e.g. a join result); every column must end up with
+    /// exactly one new cell per tag row.
+    pub fn push_tag_row(&mut self, sign: i8, provenance: NodeSet, phase: u32) {
+        self.signs.push(sign);
+        self.provenance.push(provenance);
+        self.phases.push(phase);
+    }
+
+    /// Append the cells of `other`'s row into this batch's columns
+    /// starting at `dst_offset`, translating string ids through `memo`.
+    /// Tags are *not* appended — combine with [`Self::push_tag_row`].
+    pub fn append_cells_from(
+        &mut self,
+        other: &ColumnarBatch,
+        row: usize,
+        dst_offset: usize,
+        memo: &mut PoolMemo,
+    ) {
+        for (i, src) in other.columns.iter().enumerate() {
+            let dst = &mut self.columns[dst_offset + i];
+            match (&dst.data, &src.data) {
+                (ColumnData::Int(_), ColumnData::Int(v)) => dst.push_int(v[row]),
+                (ColumnData::Double(_), ColumnData::Double(v)) => dst.push_double(v[row]),
+                (ColumnData::Str(_), ColumnData::Str(v)) => {
+                    let id = memo.translate(&other.pool, &mut self.pool, v[row]);
+                    dst.push_str_id(id);
+                }
+                _ => {
+                    let v = src.value_at(row, &other.pool);
+                    dst.push(v, &mut self.pool);
+                }
+            }
+        }
+    }
+
+    /// Append one whole row (cells + tags) of `other`.
+    pub fn append_row_from(&mut self, other: &ColumnarBatch, row: usize, memo: &mut PoolMemo) {
+        self.append_cells_from(other, row, 0, memo);
+        self.push_tag_row(other.signs[row], other.provenance[row], other.phases[row]);
+    }
+
+    /// Append one whole row of `other` without a [`PoolMemo`]: strings
+    /// re-intern by content (no allocation when already pooled).  Use when
+    /// the destination batch can be replaced between calls, invalidating
+    /// any memo.  If `other` is narrower, the trailing columns get NULLs.
+    pub fn append_row_interned(&mut self, other: &ColumnarBatch, row: usize) {
+        assert!(other.arity() <= self.arity(), "row wider than batch");
+        enum Cell {
+            Int(i64),
+            Double(f64),
+            StrId(u32),
+            Slow,
+            Pad,
+        }
+        for i in 0..self.arity() {
+            let cell = if i >= other.arity() {
+                Cell::Pad
+            } else {
+                match (&self.columns[i].data, &other.columns[i].data) {
+                    (ColumnData::Int(_), ColumnData::Int(v)) => Cell::Int(v[row]),
+                    (ColumnData::Double(_), ColumnData::Double(v)) => Cell::Double(v[row]),
+                    (ColumnData::Str(_), ColumnData::Str(v)) => Cell::StrId(v[row]),
+                    _ => Cell::Slow,
+                }
+            };
+            match cell {
+                Cell::Int(x) => self.columns[i].push_int(x),
+                Cell::Double(x) => self.columns[i].push_double(x),
+                Cell::StrId(src_id) => {
+                    let id = self.pool.intern(other.pool.get(src_id));
+                    self.columns[i].push_str_id(id);
+                }
+                Cell::Slow => {
+                    let v = other.columns[i].value_at(row, &other.pool);
+                    self.columns[i].push(v, &mut self.pool);
+                }
+                Cell::Pad => self.columns[i].push(Value::Null, &mut self.pool),
+            }
+        }
+        self.push_tag_row(other.signs[row], other.provenance[row], other.phases[row]);
+    }
+
+    /// Project onto the given column indices (tags carried through
+    /// unchanged).  The string pool is cloned whole, so ids stay valid.
+    pub fn project(&self, columns: &[usize]) -> ColumnarBatch {
+        ColumnarBatch {
+            columns: columns.iter().map(|c| self.columns[*c].clone()).collect(),
+            pool: self.pool.clone(),
+            signs: self.signs.clone(),
+            provenance: self.provenance.clone(),
+            phases: self.phases.clone(),
+        }
+    }
+
+    /// Materialize the cell at (`row`, `col`).
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value_at(row, &self.pool)
+    }
+
+    /// Materialize the row at `row` as a [`Tuple`].
+    pub fn tuple_at(&self, row: usize) -> Tuple {
+        Tuple::new((0..self.arity()).map(|c| self.value_at(row, c)).collect())
+    }
+
+    /// The sign of `row` (`+1` assertion, `-1` retraction).
+    pub fn sign_at(&self, row: usize) -> i8 {
+        self.signs[row]
+    }
+
+    /// The provenance tag of `row`.
+    pub fn provenance_at(&self, row: usize) -> NodeSet {
+        self.provenance[row]
+    }
+
+    /// The phase tag of `row`.
+    pub fn phase_at(&self, row: usize) -> u32 {
+        self.phases[row]
+    }
+
+    /// The whole provenance column.
+    pub fn provenance_column(&self) -> &[NodeSet] {
+        &self.provenance
+    }
+
+    /// The whole sign column.
+    pub fn sign_column(&self) -> &[i8] {
+        &self.signs
+    }
+
+    /// The whole phase column.
+    pub fn phase_column(&self) -> &[u32] {
+        &self.phases
+    }
+
+    /// Overwrite every row's tags (scan emission: all rows of a freshly
+    /// scanned partition carry the scanning node's singleton provenance
+    /// and the current phase).
+    pub fn fill_tags(&mut self, sign: i8, provenance: NodeSet, phase: u32) {
+        self.signs.iter_mut().for_each(|s| *s = sign);
+        self.provenance.iter_mut().for_each(|p| *p = provenance);
+        self.phases.iter_mut().for_each(|p| *p = phase);
+    }
+
+    /// The column at `col`.
+    pub fn column(&self, col: usize) -> &Column {
+        &self.columns[col]
+    }
+
+    /// The batch's interned-string pool.
+    pub fn pool(&self) -> &StringPool {
+        &self.pool
+    }
+
+    /// Serialized size of the cell at (`row`, `col`).
+    pub fn cell_size(&self, row: usize, col: usize) -> usize {
+        self.columns[col].cell_size(row, &self.pool)
+    }
+
+    /// Append the wire encoding of the cell at (`row`, `col`)
+    /// (byte-identical to [`Value::encode_to`]).
+    pub fn encode_cell(&self, row: usize, col: usize, out: &mut Vec<u8>) {
+        self.columns[col].encode_cell(row, &self.pool, out)
+    }
+
+    /// The dictionary-encoded wire size of one column: one copy of each
+    /// distinct value plus a 2-byte code per row, never worse than the
+    /// plain encoding.  Identical to the row path's per-flush dictionary
+    /// scan, but read off the incrementally maintained column state.
+    pub fn encoded_column_size(&self, col: usize) -> usize {
+        let c = &self.columns[col];
+        (c.dict_bytes(&self.pool) + 2 * self.len()).min(c.plain_bytes(&self.pool))
+    }
+
+    /// Sum of all columns' plain cell bytes.
+    pub fn plain_cell_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.plain_bytes(&self.pool)).sum()
+    }
+
+    /// Keep only the rows whose mask entry is `true`, preserving order.
+    /// The string pool is untouched (ids stay valid).
+    pub fn retain(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        if mask.iter().all(|&k| k) {
+            return;
+        }
+        for col in &mut self.columns {
+            col.retain(mask);
+        }
+        let mut i = 0;
+        self.signs.retain(|_| {
+            let keep = mask[i];
+            i += 1;
+            keep
+        });
+        let mut i = 0;
+        self.provenance.retain(|_| {
+            let keep = mask[i];
+            i += 1;
+            keep
+        });
+        let mut i = 0;
+        self.phases.retain(|_| {
+            let keep = mask[i];
+            i += 1;
+            keep
+        });
+    }
+
+    /// Hash the projected cells of `row` exactly like
+    /// [`Tuple::hash_columns`]: encode each projected value in order and
+    /// hash the bytes.  `scratch` is a reusable buffer.
+    pub fn hash_columns_at(&self, row: usize, cols: &[usize], scratch: &mut Vec<u8>) -> Key160 {
+        scratch.clear();
+        for &c in cols {
+            self.encode_cell(row, c, scratch);
+        }
+        Key160::hash(scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn tags() -> (i8, NodeSet, u32) {
+        (1, NodeSet::singleton(NodeId(3)), 0)
+    }
+
+    #[test]
+    fn round_trip_is_lossless_per_type() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Double(1.5), Value::str("a")],
+            vec![Value::Int(2), Value::Double(2.5), Value::str("b")],
+            vec![Value::Int(1), Value::Double(1.5), Value::str("a")],
+        ];
+        let mut b = ColumnarBatch::new(3);
+        let (sign, prov, phase) = tags();
+        for r in &rows {
+            b.push_row(r, sign, prov, phase);
+        }
+        assert_eq!(b.len(), 3);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(b.tuple_at(i), Tuple::new(r.clone()));
+            assert_eq!(b.sign_at(i), 1);
+            assert_eq!(b.provenance_at(i), prov);
+        }
+        // Typed columns, repeated strings interned once.
+        assert!(matches!(b.column(0).data(), ColumnData::Int(_)));
+        assert!(matches!(b.column(2).data(), ColumnData::Str(_)));
+        assert_eq!(b.pool().len(), 2);
+    }
+
+    #[test]
+    fn mixed_and_null_columns_demote_losslessly() {
+        let rows = vec![
+            vec![Value::Int(2)],
+            vec![Value::Double(2.0)],
+            vec![Value::Null],
+            vec![Value::str("x")],
+        ];
+        let mut b = ColumnarBatch::new(1);
+        let (sign, prov, phase) = tags();
+        for r in &rows {
+            b.push_row(r, sign, prov, phase);
+        }
+        assert!(matches!(b.column(0).data(), ColumnData::Values(_)));
+        // Int(2) must come back as Int(2), not Double(2.0).
+        assert!(matches!(b.value_at(0, 0), Value::Int(2)));
+        assert!(matches!(b.value_at(1, 0), Value::Double(_)));
+        assert!(b.value_at(2, 0).is_null());
+        // Distinctness under Value equality: Int(2) == Double(2.0).
+        assert_eq!(b.column(0).distinct_count(b.pool()), 3);
+    }
+
+    #[test]
+    fn dictionary_accounting_matches_a_row_scan() {
+        // Oracle: the row path's dictionary size — one copy of each
+        // distinct value (Value equality) plus the plain total.
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 3),
+                    Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+                    Value::str(format!("unique-{i}")),
+                ]
+            })
+            .collect();
+        let mut b = ColumnarBatch::new(3);
+        let (sign, prov, phase) = tags();
+        for r in &rows {
+            b.push_row(r, sign, prov, phase);
+        }
+        for col in 0..3 {
+            let mut seen: HashSet<Value> = HashSet::new();
+            let mut dict = 0;
+            let mut plain = 0;
+            for r in &rows {
+                let v = &r[col];
+                plain += v.serialized_size();
+                if seen.insert(v.clone()) {
+                    dict += v.serialized_size();
+                }
+            }
+            assert_eq!(b.column(col).plain_bytes(b.pool()), plain, "col {col}");
+            assert_eq!(b.column(col).dict_bytes(b.pool()), dict, "col {col}");
+            assert_eq!(
+                b.column(col).distinct_count(b.pool()),
+                seen.len(),
+                "col {col}"
+            );
+            assert_eq!(
+                b.encoded_column_size(col),
+                (dict + 2 * rows.len()).min(plain),
+                "col {col}"
+            );
+        }
+    }
+
+    #[test]
+    fn retain_preserves_order_and_reaccounts() {
+        let mut b = ColumnarBatch::new(2);
+        let (_, prov, phase) = tags();
+        for i in 0..6i64 {
+            b.push_row(
+                &[Value::Int(i), Value::str(if i < 3 { "lo" } else { "hi" })],
+                if i % 2 == 0 { 1 } else { -1 },
+                prov,
+                phase,
+            );
+        }
+        let mask = [true, false, true, false, true, false];
+        b.retain(&mask);
+        assert_eq!(b.len(), 3);
+        assert_eq!(
+            (0..3).map(|r| b.value_at(r, 0)).collect::<Vec<_>>(),
+            vec![Value::Int(0), Value::Int(2), Value::Int(4)]
+        );
+        assert!(b.sign_column().iter().all(|s| *s == 1));
+        // Accounting reflects the surviving cells only.
+        assert_eq!(b.column(0).plain_bytes(b.pool()), 3 * 9);
+        assert_eq!(b.column(0).distinct_count(b.pool()), 3);
+        assert_eq!(b.column(1).distinct_count(b.pool()), 2);
+    }
+
+    #[test]
+    fn append_between_batches_translates_string_ids() {
+        let (sign, prov, phase) = tags();
+        let mut src = ColumnarBatch::new(2);
+        src.push_row(&[Value::str("shared"), Value::Int(1)], sign, prov, phase);
+        src.push_row(&[Value::str("only-src"), Value::Int(2)], sign, prov, phase);
+        let mut dst = ColumnarBatch::new(2);
+        dst.push_row(&[Value::str("shared"), Value::Int(0)], sign, prov, phase);
+        let mut memo = PoolMemo::new();
+        dst.append_row_from(&src, 0, &mut memo);
+        dst.append_row_from(&src, 1, &mut memo);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.value_at(1, 0), Value::str("shared"));
+        assert_eq!(dst.value_at(2, 0), Value::str("only-src"));
+        // "shared" interned once in the destination pool.
+        assert_eq!(dst.pool().len(), 2);
+    }
+
+    #[test]
+    fn hash_columns_matches_tuple_hashing() {
+        let (sign, prov, phase) = tags();
+        let rows = vec![
+            vec![Value::Int(7), Value::str("k"), Value::Double(1.25)],
+            vec![Value::Null, Value::str("m"), Value::Int(-3)],
+        ];
+        let mut b = ColumnarBatch::new(3);
+        for r in &rows {
+            b.push_row(r, sign, prov, phase);
+        }
+        let mut scratch = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            let t = Tuple::new(r.clone());
+            for cols in [&[0usize][..], &[1, 2][..], &[2, 0, 1][..]] {
+                assert_eq!(
+                    b.hash_columns_at(i, cols, &mut scratch),
+                    t.hash_columns(cols),
+                    "row {i} cols {cols:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_tags_overwrites_every_row() {
+        let mut b = ColumnarBatch::new(1);
+        let (sign, prov, phase) = tags();
+        b.push_row(&[Value::Int(1)], sign, prov, phase);
+        b.push_row(&[Value::Int(2)], sign, prov, phase);
+        let new_prov = NodeSet::singleton(NodeId(9));
+        b.fill_tags(-1, new_prov, 4);
+        assert!(b.sign_column().iter().all(|s| *s == -1));
+        assert!(b.provenance_column().iter().all(|p| *p == new_prov));
+        assert!(b.phase_column().iter().all(|p| *p == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn ragged_rows_are_rejected() {
+        let mut b = ColumnarBatch::new(2);
+        let (sign, prov, phase) = tags();
+        b.push_row(&[Value::Int(1)], sign, prov, phase);
+    }
+}

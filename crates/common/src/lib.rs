@@ -22,10 +22,15 @@
 //!   traffic measurements.
 //! * [`NodeId`], [`NodeSet`] — compact identifiers for participants and
 //!   bitsets of participants (the provenance tags of Section V-D).
+//! * [`ColumnarBatch`] — the columnar block format the engine moves
+//!   tuples in: type-specialised column vectors, an interned-string pool
+//!   ([`StringPool`]), and parallel sign/provenance tag columns, with
+//!   lossless conversion to and from [`Tuple`] rows.
 //! * [`OrchestraError`] — the shared error type.
 //! * [`rng`] — deterministic random-generation helpers so that every
 //!   experiment in the benchmark harness is reproducible.
 
+pub mod column;
 pub mod error;
 pub mod key;
 pub mod node;
@@ -35,6 +40,7 @@ pub mod sha1;
 pub mod tuple;
 pub mod value;
 
+pub use column::{Column, ColumnData, ColumnarBatch, PoolMemo, StringPool};
 pub use error::{OrchestraError, Result};
 pub use key::{Key160, KeyRange};
 pub use node::{NodeId, NodeSet};

@@ -114,6 +114,12 @@ impl Tuple {
         &self.values
     }
 
+    /// Consume the tuple, yielding its values (no clones — used when
+    /// loading rows into a columnar batch).
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
     /// Value at column `i`.
     pub fn value(&self, i: usize) -> &Value {
         &self.values[i]

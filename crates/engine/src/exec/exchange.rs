@@ -58,8 +58,9 @@ pub(super) struct Wire {
 pub(super) enum Payload {
     /// Plan + snapshot arrived; run the local fragments.
     Start,
-    /// A batch of rows that crossed exchange operator `op`.
-    Batch { op: OpId, rows: Vec<TaggedTuple> },
+    /// A batch of rows that crossed exchange operator `op`, travelling in
+    /// columnar form end to end.
+    Batch { op: OpId, batch: TupleBatch },
     /// One sender has finished feeding exchange operator `op`.
     Eos { op: OpId },
     /// A remote tuple fetch performed by a scan; carries no pipeline
@@ -99,11 +100,29 @@ impl ExchangeLayer {
             .buffer(dest, row)
     }
 
+    /// Buffer row `row` of a columnar batch into (`node`, `op`) for
+    /// `dest` without materializing it; returns the buffer length after
+    /// insertion.
+    pub(super) fn buffer_from(
+        &mut self,
+        node: NodeId,
+        op: OpId,
+        dest: NodeId,
+        src: &orchestra_common::ColumnarBatch,
+        row: usize,
+        cache: bool,
+    ) -> usize {
+        self.states
+            .entry((node, op))
+            .or_insert_with(|| RehashState::new(cache))
+            .buffer_from(dest, src, row)
+    }
+
     /// Take (and clear) the pending buffer of (`node`, `op`) for `dest`.
-    pub(super) fn take_buffer(&mut self, node: NodeId, op: OpId, dest: NodeId) -> Vec<TaggedTuple> {
+    pub(super) fn take_buffer(&mut self, node: NodeId, op: OpId, dest: NodeId) -> TupleBatch {
         self.states
             .get_mut(&(node, op))
-            .map(|s| s.take_buffer(dest))
+            .map(|s| s.take_buffer_batch(dest))
             .unwrap_or_default()
     }
 
@@ -156,16 +175,16 @@ impl ExchangeLayer {
         &mut self,
         node: NodeId,
         failed: &NodeSet,
-    ) -> Vec<(OpId, Vec<TaggedTuple>)> {
+    ) -> Vec<(OpId, TupleBatch)> {
         let mut out = Vec::new();
         for (n, op) in self.sorted_keys() {
             if n != node {
                 continue;
             }
             let state = self.states.get_mut(&(n, op)).expect("key exists");
-            let mut resend = Vec::new();
+            let mut resend = TupleBatch::new();
             for f in failed.iter() {
-                resend.extend(state.take_cached_for(f, failed));
+                resend.append_batch(&state.take_cached_batch_for(f, failed));
             }
             if !resend.is_empty() {
                 out.push((op, resend));
@@ -218,23 +237,33 @@ impl Runtime<'_> {
         }
     }
 
+    /// Buffer row `row` of a columnar batch into exchange `op` for
+    /// `dest`, flushing a full batch.
+    pub(super) fn buffer_exchange_from(
+        &mut self,
+        node: NodeId,
+        op: OpId,
+        dest: NodeId,
+        src: &orchestra_common::ColumnarBatch,
+        row: usize,
+        ready: SimTime,
+    ) {
+        let cache = self.config.recovery;
+        if self.exchanges.buffer_from(node, op, dest, src, row, cache) >= self.config.batch_size {
+            self.flush_exchange(node, op, dest, ready);
+        }
+    }
+
     /// Send the pending buffer of (`node`, `op`) for `dest` as one batch.
+    /// The buffer already *is* a columnar batch, so its wire size falls
+    /// out of the columns' running dictionary accounting.
     pub(super) fn flush_exchange(&mut self, node: NodeId, op: OpId, dest: NodeId, ready: SimTime) {
-        let rows = self.exchanges.take_buffer(node, op, dest);
-        if rows.is_empty() {
+        let batch = self.exchanges.take_buffer(node, op, dest);
+        if batch.is_empty() {
             return;
         }
-        let batch = TupleBatch::from_rows(rows);
         let bytes = batch.wire_size(self.config.compress, self.config.recovery);
-        self.sim.send(
-            node,
-            dest,
-            bytes,
-            ready,
-            Payload::Batch {
-                op,
-                rows: batch.rows,
-            },
-        );
+        self.sim
+            .send(node, dest, bytes, ready, Payload::Batch { op, batch });
     }
 }

@@ -16,13 +16,45 @@ use super::ivm::ScanOverrides;
 use super::report::RunStats;
 use super::session::SessionSim;
 use super::{EngineConfig, QueryReport, StorageHandle};
+use crate::batch::TupleBatch;
+use crate::expr::ScalarExpr;
 use crate::ops::{AggState, JoinState};
 use crate::plan::{AggMode, OpId, OperatorKind, PhysicalPlan};
 use crate::provenance::{Phase, TaggedTuple};
-use orchestra_common::{Epoch, KeyRange, NodeId, OrchestraError, Result, Tuple};
+use orchestra_common::{
+    Column, ColumnarBatch, Epoch, KeyRange, NodeId, OrchestraError, Result, Tuple,
+};
 use orchestra_simnet::{Delivery, SimTime};
 use orchestra_substrate::RoutingTable;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+// Wall-clock accounting slots (indices into `RunStats::op_rows` /
+// `op_nanos`); see [`super::report::WallClock::NAMES`] for the labels.
+const WC_SELECT: usize = 0;
+const WC_PROJECT: usize = 1;
+const WC_COMPUTE: usize = 2;
+const WC_JOIN: usize = 3;
+const WC_AGGREGATE: usize = 4;
+const WC_EXCHANGE: usize = 5;
+pub(super) const WC_SCAN: usize = 6;
+const WC_OUTPUT: usize = 7;
+
+/// The wall-clock slot that work belonging to `kind` is billed to.
+fn wc_slot(kind: &OperatorKind) -> usize {
+    match kind {
+        OperatorKind::Select { .. } => WC_SELECT,
+        OperatorKind::Project { .. } => WC_PROJECT,
+        OperatorKind::ComputeFunction { .. } => WC_COMPUTE,
+        OperatorKind::HashJoin { .. } => WC_JOIN,
+        OperatorKind::Aggregate { .. } => WC_AGGREGATE,
+        OperatorKind::Rehash { .. } | OperatorKind::Broadcast | OperatorKind::Ship => WC_EXCHANGE,
+        OperatorKind::Output => WC_OUTPUT,
+        OperatorKind::DistributedScan { .. }
+        | OperatorKind::CoveringIndexScan { .. }
+        | OperatorKind::ReplicatedScan { .. } => WC_SCAN,
+    }
+}
 
 /// Sources feeding the segment rooted at one exchange (or `Output`): the
 /// leaf scans inside the segment and the boundary exchanges whose
@@ -76,8 +108,9 @@ pub(super) struct Runtime<'a> {
     pub(super) segment_roots: Vec<OpId>,
     pub(super) sources: HashMap<OpId, SegmentSources>,
 
-    /// Rows collected at the initiator's `Output`.
-    pub(super) output: Vec<TaggedTuple>,
+    /// Rows collected at the initiator's `Output`, kept columnar until
+    /// the report materializes them.
+    pub(super) output: TupleBatch,
     pub(super) done: bool,
     pub(super) finish_time: SimTime,
 
@@ -141,7 +174,7 @@ impl<'a> Runtime<'a> {
             scans_done: HashSet::new(),
             segment_roots,
             sources,
-            output: Vec::new(),
+            output: TupleBatch::new(),
             done: false,
             finish_time: SimTime::ZERO,
             stats: RunStats::default(),
@@ -226,10 +259,10 @@ impl<'a> Runtime<'a> {
     pub(super) fn handle(&mut self, d: Delivery<Payload>) -> Result<()> {
         match d.payload {
             Payload::Start => self.on_start(d.to, d.time),
-            Payload::Batch { op, rows } => {
+            Payload::Batch { op, batch } => {
                 let parent = self.plan.op(op).parent.expect("exchange has a consumer");
                 let input = input_index(self.plan, parent, op);
-                self.process_at(d.to, parent, input, rows, d.time)
+                self.process_at(d.to, parent, input, batch, d.time)
             }
             Payload::Eos { op } => self.on_eos(d.to, op, d.time),
             Payload::StorageFetch => Ok(()),
@@ -245,10 +278,10 @@ impl<'a> Runtime<'a> {
             ready = self.retransmit_cached(node, ready)?;
         }
         for scan_op in self.plan.scans() {
-            let (rows, scan_time) = self.do_scan(node, scan_op)?;
+            let (batch, scan_time) = self.do_scan(node, scan_op)?;
             ready = self.sim.charge_cpu(node, ready, scan_time);
-            if !rows.is_empty() {
-                ready = self.push_up(node, scan_op, rows, ready)?;
+            if !batch.is_empty() {
+                ready = self.push_up(node, scan_op, batch, ready)?;
             }
         }
         self.scans_done.insert(node);
@@ -273,12 +306,12 @@ impl<'a> Runtime<'a> {
     // The push-based pipeline
     // ------------------------------------------------------------------
 
-    /// Push rows produced by `from` into its parent operator.
+    /// Push the batch produced by `from` into its parent operator.
     pub(super) fn push_up(
         &mut self,
         node: NodeId,
         from: OpId,
-        rows: Vec<TaggedTuple>,
+        batch: TupleBatch,
         time: SimTime,
     ) -> Result<SimTime> {
         let parent = self
@@ -287,69 +320,139 @@ impl<'a> Runtime<'a> {
             .parent
             .expect("only Output lacks a parent, and Output never produces");
         let input = input_index(self.plan, parent, from);
-        self.process_at(node, parent, input, rows, time)?;
+        self.process_at(node, parent, input, batch, time)?;
         Ok(self.sim.cpu_free_at(node).max(time))
     }
 
-    /// Process `rows` arriving at operator `op` on `node` via `input`.
+    /// Row seam of [`Runtime::push_up`]: materialized rows (blocking
+    /// emission, legacy arms) re-enter the batch pipeline here.  The cost
+    /// of rebuilding the columnar batch is billed to the producing
+    /// operator's wall-clock slot — it is part of the price of working on
+    /// row objects.
+    pub(super) fn push_up_rows(
+        &mut self,
+        node: NodeId,
+        from: OpId,
+        rows: Vec<TaggedTuple>,
+        time: SimTime,
+    ) -> Result<SimTime> {
+        let wall = Instant::now();
+        let batch = TupleBatch::from_rows(rows);
+        self.record_wall(wc_slot(&self.plan.op(from).kind), 0, wall);
+        self.push_up(node, from, batch, time)
+    }
+
+    /// Fold an operator's wall-clock cost into the report counters.  Only
+    /// the operator's own compute is on the clock: callers stop it before
+    /// recursing into `push_up`, so parent work is never double-billed.
+    /// Row/batch conversion costs are billed with `rows == 0` — they add
+    /// time to the slot without re-counting rows the operator arm already
+    /// counted.
+    pub(super) fn record_wall(&mut self, slot: usize, rows: usize, started: Instant) {
+        self.stats.op_rows[slot] += rows as u64;
+        self.stats.op_nanos[slot] += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Process a batch arriving at operator `op` on `node` via `input`.
+    ///
+    /// Simulated cost is charged identically on both data paths — one
+    /// `cpu_time(len)` per arriving batch — so the choice of path is
+    /// invisible to every simulated figure; only the host wall-clock
+    /// counters differ.
     pub(super) fn process_at(
         &mut self,
         node: NodeId,
         op: OpId,
         input: usize,
-        rows: Vec<TaggedTuple>,
+        batch: TupleBatch,
         time: SimTime,
     ) -> Result<()> {
-        if rows.is_empty() {
+        if batch.is_empty() {
             return Ok(());
         }
-        let cpu = self.config.profile.node.cpu_time(rows.len());
+        let cpu = self.config.profile.node.cpu_time(batch.len());
         let ready = self.sim.charge_cpu(node, time, cpu);
+        if self.config.legacy_row_path {
+            // Materializing row objects out of the arriving batch is the
+            // row path's own cost: bill it to the consuming operator.
+            let wall = Instant::now();
+            let rows = batch.rows();
+            self.record_wall(wc_slot(&self.plan.op(op).kind), 0, wall);
+            self.process_rows_at(node, op, input, rows, ready)
+        } else {
+            self.process_batch_at(node, op, input, batch, ready)
+        }
+    }
+
+    /// The columnar data path: operators consume and produce whole
+    /// batches, touching typed column vectors instead of row objects.
+    fn process_batch_at(
+        &mut self,
+        node: NodeId,
+        op: OpId,
+        input: usize,
+        mut batch: TupleBatch,
+        ready: SimTime,
+    ) -> Result<()> {
         // `plan` is an independent `&'a` borrow, so the kind can be read
         // by reference without cloning predicate/expression trees on
         // every delivered batch.
         let kind = &self.plan.op(op).kind;
         match kind {
             OperatorKind::Select { predicate } => {
-                let kept: Vec<TaggedTuple> = rows
-                    .into_iter()
-                    .filter(|r| predicate.eval(&r.tuple))
-                    .collect();
-                if !kept.is_empty() {
-                    self.push_up(node, op, kept, ready)?;
+                let wall = Instant::now();
+                let n = batch.len();
+                let mut mask = Vec::new();
+                predicate.eval_mask(batch.columnar(), &mut mask);
+                batch.columnar_mut().retain(&mask);
+                self.record_wall(WC_SELECT, n, wall);
+                if !batch.is_empty() {
+                    self.push_up(node, op, batch, ready)?;
                 }
             }
             OperatorKind::Project { columns } => {
-                let out = rows
-                    .into_iter()
-                    .map(|r| {
-                        let t = r.tuple.project(columns);
-                        r.with_tuple(t)
-                    })
-                    .collect();
+                let wall = Instant::now();
+                let out = TupleBatch::from_columnar(batch.columnar().project(columns));
+                self.record_wall(WC_PROJECT, out.len(), wall);
                 self.push_up(node, op, out, ready)?;
             }
             OperatorKind::ComputeFunction { exprs } => {
-                let out = rows
-                    .into_iter()
-                    .map(|r| {
-                        let vals = exprs.iter().map(|e| e.eval(&r.tuple)).collect();
-                        r.with_tuple(Tuple::new(vals))
+                let wall = Instant::now();
+                let cb = batch.columnar();
+                let n = cb.len();
+                // Passthrough expressions reuse the input column wholesale
+                // (cells, dictionary accounting and string ids — the pool
+                // is cloned, so ids stay valid); only computed expressions
+                // pay per-cell construction.
+                let mut pool = cb.pool().clone();
+                let cols: Vec<Column> = exprs
+                    .iter()
+                    .map(|e| match e {
+                        ScalarExpr::Column(i) => cb.column(*i).clone(),
+                        _ => Column::from_values(e.eval_column(cb), &mut pool),
                     })
                     .collect();
-                self.push_up(node, op, out, ready)?;
+                let out = ColumnarBatch::from_parts(
+                    pool,
+                    cols,
+                    cb.sign_column().to_vec(),
+                    cb.provenance_column().to_vec(),
+                    cb.phase_column().to_vec(),
+                );
+                self.record_wall(WC_COMPUTE, n, wall);
+                self.push_up(node, op, TupleBatch::from_columnar(out), ready)?;
             }
             OperatorKind::HashJoin {
                 left_keys,
                 right_keys,
             } => {
+                let wall = Instant::now();
+                let n = batch.len();
                 let state = self.joins.entry((node, op)).or_default();
-                let mut out = Vec::new();
-                for row in rows {
-                    out.extend(state.process(input, row, left_keys, right_keys, node));
-                }
+                let out = state.process_batch(input, batch.columnar(), left_keys, right_keys, node);
+                self.record_wall(WC_JOIN, n, wall);
                 if !out.is_empty() {
-                    self.push_up(node, op, out, ready)?;
+                    self.push_up(node, op, TupleBatch::from_columnar(out), ready)?;
                 }
             }
             OperatorKind::Aggregate {
@@ -357,6 +460,139 @@ impl<'a> Runtime<'a> {
                 aggs,
                 mode,
             } => {
+                let wall = Instant::now();
+                let state = self.aggs.entry((node, op)).or_default();
+                match mode {
+                    AggMode::Single | AggMode::Partial => {
+                        state.update_raw_batch(batch.columnar(), group_by, aggs)
+                    }
+                    AggMode::Final => state.update_partial_batch(batch.columnar(), group_by, aggs),
+                }
+                self.record_wall(WC_AGGREGATE, batch.len(), wall);
+            }
+            OperatorKind::Rehash { columns } => {
+                let wall = Instant::now();
+                let cb = batch.columnar();
+                let mut scratch = Vec::new();
+                for r in 0..cb.len() {
+                    let dest = self
+                        .table
+                        .owner_of(cb.hash_columns_at(r, columns, &mut scratch));
+                    self.buffer_exchange_from(node, op, dest, cb, r, ready);
+                }
+                self.record_wall(WC_EXCHANGE, batch.len(), wall);
+            }
+            OperatorKind::Broadcast => {
+                let wall = Instant::now();
+                let dests = self.participants.clone();
+                let cb = batch.columnar();
+                for r in 0..cb.len() {
+                    for &dest in &dests {
+                        self.buffer_exchange_from(node, op, dest, cb, r, ready);
+                    }
+                }
+                self.record_wall(WC_EXCHANGE, batch.len(), wall);
+            }
+            OperatorKind::Ship => {
+                let wall = Instant::now();
+                let dest = self.initiator;
+                let cb = batch.columnar();
+                for r in 0..cb.len() {
+                    self.buffer_exchange_from(node, op, dest, cb, r, ready);
+                }
+                self.record_wall(WC_EXCHANGE, batch.len(), wall);
+            }
+            OperatorKind::Output => {
+                debug_assert_eq!(node, self.initiator);
+                let wall = Instant::now();
+                self.output.append_batch(&batch);
+                self.record_wall(WC_OUTPUT, batch.len(), wall);
+                self.finish_time = self.finish_time.max(ready);
+            }
+            OperatorKind::DistributedScan { .. }
+            | OperatorKind::CoveringIndexScan { .. }
+            | OperatorKind::ReplicatedScan { .. } => {
+                return Err(OrchestraError::Execution(
+                    "scan operators take no pipeline input".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The legacy row-at-a-time data path (`EngineConfig::legacy_row_path`):
+    /// batches are materialized into row objects at every operator, exactly
+    /// as the engine worked before the columnar refactor.  Kept as the
+    /// baseline axis of the wall-clock benchmark; simulated behaviour is
+    /// identical to the batch path.
+    fn process_rows_at(
+        &mut self,
+        node: NodeId,
+        op: OpId,
+        input: usize,
+        rows: Vec<TaggedTuple>,
+        ready: SimTime,
+    ) -> Result<()> {
+        let kind = &self.plan.op(op).kind;
+        match kind {
+            OperatorKind::Select { predicate } => {
+                let wall = Instant::now();
+                let n = rows.len();
+                let kept: Vec<TaggedTuple> = rows
+                    .into_iter()
+                    .filter(|r| predicate.eval(&r.tuple))
+                    .collect();
+                self.record_wall(WC_SELECT, n, wall);
+                if !kept.is_empty() {
+                    self.push_up_rows(node, op, kept, ready)?;
+                }
+            }
+            OperatorKind::Project { columns } => {
+                let wall = Instant::now();
+                let out: Vec<TaggedTuple> = rows
+                    .into_iter()
+                    .map(|r| {
+                        let t = r.tuple.project(columns);
+                        r.with_tuple(t)
+                    })
+                    .collect();
+                self.record_wall(WC_PROJECT, out.len(), wall);
+                self.push_up_rows(node, op, out, ready)?;
+            }
+            OperatorKind::ComputeFunction { exprs } => {
+                let wall = Instant::now();
+                let out: Vec<TaggedTuple> = rows
+                    .into_iter()
+                    .map(|r| {
+                        let vals = exprs.iter().map(|e| e.eval(&r.tuple)).collect();
+                        r.with_tuple(Tuple::new(vals))
+                    })
+                    .collect();
+                self.record_wall(WC_COMPUTE, out.len(), wall);
+                self.push_up_rows(node, op, out, ready)?;
+            }
+            OperatorKind::HashJoin {
+                left_keys,
+                right_keys,
+            } => {
+                let wall = Instant::now();
+                let n = rows.len();
+                let state = self.joins.entry((node, op)).or_default();
+                let mut out = Vec::new();
+                for row in rows {
+                    out.extend(state.process(input, row, left_keys, right_keys, node));
+                }
+                self.record_wall(WC_JOIN, n, wall);
+                if !out.is_empty() {
+                    self.push_up_rows(node, op, out, ready)?;
+                }
+            }
+            OperatorKind::Aggregate {
+                group_by,
+                aggs,
+                mode,
+            } => {
+                let wall = Instant::now();
                 let state = self.aggs.entry((node, op)).or_default();
                 for row in &rows {
                     match mode {
@@ -364,30 +600,45 @@ impl<'a> Runtime<'a> {
                         AggMode::Final => state.update_partial(row, group_by, aggs),
                     }
                 }
+                self.record_wall(WC_AGGREGATE, rows.len(), wall);
             }
             OperatorKind::Rehash { columns } => {
+                let wall = Instant::now();
+                let n = rows.len();
                 for row in rows {
                     let dest = self.table.owner_of(row.tuple.hash_columns(columns));
                     self.buffer_exchange(node, op, dest, row, ready);
                 }
+                self.record_wall(WC_EXCHANGE, n, wall);
             }
             OperatorKind::Broadcast => {
+                let wall = Instant::now();
+                let n = rows.len();
                 let dests = self.participants.clone();
                 for row in rows {
                     for &dest in &dests {
                         self.buffer_exchange(node, op, dest, row.clone(), ready);
                     }
                 }
+                self.record_wall(WC_EXCHANGE, n, wall);
             }
             OperatorKind::Ship => {
+                let wall = Instant::now();
+                let n = rows.len();
                 let dest = self.initiator;
                 for row in rows {
                     self.buffer_exchange(node, op, dest, row, ready);
                 }
+                self.record_wall(WC_EXCHANGE, n, wall);
             }
             OperatorKind::Output => {
                 debug_assert_eq!(node, self.initiator);
-                self.output.extend(rows);
+                let wall = Instant::now();
+                let n = rows.len();
+                for row in rows {
+                    self.output.push(row);
+                }
+                self.record_wall(WC_OUTPUT, n, wall);
                 self.finish_time = self.finish_time.max(ready);
             }
             OperatorKind::DistributedScan { .. }
@@ -475,7 +726,7 @@ impl<'a> Runtime<'a> {
                     .emit_unemitted(false, node, self.phase),
             };
             if !emitted.is_empty() {
-                ready = self.push_up(node, agg_op, emitted, ready)?;
+                ready = self.push_up_rows(node, agg_op, emitted, ready)?;
             }
         }
 

@@ -57,7 +57,7 @@ impl Runtime<'_> {
                 self.joins.clear();
                 self.aggs.clear();
                 self.exchanges.clear();
-                self.output.clear();
+                self.output = crate::batch::TupleBatch::new();
                 self.scan_ranges = survivors
                     .iter()
                     .map(|n| (*n, recovery_table.ranges_of(*n)))
@@ -87,7 +87,14 @@ impl Runtime<'_> {
                 }
                 purged += self.exchanges.purge_tainted(failed);
                 let before = self.output.len();
-                self.output.retain(|r| !r.is_tainted(failed));
+                let keep: Vec<bool> = self
+                    .output
+                    .columnar()
+                    .provenance_column()
+                    .iter()
+                    .map(|p| !p.intersects(failed))
+                    .collect();
+                self.output.columnar_mut().retain(&keep);
                 purged += before - self.output.len();
                 self.stats.purged += purged;
 

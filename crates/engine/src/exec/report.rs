@@ -25,6 +25,59 @@ pub(super) struct RunStats {
     pub(super) purged: usize,
     /// Rows re-transmitted from output caches (incremental recovery).
     pub(super) retransmitted: usize,
+    /// Host wall-clock: rows processed per operator class.
+    pub(super) op_rows: [u64; 8],
+    /// Host wall-clock: nanoseconds of operator compute per class.
+    pub(super) op_nanos: [u64; 8],
+}
+
+/// Host wall-clock cost of one run, broken down by operator class.
+///
+/// Unlike every other figure in [`QueryReport`], these measure the real
+/// machine the simulation ran on — compute time inside the engine's
+/// operators, excluding the simulated network.  They are nondeterministic
+/// by nature and therefore excluded from the byte-exact determinism
+/// gates (the bench binary omits them under `--no-wall-clock`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WallClock {
+    /// Rows processed per operator class, indexed as [`WallClock::NAMES`].
+    pub op_rows: [u64; 8],
+    /// Nanoseconds of operator compute per class.
+    pub op_nanos: [u64; 8],
+}
+
+impl WallClock {
+    /// Labels of the operator classes, in slot order.
+    pub const NAMES: [&'static str; 8] = [
+        "select",
+        "project",
+        "compute",
+        "join",
+        "aggregate",
+        "exchange",
+        "scan",
+        "output",
+    ];
+
+    /// Total rows processed across all operator classes.
+    pub fn total_rows(&self) -> u64 {
+        self.op_rows.iter().sum()
+    }
+
+    /// Total operator compute time in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.op_nanos.iter().sum()
+    }
+
+    /// Aggregate operator throughput in rows per second of host time.
+    pub fn rows_per_sec(&self) -> f64 {
+        let nanos = self.total_nanos();
+        if nanos == 0 {
+            0.0
+        } else {
+            self.total_rows() as f64 * 1e9 / nanos as f64
+        }
+    }
 }
 
 /// The answer set and execution measurements of one query run.
@@ -62,12 +115,17 @@ pub struct QueryReport {
     pub purged: usize,
     /// Rows re-transmitted from output caches (incremental recovery).
     pub retransmitted: usize,
+    /// Host wall-clock operator costs (nondeterministic; excluded from
+    /// the determinism gates).
+    pub wall_clock: WallClock,
 }
 
 impl Runtime<'_> {
     pub(super) fn into_report(self) -> QueryReport {
-        let mut signed_rows: Vec<(Tuple, i8)> =
-            self.output.into_iter().map(|r| (r.tuple, r.sign)).collect();
+        let out = self.output.into_columnar();
+        let mut signed_rows: Vec<(Tuple, i8)> = (0..out.len())
+            .map(|i| (out.tuple_at(i), out.sign_at(i)))
+            .collect();
         signed_rows.sort();
         let mut rows: Vec<Tuple> = signed_rows.iter().map(|(t, _)| t.clone()).collect();
         rows.sort();
@@ -87,6 +145,10 @@ impl Runtime<'_> {
             remote_lookups: self.stats.remote_lookups,
             purged: self.stats.purged,
             retransmitted: self.stats.retransmitted,
+            wall_clock: WallClock {
+                op_rows: self.stats.op_rows,
+                op_nanos: self.stats.op_nanos,
+            },
         }
     }
 }

@@ -9,23 +9,24 @@
 //! the node profile; page/tuple/remote-lookup counts accumulate into
 //! `RunStats`.
 
-use super::pipeline::Runtime;
+use super::pipeline::{Runtime, WC_SCAN};
+use crate::batch::TupleBatch;
+use crate::expr::Predicate;
 use crate::plan::{OpId, OperatorKind};
-use crate::provenance::{Phase, TaggedTuple};
-use orchestra_common::{Epoch, KeyRange, NodeId, OrchestraError, Result, Tuple};
+use crate::provenance::TaggedTuple;
+use orchestra_common::{
+    ColumnarBatch, Epoch, KeyRange, NodeId, NodeSet, OrchestraError, Result, Tuple, Value,
+};
 use orchestra_simnet::SimTime;
 use orchestra_storage::CoordinatorKey;
+use std::time::Instant;
 
 use super::exchange::Payload;
 
 impl Runtime<'_> {
     /// Run one leaf scan on behalf of `node` for the current phase,
-    /// returning tagged rows and the simulated scan duration.
-    pub(super) fn do_scan(
-        &mut self,
-        node: NodeId,
-        op: OpId,
-    ) -> Result<(Vec<TaggedTuple>, SimTime)> {
+    /// returning a tagged columnar batch and the simulated scan duration.
+    pub(super) fn do_scan(&mut self, node: NodeId, op: OpId) -> Result<(TupleBatch, SimTime)> {
         let kind = &self.plan.op(op).kind;
         let profile = &self.config.profile.node;
         // A maintenance session may pin this scan to a different epoch,
@@ -45,7 +46,7 @@ impl Runtime<'_> {
             } => {
                 let ranges = self.scan_ranges.get(&node).cloned().unwrap_or_default();
                 if ranges.is_empty() {
-                    return Ok((Vec::new(), SimTime::ZERO));
+                    return Ok((TupleBatch::new(), SimTime::ZERO));
                 }
                 if let Some((from, to)) = delta {
                     let scan = self
@@ -68,13 +69,7 @@ impl Runtime<'_> {
                     // The scan predicate applies to both signs: a removed
                     // version only ever contributed if it passed, and an
                     // added version only contributes if it passes.
-                    let phase = self.phase;
-                    let rows = scan
-                        .rows
-                        .into_iter()
-                        .filter(|(t, _)| predicate.as_ref().map(|p| p.eval(t)).unwrap_or(true))
-                        .map(|(t, sign)| TaggedTuple::scanned(t, node, phase).with_sign(sign))
-                        .collect();
+                    let rows = self.emit_delta(scan.rows, predicate, node);
                     return Ok((rows, duration));
                 }
                 let scan = self
@@ -97,7 +92,7 @@ impl Runtime<'_> {
                         duration = duration.max(arrival.saturating_sub(now));
                     }
                 }
-                let rows = tag_scanned(scan.tuples, predicate, node, self.phase);
+                let rows = self.emit_scanned(scan.tuples, predicate, node);
                 Ok((rows, duration))
             }
             OperatorKind::ReplicatedScan {
@@ -105,12 +100,12 @@ impl Runtime<'_> {
                 predicate,
             } => {
                 if !self.scan_replicated {
-                    return Ok((Vec::new(), SimTime::ZERO));
+                    return Ok((TupleBatch::new(), SimTime::ZERO));
                 }
                 let tuples = self.storage.get().scan_replicated(relation, epoch, node)?;
                 self.stats.tuples_scanned += tuples.len();
                 let duration = profile.scan_time(tuples.len(), 1);
-                let rows = tag_scanned(tuples, predicate, node, self.phase);
+                let rows = self.emit_scanned(tuples, predicate, node);
                 Ok((rows, duration))
             }
             OperatorKind::CoveringIndexScan {
@@ -119,12 +114,12 @@ impl Runtime<'_> {
             } => {
                 let ranges = self.scan_ranges.get(&node).cloned().unwrap_or_default();
                 if ranges.is_empty() {
-                    return Ok((Vec::new(), SimTime::ZERO));
+                    return Ok((TupleBatch::new(), SimTime::ZERO));
                 }
                 let (tuples, pages) = self.covering_scan(relation, epoch, &ranges)?;
                 self.stats.pages_read += pages;
                 let duration = profile.scan_time(tuples.len(), pages);
-                let rows = tag_scanned(tuples, predicate, node, self.phase);
+                let rows = self.emit_scanned(tuples, predicate, node);
                 Ok((rows, duration))
             }
             other => Err(OrchestraError::Execution(format!(
@@ -168,16 +163,94 @@ impl Runtime<'_> {
     }
 }
 
-/// Tag freshly scanned tuples, applying the scan predicate.
-fn tag_scanned(
-    tuples: Vec<Tuple>,
-    predicate: &Option<crate::expr::Predicate>,
-    node: NodeId,
-    phase: Phase,
-) -> Vec<TaggedTuple> {
-    tuples
-        .into_iter()
-        .filter(|t| predicate.as_ref().map(|p| p.eval(t)).unwrap_or(true))
-        .map(|t| TaggedTuple::scanned(t, node, phase))
-        .collect()
+impl Runtime<'_> {
+    /// Turn freshly scanned tuples into the scan operator's output batch,
+    /// tagged with the scanning node's provenance.  The scan predicate
+    /// filters the tuple stream *before* the batch is built (late
+    /// materialization: a dropped row is never interned or accounted), so
+    /// only surviving rows pay columnarization.  On the legacy row path
+    /// each survivor becomes an individual tagged row object, exactly as
+    /// the engine worked before the columnar refactor, and only then is
+    /// packed for the wire.  Only this emission work is on the wall
+    /// clock — the storage fetch above it is identical on both paths.
+    fn emit_scanned(
+        &mut self,
+        tuples: Vec<Tuple>,
+        predicate: &Option<Predicate>,
+        node: NodeId,
+    ) -> TupleBatch {
+        let wall = Instant::now();
+        let arity = tuples.iter().map(|t| t.arity()).max().unwrap_or(0);
+        let tuples = filter_scanned(tuples, predicate);
+        let batch = if self.config.legacy_row_path {
+            let phase = self.phase;
+            let rows: Vec<TaggedTuple> = tuples
+                .into_iter()
+                .map(|t| TaggedTuple::scanned(pad_to(t, arity), node, phase))
+                .collect();
+            TupleBatch::from_rows(rows)
+        } else {
+            let batch =
+                ColumnarBatch::from_tuples(arity, tuples, 1, NodeSet::singleton(node), self.phase);
+            TupleBatch::from_columnar(batch)
+        };
+        self.record_wall(WC_SCAN, batch.len(), wall);
+        batch
+    }
+
+    /// [`Runtime::emit_scanned`] for signed delta scans: every row carries
+    /// its own `+1`/`-1` sign from the epoch interval.
+    fn emit_delta(
+        &mut self,
+        signed: Vec<(Tuple, i8)>,
+        predicate: &Option<Predicate>,
+        node: NodeId,
+    ) -> TupleBatch {
+        let wall = Instant::now();
+        let arity = signed.iter().map(|(t, _)| t.arity()).max().unwrap_or(0);
+        let phase = self.phase;
+        let prov = NodeSet::singleton(node);
+        let signed: Vec<(Tuple, i8)> = match predicate {
+            Some(p) => signed.into_iter().filter(|(t, _)| p.eval(t)).collect(),
+            None => signed,
+        };
+        let batch = if self.config.legacy_row_path {
+            let rows: Vec<TaggedTuple> = signed
+                .into_iter()
+                .map(|(t, sign)| TaggedTuple {
+                    tuple: pad_to(t, arity),
+                    provenance: prov,
+                    phase,
+                    sign,
+                })
+                .collect();
+            TupleBatch::from_rows(rows)
+        } else {
+            let mut batch = ColumnarBatch::new(arity);
+            for (t, sign) in signed {
+                let mut values = t.into_values();
+                values.resize(arity, Value::Null);
+                batch.push_row_owned(values, sign, prov, phase);
+            }
+            TupleBatch::from_columnar(batch)
+        };
+        self.record_wall(WC_SCAN, batch.len(), wall);
+        batch
+    }
+}
+
+/// Keep only the tuples satisfying the scan predicate.
+fn filter_scanned(tuples: Vec<Tuple>, predicate: &Option<Predicate>) -> Vec<Tuple> {
+    match predicate {
+        Some(p) => tuples.into_iter().filter(|t| p.eval(t)).collect(),
+        None => tuples,
+    }
+}
+
+/// Pad `t` with NULLs up to `arity` (the pre-filter maximum, so filtered
+/// and unfiltered scans agree on the batch shape).
+fn pad_to(t: Tuple, arity: usize) -> Tuple {
+    let mut values = t.into_values();
+    values.resize(arity, Value::Null);
+    Tuple::new(values)
 }

@@ -8,7 +8,8 @@
 //! how the physical plan refers to data (names are resolved by the
 //! optimizer).
 
-use orchestra_common::{Tuple, Value};
+use orchestra_common::{ColumnData, ColumnarBatch, Tuple, Value};
+use std::cmp::Ordering;
 
 /// Comparison operators usable in predicates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +39,19 @@ impl CmpOp {
             CmpOp::Le => left <= right,
             CmpOp::Gt => left > right,
             CmpOp::Ge => left >= right,
+        }
+    }
+
+    /// Apply the comparison to a precomputed ordering (the column-wise
+    /// paths compare typed cells directly and feed the ordering here).
+    fn eval_ord(&self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
         }
     }
 }
@@ -137,6 +151,187 @@ impl Predicate {
         };
         s.clamp(0.0, 1.0)
     }
+
+    /// Evaluate the predicate over every row of a columnar batch at once,
+    /// overwriting `mask` with one boolean per row.  Typed columns are
+    /// compared cell-by-cell without materializing [`Value`]s; the result
+    /// is exactly `batch.tuple_at(i)` fed through [`Predicate::eval`].
+    pub fn eval_mask(&self, batch: &ColumnarBatch, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.resize(batch.len(), true);
+        self.and_into(batch, mask);
+    }
+
+    /// AND this predicate's per-row result into `mask` (rows already
+    /// false are skipped).
+    fn and_into(&self, batch: &ColumnarBatch, mask: &mut [bool]) {
+        match self {
+            Predicate::True => {}
+            Predicate::Compare { column, op, value } => {
+                compare_const(batch, *column, *op, value, mask);
+            }
+            Predicate::Between { column, low, high } => {
+                compare_const(batch, *column, CmpOp::Ge, low, mask);
+                compare_const(batch, *column, CmpOp::Le, high, mask);
+            }
+            Predicate::CompareColumns { left, op, right } => {
+                compare_columns(batch, *left, *op, *right, mask);
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    p.and_into(batch, mask);
+                }
+            }
+            Predicate::Or(ps) => {
+                let mut any = vec![false; mask.len()];
+                let mut scratch = vec![true; mask.len()];
+                for p in ps {
+                    scratch.fill(true);
+                    p.and_into(batch, &mut scratch);
+                    for (a, s) in any.iter_mut().zip(&scratch) {
+                        *a |= *s;
+                    }
+                }
+                for (m, a) in mask.iter_mut().zip(&any) {
+                    *m &= *a;
+                }
+            }
+            Predicate::Not(p) => {
+                let mut scratch = vec![true; mask.len()];
+                p.and_into(batch, &mut scratch);
+                for (m, s) in mask.iter_mut().zip(&scratch) {
+                    *m &= !*s;
+                }
+            }
+        }
+    }
+}
+
+/// Column-vs-constant comparison, AND-ed into `mask`.
+fn compare_const(
+    batch: &ColumnarBatch,
+    column: usize,
+    op: CmpOp,
+    value: &Value,
+    mask: &mut [bool],
+) {
+    match (batch.column(column).data(), value) {
+        (ColumnData::Int(cells), Value::Int(c)) => {
+            for (m, x) in mask.iter_mut().zip(cells) {
+                if *m {
+                    *m = op.eval_ord(x.cmp(c));
+                }
+            }
+        }
+        (ColumnData::Int(cells), Value::Double(c)) => {
+            for (m, x) in mask.iter_mut().zip(cells) {
+                if *m {
+                    *m = op.eval_ord((*x as f64).total_cmp(c));
+                }
+            }
+        }
+        (ColumnData::Double(cells), Value::Int(c)) => {
+            let c = *c as f64;
+            for (m, x) in mask.iter_mut().zip(cells) {
+                if *m {
+                    *m = op.eval_ord(x.total_cmp(&c));
+                }
+            }
+        }
+        (ColumnData::Double(cells), Value::Double(c)) => {
+            for (m, x) in mask.iter_mut().zip(cells) {
+                if *m {
+                    *m = op.eval_ord(x.total_cmp(c));
+                }
+            }
+        }
+        (ColumnData::Str(ids), Value::Str(s)) => {
+            let pool = batch.pool();
+            for (m, id) in mask.iter_mut().zip(ids) {
+                if *m {
+                    *m = op.eval_ord(pool.get(*id).cmp(s.as_str()));
+                }
+            }
+        }
+        (ColumnData::Values(cells), c) => {
+            for (m, v) in mask.iter_mut().zip(cells) {
+                if *m {
+                    *m = op.eval(v, c);
+                }
+            }
+        }
+        // Remaining combinations pit a uniformly-typed column against a
+        // constant of a different type rank: the ordering is decided by
+        // rank alone and is the same for every row.
+        (ColumnData::Int(_), c) => uniform(op, &Value::Int(0), c, mask),
+        (ColumnData::Double(_), c) => uniform(op, &Value::Double(0.0), c, mask),
+        (ColumnData::Str(_), c) => uniform(op, &Value::Str(String::new()), c, mask),
+    }
+}
+
+/// AND a row-independent comparison result into the whole mask.
+fn uniform(op: CmpOp, representative: &Value, c: &Value, mask: &mut [bool]) {
+    if !op.eval(representative, c) {
+        mask.fill(false);
+    }
+}
+
+/// Column-vs-column comparison, AND-ed into `mask`.
+fn compare_columns(batch: &ColumnarBatch, left: usize, op: CmpOp, right: usize, mask: &mut [bool]) {
+    match (batch.column(left).data(), batch.column(right).data()) {
+        (ColumnData::Int(a), ColumnData::Int(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = op.eval_ord(a[i].cmp(&b[i]));
+                }
+            }
+        }
+        (ColumnData::Int(a), ColumnData::Double(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = op.eval_ord((a[i] as f64).total_cmp(&b[i]));
+                }
+            }
+        }
+        (ColumnData::Double(a), ColumnData::Int(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = op.eval_ord(a[i].total_cmp(&(b[i] as f64)));
+                }
+            }
+        }
+        (ColumnData::Double(a), ColumnData::Double(b)) => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = op.eval_ord(a[i].total_cmp(&b[i]));
+                }
+            }
+        }
+        (ColumnData::Str(a), ColumnData::Str(b)) => {
+            // Both columns intern into the batch's single pool, so equal
+            // ids mean equal strings and distinct ids mean distinct
+            // strings; only ordering comparisons must read the text.
+            let pool = batch.pool();
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = match op {
+                        CmpOp::Eq => a[i] == b[i],
+                        CmpOp::Ne => a[i] != b[i],
+                        _ => op.eval_ord(pool.get(a[i]).cmp(pool.get(b[i]))),
+                    };
+                }
+            }
+        }
+        _ => {
+            // Mixed-variant fallback (at least one side demoted to
+            // untyped cells): compare materialized values row by row.
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    *m = op.eval(&batch.value_at(i, left), &batch.value_at(i, right));
+                }
+            }
+        }
+    }
 }
 
 /// A scalar expression producing one output value per input tuple — the
@@ -185,6 +380,51 @@ impl ScalarExpr {
             }
         }
     }
+
+    /// Evaluate the expression for every row of a batch at once, producing
+    /// one output value per row.  Matches [`ScalarExpr::eval`] applied to
+    /// `batch.tuple_at(i)` exactly.
+    pub fn eval_column(&self, batch: &ColumnarBatch) -> Vec<Value> {
+        match self {
+            ScalarExpr::Column(i) => match batch.column(*i).data() {
+                ColumnData::Int(v) => v.iter().map(|x| Value::Int(*x)).collect(),
+                ColumnData::Double(v) => v.iter().map(|x| Value::Double(*x)).collect(),
+                ColumnData::Str(ids) => ids
+                    .iter()
+                    .map(|id| Value::Str(batch.pool().get(*id).to_string()))
+                    .collect(),
+                ColumnData::Values(v) => v.clone(),
+            },
+            ScalarExpr::Literal(v) => vec![v.clone(); batch.len()],
+            ScalarExpr::Add(a, b) => binary_column(a, b, batch, Value::add),
+            ScalarExpr::Sub(a, b) => binary_column(a, b, batch, Value::sub),
+            ScalarExpr::Mul(a, b) => binary_column(a, b, batch, Value::mul),
+            ScalarExpr::Concat(parts) => {
+                let cols: Vec<Vec<Value>> = parts.iter().map(|p| p.eval_column(batch)).collect();
+                (0..batch.len())
+                    .map(|i| {
+                        let mut out = String::new();
+                        for c in &cols {
+                            out.push_str(&c[i].to_string());
+                        }
+                        Value::Str(out)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Zip two evaluated argument columns through a binary value operation.
+fn binary_column(
+    a: &ScalarExpr,
+    b: &ScalarExpr,
+    batch: &ColumnarBatch,
+    f: fn(&Value, &Value) -> Value,
+) -> Vec<Value> {
+    let left = a.eval_column(batch);
+    let right = b.eval_column(batch);
+    left.iter().zip(&right).map(|(x, y)| f(x, y)).collect()
 }
 
 /// SQL aggregate functions supported by the aggregation operator.
@@ -331,5 +571,100 @@ mod tests {
         assert_eq!(AggFunc::Avg.partial_width(), 2);
         assert_eq!(AggFunc::Sum.partial_width(), 1);
         assert_eq!(AggFunc::Count.partial_width(), 1);
+    }
+
+    #[test]
+    fn mask_and_column_evaluation_match_row_evaluation() {
+        use orchestra_common::{ColumnarBatch, NodeSet};
+        // Typed columns (int, double, str) plus a demoted mixed column,
+        // exercising every fast path against the row-at-a-time oracle.
+        let rows = vec![
+            t(vec![
+                Value::Int(1),
+                Value::Double(0.5),
+                Value::str("a"),
+                Value::Int(7),
+            ]),
+            t(vec![
+                Value::Int(2),
+                Value::Double(1.5),
+                Value::str("b"),
+                Value::str("x"),
+            ]),
+            t(vec![
+                Value::Int(3),
+                Value::Double(2.5),
+                Value::str("a"),
+                Value::Null,
+            ]),
+            t(vec![
+                Value::Int(4),
+                Value::Double(3.5),
+                Value::str("c"),
+                Value::Double(2.0),
+            ]),
+        ];
+        let batch = ColumnarBatch::from_tuples(4, rows.clone(), 1, NodeSet::default(), 0);
+        let preds = [
+            Predicate::cmp(0, CmpOp::Ge, 2i64),
+            Predicate::cmp(0, CmpOp::Lt, 2.5f64),
+            Predicate::cmp(1, CmpOp::Gt, 1i64),
+            Predicate::cmp(2, CmpOp::Eq, "a"),
+            Predicate::cmp(2, CmpOp::Gt, 1i64), // rank-uniform: Str > numeric
+            Predicate::cmp(3, CmpOp::Eq, "x"),  // demoted column, generic path
+            Predicate::Between {
+                column: 1,
+                low: Value::Double(1.0),
+                high: Value::Double(3.0),
+            },
+            Predicate::CompareColumns {
+                left: 0,
+                op: CmpOp::Lt,
+                right: 1,
+            },
+            Predicate::CompareColumns {
+                left: 2,
+                op: CmpOp::Eq,
+                right: 2,
+            },
+            Predicate::CompareColumns {
+                left: 0,
+                op: CmpOp::Gt,
+                right: 3,
+            },
+            Predicate::And(vec![
+                Predicate::cmp(0, CmpOp::Gt, 1i64),
+                Predicate::Or(vec![
+                    Predicate::cmp(2, CmpOp::Eq, "a"),
+                    Predicate::Not(Box::new(Predicate::cmp(1, CmpOp::Lt, 3.0f64))),
+                ]),
+            ]),
+        ];
+        let mut mask = Vec::new();
+        for p in &preds {
+            p.eval_mask(&batch, &mut mask);
+            let oracle: Vec<bool> = rows.iter().map(|r| p.eval(r)).collect();
+            assert_eq!(mask, oracle, "mask diverged for {p:?}");
+        }
+        let exprs = [
+            ScalarExpr::col(2),
+            ScalarExpr::Mul(
+                Box::new(ScalarExpr::col(0)),
+                Box::new(ScalarExpr::Sub(
+                    Box::new(ScalarExpr::lit(1.0)),
+                    Box::new(ScalarExpr::col(1)),
+                )),
+            ),
+            ScalarExpr::Concat(vec![
+                ScalarExpr::col(2),
+                ScalarExpr::lit("-"),
+                ScalarExpr::col(3),
+            ]),
+        ];
+        for e in &exprs {
+            let col = e.eval_column(&batch);
+            let oracle: Vec<Value> = rows.iter().map(|r| e.eval(r)).collect();
+            assert_eq!(col, oracle, "column diverged for {e:?}");
+        }
     }
 }

@@ -21,6 +21,15 @@
 //! dictionary-compressed before crossing the (simulated) wire
 //! ([`batch`]).
 //!
+//! Between operators the data path is columnar: batches travel as typed
+//! column vectors with interned strings and parallel sign / provenance /
+//! phase tag columns, and the operators are vectorized over that layout.
+//! [`exec::EngineConfig::legacy_row_path`] switches a run back to the
+//! row-at-a-time path (every batch materialized into tagged row objects
+//! and re-packed afterwards) — the two paths produce bit-identical
+//! simulated figures and differ only in host CPU cost, which
+//! [`exec::QueryReport::wall_clock`] exposes per operator class.
+//!
 //! ## Reliability
 //!
 //! Every in-flight tuple carries a provenance tag — the set of nodes that
@@ -64,7 +73,7 @@ pub use exec::{
     refresh_view, AdmissionPolicy, EngineConfig, FailureSpec, FoldMode, MaintenanceLeg,
     MaintenanceMode, MaintenancePlan, MaintenanceRun, MaterializedView, QueryExecutor, QueryReport,
     QuerySession, RecoveryStrategy, ScanOverrides, SchedulerConfig, SessionId, SessionReport,
-    SessionScheduler, WorkloadReport,
+    SessionScheduler, WallClock, WorkloadReport,
 };
 pub use expr::{AggFunc, CmpOp, Predicate, ScalarExpr};
 pub use plan::{AggMode, OpId, Operator, OperatorKind, PhysicalPlan, PlanBuilder};

@@ -1,35 +1,71 @@
-//! Runtime state of the stateful operators.
+//! Runtime state of the stateful operators, stored column-wise.
 //!
 //! The executor (`exec`) owns one instance of every plan operator per
 //! participating node; this module holds the state those instances carry
 //! between messages:
 //!
-//! * [`JoinState`] — the two hash tables of the pipelined *symmetric* hash
-//!   join (the paper's "pipelined hash join"), whose entries are tagged
-//!   tuples so tainted build rows can be purged on failure.
+//! * [`JoinState`] — the pipelined *symmetric* hash join (the paper's
+//!   "pipelined hash join").  Each side keeps its buffered rows in one
+//!   [`ColumnarBatch`] plus a hash index from join-key values to row
+//!   numbers, so build and probe touch only the key columns and join
+//!   output is assembled column-by-column without materializing row
+//!   objects.  Tainted build rows are tombstoned (not compacted) on
+//!   failure so row numbers in the index stay valid.
 //! * [`AggState`] — the grouping operator's state, organised as
 //!   *sub-groups* keyed by `(group key, provenance set, phase)` exactly as
 //!   Section V-D prescribes, so that on failure the sub-groups derived
 //!   from a failed node can be dropped without touching the rest, and so
-//!   that re-emission after recovery never double-counts.
+//!   that re-emission after recovery never double-counts.  The batch
+//!   entry points fold whole columnar batches, using a per-batch group
+//!   signature cache (typed cells compare by bits or pool id) to skip
+//!   re-materializing the group key for every row.
 //! * [`RehashState`] — per-destination output buffers plus the output
 //!   cache used by recovery stage 4 ("re-create data that was sent to the
-//!   failed nodes' hash key space ranges").
+//!   failed nodes' hash key space ranges").  Buffers and cache are
+//!   [`TupleBatch`]es, so a flushed batch already knows its own encoded
+//!   wire size — the flush path reads it off the columns' running
+//!   dictionary accounting instead of re-scanning the rows.
 
+use crate::batch::TupleBatch;
 use crate::expr::AggFunc;
 use crate::provenance::{Phase, TaggedTuple};
-use orchestra_common::{NodeId, NodeSet, Tuple, Value};
+use orchestra_common::{ColumnData, ColumnarBatch, NodeId, NodeSet, PoolMemo, Tuple, Value};
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------------
 // Symmetric hash join
 // ---------------------------------------------------------------------------
 
+/// One side of the symmetric hash join: buffered rows as a columnar
+/// batch, a liveness mask (purges tombstone rather than compact, keeping
+/// indexed row numbers stable), and the hash index over the key values.
+#[derive(Clone, Debug)]
+struct JoinSide {
+    rows: ColumnarBatch,
+    alive: Vec<bool>,
+    index: HashMap<Vec<Value>, Vec<u32>>,
+}
+
+impl Default for JoinSide {
+    fn default() -> JoinSide {
+        JoinSide {
+            rows: ColumnarBatch::new(0),
+            alive: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl JoinSide {
+    fn live_rows(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+}
+
 /// State of one pipelined (symmetric) hash join instance.
 #[derive(Clone, Debug, Default)]
 pub struct JoinState {
-    left: HashMap<Vec<Value>, Vec<TaggedTuple>>,
-    right: HashMap<Vec<Value>, Vec<TaggedTuple>>,
+    sides: [JoinSide; 2],
 }
 
 impl JoinState {
@@ -40,8 +76,7 @@ impl JoinState {
 
     /// Number of buffered rows on both sides.
     pub fn len(&self) -> usize {
-        self.left.values().map(Vec::len).sum::<usize>()
-            + self.right.values().map(Vec::len).sum::<usize>()
+        self.sides.iter().map(JoinSide::live_rows).sum()
     }
 
     /// Is the state empty?
@@ -61,31 +96,83 @@ impl JoinState {
         right_keys: &[usize],
         node: NodeId,
     ) -> Vec<TaggedTuple> {
-        let mut out = Vec::new();
-        if input == 0 {
-            let key: Vec<Value> = left_keys
-                .iter()
-                .map(|c| row.tuple.value(*c).clone())
-                .collect();
-            if let Some(matches) = self.right.get(&key) {
-                for other in matches {
-                    let joined = row.tuple.concat(&other.tuple);
-                    out.push(TaggedTuple::derived(joined, &row, other, node));
-                }
-            }
-            self.left.entry(key).or_default().push(row);
+        let TaggedTuple {
+            tuple,
+            provenance,
+            phase,
+            sign,
+        } = row;
+        let arity = tuple.arity();
+        let batch = ColumnarBatch::from_tuples(arity, [tuple], sign, provenance, phase);
+        let out = self.process_batch(input, &batch, left_keys, right_keys, node);
+        (0..out.len())
+            .map(|i| TaggedTuple {
+                tuple: out.tuple_at(i),
+                provenance: out.provenance_at(i),
+                phase: out.phase_at(i),
+                sign: out.sign_at(i),
+            })
+            .collect()
+    }
+
+    /// Batch entry point: insert every row of `batch` into the `input`
+    /// side and probe the other side, producing the join output as one
+    /// columnar batch.  Rows are processed in batch order and matches are
+    /// emitted in build-insertion order, exactly like the row-at-a-time
+    /// path; only the representation differs (cells are copied column to
+    /// column, strings re-interned via per-call pool memos).
+    pub fn process_batch(
+        &mut self,
+        input: usize,
+        batch: &ColumnarBatch,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        node: NodeId,
+    ) -> ColumnarBatch {
+        let keys = if input == 0 { left_keys } else { right_keys };
+        let (a, b) = self.sides.split_at_mut(1);
+        let (own, other) = if input == 0 {
+            (&mut a[0], &b[0])
         } else {
-            let key: Vec<Value> = right_keys
-                .iter()
-                .map(|c| row.tuple.value(*c).clone())
-                .collect();
-            if let Some(matches) = self.left.get(&key) {
-                for other in matches {
-                    let joined = other.tuple.concat(&row.tuple);
-                    out.push(TaggedTuple::derived(joined, other, &row, node));
+            (&mut b[0], &a[0])
+        };
+        if own.rows.arity() < batch.arity() {
+            own.rows.pad_to_arity(batch.arity());
+        }
+        let mut out = ColumnarBatch::new(0);
+        let mut memo_in = PoolMemo::new();
+        let mut memo_store = PoolMemo::new();
+        for r in 0..batch.len() {
+            let key: Vec<Value> = keys.iter().map(|c| batch.value_at(r, *c)).collect();
+            if let Some(matches) = other.index.get(&key) {
+                for &m in matches {
+                    let m = m as usize;
+                    if !other.alive[m] {
+                        continue;
+                    }
+                    if out.arity() == 0 {
+                        out.pad_to_arity(batch.arity() + other.rows.arity());
+                    }
+                    if input == 0 {
+                        out.append_cells_from(batch, r, 0, &mut memo_in);
+                        out.append_cells_from(&other.rows, m, batch.arity(), &mut memo_store);
+                    } else {
+                        out.append_cells_from(&other.rows, m, 0, &mut memo_store);
+                        out.append_cells_from(batch, r, other.rows.arity(), &mut memo_in);
+                    }
+                    let mut provenance = batch.provenance_at(r).union(&other.rows.provenance_at(m));
+                    provenance.insert(node);
+                    out.push_tag_row(
+                        batch.sign_at(r) * other.rows.sign_at(m),
+                        provenance,
+                        batch.phase_at(r).max(other.rows.phase_at(m)),
+                    );
                 }
             }
-            self.right.entry(key).or_default().push(row);
+            own.rows.append_row_interned(batch, r);
+            own.alive.push(true);
+            let idx = (own.rows.len() - 1) as u32;
+            own.index.entry(key).or_default().push(idx);
         }
         out
     }
@@ -94,13 +181,13 @@ impl JoinState {
     /// returns how many rows were dropped.
     pub fn purge_tainted(&mut self, failed: &NodeSet) -> usize {
         let mut dropped = 0;
-        for table in [&mut self.left, &mut self.right] {
-            for rows in table.values_mut() {
-                let before = rows.len();
-                rows.retain(|r| !r.is_tainted(failed));
-                dropped += before - rows.len();
+        for side in &mut self.sides {
+            for (i, alive) in side.alive.iter_mut().enumerate() {
+                if *alive && side.rows.provenance_at(i).intersects(failed) {
+                    *alive = false;
+                    dropped += 1;
+                }
             }
-            table.retain(|_, v| !v.is_empty());
         }
         dropped
     }
@@ -260,17 +347,24 @@ fn signed_value(value: &Value, sign: i64) -> Value {
 
 /// One sub-group of an aggregate: the accumulators for a particular
 /// `(group key, provenance set, phase)` combination, plus whether it has
-/// already been emitted downstream.
+/// already been emitted downstream.  Purged sub-groups are tombstoned
+/// (`alive = false`) so indices held by the signature cache stay valid
+/// within a batch.
 #[derive(Clone, Debug)]
 struct SubGroup {
+    key: Vec<Value>,
+    provenance: NodeSet,
+    phase: Phase,
     accumulators: Vec<Accumulator>,
     emitted: bool,
+    alive: bool,
 }
 
 /// State of one aggregation operator instance.
 #[derive(Clone, Debug, Default)]
 pub struct AggState {
-    groups: HashMap<(Vec<Value>, NodeSet, Phase), SubGroup>,
+    index: HashMap<(Vec<Value>, NodeSet, Phase), usize>,
+    subgroups: Vec<SubGroup>,
 }
 
 impl AggState {
@@ -281,7 +375,29 @@ impl AggState {
 
     /// Number of sub-groups currently held.
     pub fn subgroup_count(&self) -> usize {
-        self.groups.len()
+        self.subgroups.iter().filter(|g| g.alive).count()
+    }
+
+    /// Find or create the sub-group for a full key, returning its index.
+    fn subgroup_at(
+        &mut self,
+        key: (Vec<Value>, NodeSet, Phase),
+        aggs: &[(AggFunc, usize)],
+    ) -> usize {
+        if let Some(&i) = self.index.get(&key) {
+            return i;
+        }
+        let i = self.subgroups.len();
+        self.subgroups.push(SubGroup {
+            key: key.0.clone(),
+            provenance: key.1,
+            phase: key.2,
+            accumulators: aggs.iter().map(|(f, _)| Accumulator::new(*f)).collect(),
+            emitted: false,
+            alive: true,
+        });
+        self.index.insert(key, i);
+        i
     }
 
     /// Fold one raw input row (modes `Single` and `Partial`), honouring
@@ -291,15 +407,10 @@ impl AggState {
             .iter()
             .map(|c| row.tuple.value(*c).clone())
             .collect();
-        let entry = self
-            .groups
-            .entry((key, row.provenance, row.phase))
-            .or_insert_with(|| SubGroup {
-                accumulators: aggs.iter().map(|(f, _)| Accumulator::new(*f)).collect(),
-                emitted: false,
-            });
-        for (i, (_, col)) in aggs.iter().enumerate() {
-            entry.accumulators[i].update_signed(row.tuple.value(*col), row.sign as i64);
+        let i = self.subgroup_at((key, row.provenance, row.phase), aggs);
+        let group = &mut self.subgroups[i];
+        for (j, (_, col)) in aggs.iter().enumerate() {
+            group.accumulators[j].update_signed(row.tuple.value(*col), row.sign as i64);
         }
     }
 
@@ -315,29 +426,126 @@ impl AggState {
             .iter()
             .map(|c| row.tuple.value(*c).clone())
             .collect();
-        let entry = self
-            .groups
-            .entry((key, row.provenance, row.phase))
-            .or_insert_with(|| SubGroup {
-                accumulators: aggs.iter().map(|(f, _)| Accumulator::new(*f)).collect(),
-                emitted: false,
-            });
-        for (i, (f, col)) in aggs.iter().enumerate() {
+        let i = self.subgroup_at((key, row.provenance, row.phase), aggs);
+        let group = &mut self.subgroups[i];
+        for (j, (f, col)) in aggs.iter().enumerate() {
             let width = f.partial_width();
             let state: Vec<Value> = (0..width)
                 .map(|k| row.tuple.value(col + k).clone())
                 .collect();
-            entry.accumulators[i].merge_partial_signed(&state, row.sign as i64);
+            group.accumulators[j].merge_partial_signed(&state, row.sign as i64);
+        }
+    }
+
+    /// Fold a whole columnar batch of raw input rows (modes `Single` and
+    /// `Partial`).  Equivalent to [`Self::update_raw`] on every row in
+    /// order; typed group columns resolve their sub-group through a
+    /// per-batch signature cache instead of re-materializing the key.
+    pub fn update_raw_batch(
+        &mut self,
+        batch: &ColumnarBatch,
+        group_by: &[usize],
+        aggs: &[(AggFunc, usize)],
+    ) {
+        self.update_batch(batch, group_by, aggs, false);
+    }
+
+    /// Fold a whole columnar batch of partial-state rows (mode `Final`).
+    pub fn update_partial_batch(
+        &mut self,
+        batch: &ColumnarBatch,
+        group_by: &[usize],
+        aggs: &[(AggFunc, usize)],
+    ) {
+        self.update_batch(batch, group_by, aggs, true);
+    }
+
+    fn update_batch(
+        &mut self,
+        batch: &ColumnarBatch,
+        group_by: &[usize],
+        aggs: &[(AggFunc, usize)],
+        partial: bool,
+    ) {
+        // Signature cache: within one batch a column's cells are uniformly
+        // typed, so equal (bits / pool id) signatures imply equal key
+        // values and the full key lookup can be skipped.  Columns demoted
+        // to untyped cells fall back to the full lookup per row.
+        let typed = group_by
+            .iter()
+            .all(|c| !matches!(batch.column(*c).data(), ColumnData::Values(_)));
+        // Keyed by signature alone, looked up by slice (no per-row
+        // allocation on a hit); the rare signature shared by rows with
+        // different provenance/phase tags keeps one entry per tag.
+        let mut cache: HashMap<Vec<u64>, Vec<(NodeSet, Phase, usize)>> = HashMap::new();
+        let mut sig: Vec<u64> = Vec::with_capacity(group_by.len());
+        for r in 0..batch.len() {
+            let provenance = batch.provenance_at(r);
+            let phase = batch.phase_at(r);
+            let i = if typed {
+                sig.clear();
+                for c in group_by {
+                    sig.push(match batch.column(*c).data() {
+                        ColumnData::Int(v) => v[r] as u64,
+                        ColumnData::Double(v) => v[r].to_bits(),
+                        ColumnData::Str(v) => v[r] as u64,
+                        ColumnData::Values(_) => unreachable!("checked typed above"),
+                    });
+                }
+                let hit = cache
+                    .get(sig.as_slice())
+                    .and_then(|tags| {
+                        tags.iter()
+                            .find(|(p, ph, _)| *p == provenance && *ph == phase)
+                    })
+                    .map(|(_, _, i)| *i);
+                if let Some(i) = hit {
+                    i
+                } else {
+                    let key: Vec<Value> = group_by.iter().map(|c| batch.value_at(r, *c)).collect();
+                    let i = self.subgroup_at((key, provenance, phase), aggs);
+                    cache
+                        .entry(sig.clone())
+                        .or_default()
+                        .push((provenance, phase, i));
+                    i
+                }
+            } else {
+                let key: Vec<Value> = group_by.iter().map(|c| batch.value_at(r, *c)).collect();
+                self.subgroup_at((key, provenance, phase), aggs)
+            };
+            let sign = batch.sign_at(r) as i64;
+            let group = &mut self.subgroups[i];
+            if partial {
+                for (j, (f, col)) in aggs.iter().enumerate() {
+                    let width = f.partial_width();
+                    let state: Vec<Value> =
+                        (0..width).map(|k| batch.value_at(r, col + k)).collect();
+                    group.accumulators[j].merge_partial_signed(&state, sign);
+                }
+            } else {
+                for (j, (_, col)) in aggs.iter().enumerate() {
+                    group.accumulators[j].update_signed(&batch.value_at(r, *col), sign);
+                }
+            }
         }
     }
 
     /// Drop every sub-group whose provenance intersects `failed`; returns
     /// the number of sub-groups dropped.
     pub fn purge_tainted(&mut self, failed: &NodeSet) -> usize {
-        let before = self.groups.len();
-        self.groups
-            .retain(|(_, prov, _), _| !prov.intersects(failed));
-        before - self.groups.len()
+        let subgroups = &mut self.subgroups;
+        let mut dropped = 0;
+        self.index.retain(|(_, provenance, _), i| {
+            if provenance.intersects(failed) {
+                subgroups[*i].alive = false;
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        dropped
     }
 
     /// Emit every sub-group that has not been emitted yet, marking it
@@ -350,20 +558,23 @@ impl AggState {
         node: NodeId,
         phase: Phase,
     ) -> Vec<TaggedTuple> {
-        let mut keys: Vec<(Vec<Value>, NodeSet, Phase)> = self
-            .groups
-            .iter()
-            .filter(|(_, g)| !g.emitted)
-            .map(|(k, _)| k.clone())
+        let mut order: Vec<usize> = (0..self.subgroups.len())
+            .filter(|&i| {
+                let g = &self.subgroups[i];
+                g.alive && !g.emitted
+            })
             .collect();
-        // Deterministic emission order (group key, then provenance order is
-        // irrelevant but stable via the sort on the full key tuple).
-        keys.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
-        let mut out = Vec::with_capacity(keys.len());
-        for key in keys {
-            let group = self.groups.get_mut(&key).expect("subgroup exists");
+        // Deterministic emission order (group key, then phase; the stable
+        // sort keeps insertion order among ties).
+        order.sort_by(|&a, &b| {
+            let (ga, gb) = (&self.subgroups[a], &self.subgroups[b]);
+            ga.key.cmp(&gb.key).then_with(|| ga.phase.cmp(&gb.phase))
+        });
+        let mut out = Vec::with_capacity(order.len());
+        for i in order {
+            let group = &mut self.subgroups[i];
             group.emitted = true;
-            let mut values = key.0.clone();
+            let mut values = group.key.clone();
             for acc in &group.accumulators {
                 if partial {
                     values.extend(acc.partial_values());
@@ -371,7 +582,7 @@ impl AggState {
                     values.push(acc.final_value());
                 }
             }
-            let mut provenance = key.1;
+            let mut provenance = group.provenance;
             provenance.insert(node);
             // Emitted states are assertions: any retractions the
             // sub-group absorbed are already folded into its values.
@@ -391,12 +602,13 @@ impl AggState {
     /// `Single`/`Final` aggregate — it runs exactly once, when the
     /// initiator's `Output` segment closes, merging the per-provenance
     /// sub-groups into the duplicate-free answer.  Unit tests also use it
-    /// to validate accumulator algebra directly.
+    /// to validate accumulator algebra directly.  Sub-groups merge in
+    /// insertion order, keeping floating-point folds deterministic.
     pub fn collapsed_final(&self, aggs: &[(AggFunc, usize)]) -> Vec<Tuple> {
         let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
-        for ((key, _, _), group) in &self.groups {
+        for group in self.subgroups.iter().filter(|g| g.alive) {
             let accs = merged
-                .entry(key.clone())
+                .entry(group.key.clone())
                 .or_insert_with(|| aggs.iter().map(|(f, _)| Accumulator::new(*f)).collect());
             for (i, acc) in group.accumulators.iter().enumerate() {
                 accs[i].merge_partial(&acc.partial_values());
@@ -421,11 +633,13 @@ impl AggState {
 /// State of one `Rehash` or `Ship` operator instance: the per-destination
 /// output buffers awaiting a full batch, and (when recovery support is
 /// enabled) the cache of everything sent, used to re-create data that had
-/// been sent to a failed node.
+/// been sent to a failed node.  Both live as [`TupleBatch`]es, so the
+/// wire size of a flushed batch is read off the columns' running
+/// dictionary accounting rather than recomputed from its rows.
 #[derive(Clone, Debug, Default)]
 pub struct RehashState {
-    buffers: HashMap<NodeId, Vec<TaggedTuple>>,
-    cache: Vec<(NodeId, TaggedTuple)>,
+    buffers: HashMap<NodeId, TupleBatch>,
+    cache: HashMap<NodeId, TupleBatch>,
     cache_enabled: bool,
 }
 
@@ -443,15 +657,31 @@ impl RehashState {
     /// insertion (the executor flushes when this reaches the batch size).
     pub fn buffer(&mut self, dest: NodeId, row: TaggedTuple) -> usize {
         if self.cache_enabled {
-            self.cache.push((dest, row.clone()));
+            self.cache.entry(dest).or_default().push(row.clone());
         }
         let buf = self.buffers.entry(dest).or_default();
         buf.push(row);
         buf.len()
     }
 
+    /// Append row `row` of a columnar batch destined for `dest` without
+    /// materializing it, returning the buffer length after insertion.
+    pub fn buffer_from(&mut self, dest: NodeId, src: &ColumnarBatch, row: usize) -> usize {
+        if self.cache_enabled {
+            self.cache.entry(dest).or_default().push_row_from(src, row);
+        }
+        let buf = self.buffers.entry(dest).or_default();
+        buf.push_row_from(src, row);
+        buf.len()
+    }
+
     /// Take (and clear) the pending buffer for `dest`.
     pub fn take_buffer(&mut self, dest: NodeId) -> Vec<TaggedTuple> {
+        self.take_buffer_batch(dest).rows()
+    }
+
+    /// Take (and clear) the pending buffer for `dest` as a batch.
+    pub fn take_buffer_batch(&mut self, dest: NodeId) -> TupleBatch {
         self.buffers.remove(&dest).unwrap_or_default()
     }
 
@@ -474,15 +704,32 @@ impl RehashState {
     /// duplicate) the stale entries still keyed to the failed node, so no
     /// non-consuming variant is offered.
     pub fn take_cached_for(&mut self, dest: NodeId, failed: &NodeSet) -> Vec<TaggedTuple> {
-        let mut out = Vec::new();
-        self.cache.retain(|(d, row)| {
-            if *d == dest && !row.is_tainted(failed) {
-                out.push(row.clone());
-                false
-            } else {
-                true
-            }
-        });
+        self.take_cached_batch_for(dest, failed).rows()
+    }
+
+    /// Batch variant of [`Self::take_cached_for`]: tainted rows for
+    /// `dest` stay cached (until purged), untainted ones are returned.
+    pub fn take_cached_batch_for(&mut self, dest: NodeId, failed: &NodeSet) -> TupleBatch {
+        let Some(batch) = self.cache.remove(&dest) else {
+            return TupleBatch::new();
+        };
+        let untainted: Vec<bool> = batch
+            .columnar()
+            .provenance_column()
+            .iter()
+            .map(|p| !p.intersects(failed))
+            .collect();
+        if untainted.iter().all(|u| *u) {
+            return batch;
+        }
+        let tainted: Vec<bool> = untainted.iter().map(|u| !*u).collect();
+        let mut keep = batch.clone();
+        keep.columnar_mut().retain(&tainted);
+        if !keep.is_empty() {
+            self.cache.insert(dest, keep);
+        }
+        let mut out = batch;
+        out.columnar_mut().retain(&untainted);
         out
     }
 
@@ -491,15 +738,8 @@ impl RehashState {
     /// enabled every pending row is also cached, so only the cache drops
     /// are counted — counting both would tally the same row twice.
     pub fn purge_tainted(&mut self, failed: &NodeSet) -> usize {
-        let before = self.cache.len();
-        self.cache.retain(|(_, row)| !row.is_tainted(failed));
-        let cache_dropped = before - self.cache.len();
-        let mut buffer_dropped = 0;
-        for buf in self.buffers.values_mut() {
-            let before = buf.len();
-            buf.retain(|row| !row.is_tainted(failed));
-            buffer_dropped += before - buf.len();
-        }
+        let cache_dropped = Self::purge_map(&mut self.cache, failed);
+        let buffer_dropped = Self::purge_map(&mut self.buffers, failed);
         if self.cache_enabled {
             cache_dropped
         } else {
@@ -507,9 +747,26 @@ impl RehashState {
         }
     }
 
+    fn purge_map(map: &mut HashMap<NodeId, TupleBatch>, failed: &NodeSet) -> usize {
+        let mut dropped = 0;
+        for batch in map.values_mut() {
+            let keep: Vec<bool> = batch
+                .columnar()
+                .provenance_column()
+                .iter()
+                .map(|p| !p.intersects(failed))
+                .collect();
+            let before = batch.len();
+            batch.columnar_mut().retain(&keep);
+            dropped += before - batch.len();
+        }
+        map.retain(|_, b| !b.is_empty());
+        dropped
+    }
+
     /// Number of rows currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.cache.values().map(TupleBatch::len).sum()
     }
 }
 
@@ -579,6 +836,78 @@ mod tests {
         assert_eq!(dropped, 2);
         assert_eq!(j.len(), 1);
         assert!(!j.is_empty());
+    }
+
+    #[test]
+    fn purged_join_rows_never_match_again() {
+        // Tombstoned rows must be invisible to later probes.
+        let mut j = JoinState::new();
+        let node = NodeId(9);
+        j.process(
+            0,
+            tagged(vec![Value::Int(1), Value::str("dead")], 5),
+            &[0],
+            &[0],
+            node,
+        );
+        j.process(
+            0,
+            tagged(vec![Value::Int(1), Value::str("live")], 0),
+            &[0],
+            &[0],
+            node,
+        );
+        j.purge_tainted(&NodeSet::singleton(NodeId(5)));
+        let out = j.process(1, tagged(vec![Value::Int(1)], 1), &[0], &[0], node);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuple.value(1), &Value::str("live"));
+    }
+
+    #[test]
+    fn join_batch_path_matches_row_path() {
+        // Feed the same rows through the row API and the batch API and
+        // compare outputs and state sizes.
+        let node = NodeId(9);
+        let lefts: Vec<TaggedTuple> = (0..6)
+            .map(|i| tagged(vec![Value::Int(i % 3), Value::str(format!("l{i}"))], 0))
+            .collect();
+        let rights: Vec<TaggedTuple> = (0..4)
+            .map(|i| tagged(vec![Value::str(format!("r{i}")), Value::Int(i % 2)], 1))
+            .collect();
+
+        let mut row_join = JoinState::new();
+        let mut row_out = Vec::new();
+        for l in &lefts {
+            row_out.extend(row_join.process(0, l.clone(), &[0], &[1], node));
+        }
+        for r in &rights {
+            row_out.extend(row_join.process(1, r.clone(), &[0], &[1], node));
+        }
+
+        let mut batch_join = JoinState::new();
+        let left_batch = ColumnarBatch::from_tuples(
+            2,
+            lefts.iter().map(|t| t.tuple.clone()),
+            1,
+            NodeSet::singleton(NodeId(0)),
+            0,
+        );
+        let right_batch = ColumnarBatch::from_tuples(
+            2,
+            rights.iter().map(|t| t.tuple.clone()),
+            1,
+            NodeSet::singleton(NodeId(1)),
+            0,
+        );
+        let mut batch_out = Vec::new();
+        let out = batch_join.process_batch(0, &left_batch, &[0], &[1], node);
+        batch_out.extend((0..out.len()).map(|i| out.tuple_at(i)));
+        let out = batch_join.process_batch(1, &right_batch, &[0], &[1], node);
+        batch_out.extend((0..out.len()).map(|i| out.tuple_at(i)));
+
+        let row_tuples: Vec<Tuple> = row_out.iter().map(|t| t.tuple.clone()).collect();
+        assert_eq!(row_tuples, batch_out);
+        assert_eq!(row_join.len(), batch_join.len());
     }
 
     #[test]
@@ -765,6 +1094,47 @@ mod tests {
     }
 
     #[test]
+    fn agg_batch_path_matches_row_path() {
+        // The batch fold (with its signature cache) must land in exactly
+        // the same sub-groups as row-at-a-time folding.
+        let aggs = [(AggFunc::Sum, 2), (AggFunc::Avg, 2), (AggFunc::Count, 0)];
+        let rows: Vec<TaggedTuple> = (0..40)
+            .map(|i| {
+                tagged(
+                    vec![
+                        Value::str(if i % 2 == 0 { "A" } else { "B" }),
+                        Value::Int(i % 3),
+                        Value::Double(i as f64 * 0.5),
+                    ],
+                    (i % 4) as u16,
+                )
+                .with_sign(if i % 7 == 0 { -1 } else { 1 })
+            })
+            .collect();
+        let mut by_row = AggState::new();
+        for r in &rows {
+            by_row.update_raw(r, &[0, 1], &aggs);
+        }
+        let mut by_batch = AggState::new();
+        for chunk in rows.chunks(16) {
+            let mut batch = ColumnarBatch::new(3);
+            for r in chunk {
+                batch.push_row(r.tuple.values(), r.sign, r.provenance, r.phase);
+            }
+            by_batch.update_raw_batch(&batch, &[0, 1], &aggs);
+        }
+        assert_eq!(by_row.subgroup_count(), by_batch.subgroup_count());
+        assert_eq!(
+            by_row.collapsed_final(&aggs),
+            by_batch.collapsed_final(&aggs)
+        );
+        assert_eq!(
+            by_row.emit_unemitted(true, NodeId(7), 0),
+            by_batch.emit_unemitted(true, NodeId(7), 0)
+        );
+    }
+
+    #[test]
     fn rehash_buffers_and_cache() {
         let mut r = RehashState::new(true);
         for i in 0..5 {
@@ -833,5 +1203,30 @@ mod tests {
         r.buffer(NodeId(2), tagged(vec![Value::Int(2)], 0));
         assert_eq!(r.purge_tainted(&failed), 1);
         assert_eq!(r.take_buffer(NodeId(2)).len(), 1);
+    }
+
+    #[test]
+    fn buffer_from_matches_row_buffering() {
+        // buffer_from on a columnar source must leave the same buffers and
+        // cache as pushing the materialized rows.
+        let rows: Vec<TaggedTuple> = (0..6)
+            .map(|i| tagged(vec![Value::Int(i), Value::str(format!("s{}", i % 2))], 0))
+            .collect();
+        let mut batch = ColumnarBatch::new(2);
+        for r in &rows {
+            batch.push_row(r.tuple.values(), r.sign, r.provenance, r.phase);
+        }
+        let mut by_row = RehashState::new(true);
+        let mut by_batch = RehashState::new(true);
+        for (i, r) in rows.iter().enumerate() {
+            let dest = NodeId((i % 2) as u16);
+            let a = by_row.buffer(dest, r.clone());
+            let b = by_batch.buffer_from(dest, &batch, i);
+            assert_eq!(a, b);
+        }
+        for dest in [NodeId(0), NodeId(1)] {
+            assert_eq!(by_row.take_buffer(dest), by_batch.take_buffer(dest));
+        }
+        assert_eq!(by_row.cache_len(), by_batch.cache_len());
     }
 }
