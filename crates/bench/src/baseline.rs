@@ -4,11 +4,13 @@
 //! `--experiment baseline` output (the `plan_quality` and `maintenance`
 //! experiments) at a known-good commit — and the checks here compare a
 //! fresh run against it: every estimated plan cost, every measured
-//! traffic figure ([`check_plan_quality_baseline`]) and every
-//! maintenance shipped-bytes total ([`check_maintenance_baseline`])
-//! must stay within `tolerance` (CI uses 5%) of the baseline, per
-//! workload.  A *lower* value is always fine — the gate only catches
-//! regressions.
+//! traffic figure ([`check_plan_quality_baseline`]), every
+//! maintenance shipped-bytes total ([`check_maintenance_baseline`]),
+//! and every serving point's shipped bytes and cache hit rate
+//! ([`check_serving_baseline`]) must stay within `tolerance` (CI uses
+//! 5%) of the baseline.  A value moving in the *good* direction —
+//! lower cost/bytes, higher hit rate — always passes; the gate only
+//! catches regressions.
 //!
 //! Refreshing the baseline after an intentional change is one line:
 //!
@@ -160,6 +162,106 @@ pub fn check_maintenance_baseline(
     }
 }
 
+/// Compare the top-level `serving` sections of `current` against
+/// `baseline`: per (skew, load, capacity) point, total shipped bytes
+/// must not rise beyond `tolerance`, and — the direction is inverted,
+/// because higher is better — the cache hit rate must not *fall* below
+/// `baseline × (1 − tolerance)`.  Fewer bytes or more hits always pass.
+pub fn check_serving_baseline(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passed = Vec::new();
+    let mut violations = Vec::new();
+
+    let baseline_points = match serving_points_of(baseline) {
+        Ok(p) => p,
+        Err(e) => return Err(vec![format!("baseline document: {e}")]),
+    };
+    let current_points = match serving_points_of(current) {
+        Ok(p) => p,
+        Err(e) => return Err(vec![format!("current document: {e}")]),
+    };
+
+    for (key, base_point) in &baseline_points {
+        let Some(cur_point) = current_points
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, p)| p)
+        else {
+            violations.push(format!(
+                "serving point {key} present in the baseline but missing from the current run"
+            ));
+            continue;
+        };
+        for (field, higher_is_better) in [("total_bytes", false), ("cache_hit_rate", true)] {
+            let (Some(base), Some(cur)) = (
+                base_point.get(field).and_then(Json::as_f64),
+                cur_point.get(field).and_then(Json::as_f64),
+            ) else {
+                violations.push(format!("serving point {key}: field {field} missing"));
+                continue;
+            };
+            let regressed = if higher_is_better {
+                cur < base * (1.0 - tolerance)
+            } else {
+                cur > base * (1.0 + tolerance)
+            };
+            if regressed {
+                violations.push(format!(
+                    "serving point {key}: {field} regressed {cur:.3} vs {base:.3} \
+                     ({:+.1}% exceeds the {:.0}% tolerance)",
+                    (cur / base.max(f64::MIN_POSITIVE) - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else {
+                passed.push(format!(
+                    "serving point {key}: {field} {cur:.3} within {base:.3} ±{:.0}%",
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(passed)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Extract `("skew=… load=… cap=…", point object)` pairs from a bench
+/// document's top-level `serving` section.
+fn serving_points_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+    let points = doc
+        .get("serving")
+        .ok_or("no \"serving\" section")?
+        .get("points")
+        .and_then(Json::items)
+        .ok_or("serving section has no \"points\" array")?;
+    let mut out = Vec::with_capacity(points.len());
+    for point in points {
+        let skew = point
+            .get("zipf_exponent")
+            .and_then(Json::as_f64)
+            .ok_or("serving point without a \"zipf_exponent\"")?;
+        let load = point
+            .get("load_factor")
+            .and_then(Json::as_f64)
+            .ok_or("serving point without a \"load_factor\"")?;
+        let cap = point
+            .get("cache_capacity")
+            .and_then(Json::as_f64)
+            .ok_or("serving point without a \"cache_capacity\"")?;
+        out.push((format!("skew={skew:.2} load={load:.2} cap={cap:.0}"), point));
+    }
+    if out.is_empty() {
+        return Err("empty serving \"points\" array".into());
+    }
+    Ok(out)
+}
+
 /// Extract `("workload/sweep-label", sweep object)` pairs from a bench
 /// document's per-workload `maintenance` sections.
 fn maintenance_sweeps_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
@@ -298,6 +400,49 @@ mod tests {
             Json::Array(vec![Json::object(vec![("workload", Json::str("x"))])]),
         )]);
         assert!(check_maintenance_baseline(&bare, &baseline, 0.05).is_err());
+    }
+
+    fn serving_doc(total_bytes: u64, hit_rate: f64) -> Json {
+        Json::object(vec![(
+            "serving",
+            Json::object(vec![(
+                "points",
+                Json::Array(vec![Json::object(vec![
+                    ("zipf_exponent", Json::Float(1.2)),
+                    ("load_factor", Json::Float(2.0)),
+                    ("cache_capacity", Json::UInt(5)),
+                    ("total_bytes", Json::UInt(total_bytes)),
+                    ("cache_hit_rate", Json::Float(hit_rate)),
+                ])]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn serving_points_gate_bytes_up_and_hit_rate_down() {
+        let baseline = serving_doc(10_000, 0.80);
+        // Within tolerance both ways.
+        let ok = check_serving_baseline(&serving_doc(10_400, 0.77), &baseline, 0.05).unwrap();
+        assert_eq!(ok.len(), 2);
+        // Better in both directions always passes.
+        assert!(check_serving_baseline(&serving_doc(5_000, 0.95), &baseline, 0.05).is_ok());
+        // More bytes shipped is a regression…
+        let violations =
+            check_serving_baseline(&serving_doc(11_000, 0.80), &baseline, 0.05).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("total_bytes"), "{violations:?}");
+        assert!(
+            violations[0].contains("skew=1.20 load=2.00 cap=5"),
+            "{violations:?}"
+        );
+        // …and so is a *falling* hit rate.
+        let violations =
+            check_serving_baseline(&serving_doc(10_000, 0.70), &baseline, 0.05).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("cache_hit_rate"), "{violations:?}");
+        // A document without a serving section is malformed.
+        let bare = Json::object(vec![("experiments", Json::Array(vec![]))]);
+        assert!(check_serving_baseline(&bare, &baseline, 0.05).is_err());
     }
 
     #[test]

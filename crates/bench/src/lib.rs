@@ -25,7 +25,12 @@
 //!   incremental-vs-recompute decision judged against both measured
 //!   shipped-byte figures and every maintained answer cross-checked
 //!   against a fresh full run (one epoch per sweep is maintained while
-//!   a node fails mid-maintenance).
+//!   a node fails mid-maintenance);
+//! * **open-loop serving** — [`run_serving_experiment`]: Poisson
+//!   arrivals with Zipf-skewed query popularity driven through the
+//!   scheduler's epoch-keyed result cache, swept over arrival rate ×
+//!   cache capacity × skew, with p99/p999 tail latency, SLO-miss and
+//!   shed accounting, every answer (cached or executed) cross-checked.
 //!
 //! Queries reach the executor through the optimizer: every experiment
 //! compiles the workload's [`orchestra_optimizer::LogicalQuery`] against
@@ -48,11 +53,14 @@ pub mod equiv;
 pub mod experiments;
 pub mod json;
 pub mod maintenance;
+pub mod serving;
 pub mod throughput;
 
 use orchestra_simnet::SimTime;
 
-pub use baseline::{check_maintenance_baseline, check_plan_quality_baseline};
+pub use baseline::{
+    check_maintenance_baseline, check_plan_quality_baseline, check_serving_baseline,
+};
 pub use experiments::{
     run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, run_wall_clock,
     wall_clock_add, wall_clock_json, PlanQuality, RecoveryPoint, RecoverySweep, ScaleOutPoint,
@@ -62,6 +70,10 @@ pub use json::Json;
 pub use maintenance::{
     run_maintenance, MaintenanceEpochPoint, MaintenanceFailurePoint, MaintenanceReport,
     MaintenanceSweep, MaintenanceSweepSpec,
+};
+pub use serving::{
+    poisson_arrivals, run_serving_experiment, trace_arrivals, ServingPoint, ServingSpec,
+    ServingSweep,
 };
 pub use throughput::{run_throughput, QueryLatency, ThroughputPoint, ThroughputSweep};
 

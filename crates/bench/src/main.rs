@@ -15,11 +15,12 @@
 //! `--experiment <name>` restricts the run to one experiment — the fast
 //! subsets CI's smoke and determinism gates use.  An unknown name lists
 //! the valid set and exits non-zero.  The pseudo-experiment `baseline`
-//! runs exactly the gated pair (`plan_quality` + `maintenance`); its
-//! output is what `BENCH_BASELINE.json` commits.  `--check-baseline
-//! <path>` runs that pair and fails (exit 1) if any estimated cost,
-//! measured traffic, or maintenance shipped-bytes total regressed more
-//! than 5% versus the committed baseline; refresh it with
+//! runs exactly the gated set (`plan_quality` + `maintenance` +
+//! `serving`); its output is what `BENCH_BASELINE.json` commits.
+//! `--check-baseline <path>` runs that set and fails (exit 1) if any
+//! estimated cost, measured traffic, maintenance shipped-bytes total,
+//! serving shipped-bytes total, or serving cache hit rate regressed
+//! more than 5% versus the committed baseline; refresh it with
 //! `cargo run --release -p orchestra-bench -- --experiment baseline > BENCH_BASELINE.json`.
 //!
 //! Exit status is non-zero (with a message on stderr) if any experiment
@@ -27,12 +28,12 @@
 //! disagrees with its workload's single-node reference.
 
 use orchestra_bench::{
-    check_maintenance_baseline, check_plan_quality_baseline, run_maintenance, run_plan_quality,
-    run_recovery_sweep, run_scale_out, run_tagging_overhead, run_throughput, run_wall_clock, Json,
-    MaintenanceSweepSpec,
+    check_maintenance_baseline, check_plan_quality_baseline, check_serving_baseline,
+    run_maintenance, run_plan_quality, run_recovery_sweep, run_scale_out, run_serving_experiment,
+    run_tagging_overhead, run_throughput, run_wall_clock, Json, MaintenanceSweepSpec, ServingSpec,
 };
 use orchestra_common::{NodeId, Result};
-use orchestra_engine::{AdmissionPolicy, EngineConfig};
+use orchestra_engine::{AdmissionPolicy, EngineConfig, EvictionPolicy};
 use orchestra_workloads::{CopyScenario, EpochSpec, TpchQuery, TpchWorkload, Workload};
 
 /// Cluster sizes of the scale-out experiment.
@@ -53,6 +54,24 @@ const THROUGHPUT_SEED: u64 = 42;
 const THROUGHPUT_ROWS: usize = 160;
 /// Copies of the five-workload mix in the stream.
 const THROUGHPUT_COPIES: usize = 2;
+/// Cluster size of the serving experiment.
+const SERVING_NODES: u16 = 6;
+/// Seed of the serving experiment's data, identities and arrivals.
+const SERVING_SEED: u64 = 42;
+/// Rows per workload in the serving experiment.
+const SERVING_ROWS: usize = 120;
+/// Requests per serving sweep point.
+const SERVING_REQUESTS: usize = 40;
+/// Offered-load sweep of the serving experiment: below saturation, and
+/// far enough past it that the uncached control sheds arrivals.
+const SERVING_LOADS: [f64; 2] = [0.35, 2.0];
+/// Zipf popularity exponents of the serving experiment: one mild skew
+/// and one past the ≥ 1.0 acceptance threshold.
+const SERVING_SKEWS: [f64; 2] = [0.8, 1.2];
+/// Result-cache capacities of the serving experiment: the cache-off
+/// control, a cache smaller than the distinct-query universe (so
+/// eviction churns), and one large enough to hold everything.
+const SERVING_CAPACITIES: [usize; 3] = [0, 2, 6];
 /// Tolerated regression fraction of the baseline gate.
 const BASELINE_TOLERANCE: f64 = 0.05;
 /// Seed of the maintenance experiment's epoch streams.
@@ -93,12 +112,12 @@ const MAINTENANCE_SWEEPS: [MaintenanceSweepSpec; 2] = [
 ];
 
 /// The selectable experiments, in documentation order.  `baseline` is
-/// the committed-baseline subset: exactly `plan_quality` plus
-/// `maintenance`, the two experiments `--check-baseline` gates.
+/// the committed-baseline subset: exactly `plan_quality`, `maintenance`
+/// and `serving`, the experiments `--check-baseline` gates.
 /// `wall_clock` (the columnar-vs-legacy host-throughput comparison) runs
 /// only when selected explicitly: its figures measure the host machine
 /// and are inherently nondeterministic.
-const EXPERIMENTS: [&str; 9] = [
+const EXPERIMENTS: [&str; 10] = [
     "all",
     "scale_out",
     "recovery_sweep",
@@ -106,6 +125,7 @@ const EXPERIMENTS: [&str; 9] = [
     "plan_quality",
     "maintenance",
     "throughput",
+    "serving",
     "wall_clock",
     "baseline",
 ];
@@ -326,6 +346,23 @@ fn run(options: &RunOptions) -> Result<Json> {
         ));
     }
 
+    if all || baseline || experiment == "serving" {
+        let sweep = run_serving_experiment(
+            &ServingSpec {
+                seed: SERVING_SEED,
+                rows: SERVING_ROWS,
+                nodes: SERVING_NODES,
+                requests: SERVING_REQUESTS,
+                load_factors: &SERVING_LOADS,
+                zipf_exponents: &SERVING_SKEWS,
+                cache_capacities: &SERVING_CAPACITIES,
+                eviction: EvictionPolicy::Lru,
+            },
+            &config,
+        )?;
+        doc.push(("serving", sweep.to_json()));
+    }
+
     Ok(Json::object(doc))
 }
 
@@ -344,6 +381,7 @@ fn check_baseline(path: &str) -> Result<()> {
     for result in [
         check_plan_quality_baseline(&current, &baseline, BASELINE_TOLERANCE),
         check_maintenance_baseline(&current, &baseline, BASELINE_TOLERANCE),
+        check_serving_baseline(&current, &baseline, BASELINE_TOLERANCE),
     ] {
         match result {
             Ok(passed) => {

@@ -170,6 +170,8 @@ pub fn run_throughput(
             plan,
             epoch,
             initiator: NodeId((i % nodes as usize) as u16),
+            arrival: SimTime::ZERO,
+            fingerprint: Some(orchestra_optimizer::fingerprint(&workload.logical())),
             estimated_cost: cost,
             overrides: Default::default(),
             plan_resident: false,
@@ -183,6 +185,7 @@ pub fn run_throughput(
             max_concurrent: concurrency,
             queue_capacity: sessions.len().max(1),
             policy,
+            slo: None,
         });
         let workload = scheduler.run(&storage, config, &sessions)?;
         for (i, sr) in workload.sessions.iter().enumerate() {

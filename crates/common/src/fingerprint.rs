@@ -1,0 +1,61 @@
+//! Canonical query fingerprints.
+//!
+//! A [`QueryFingerprint`] names a *logical query* by the SHA-1 digest of
+//! its canonical encoding.  The optimizer computes it from a normalized
+//! `LogicalQuery` (`orchestra_optimizer::fingerprint`), so trivially
+//! equivalent spellings — permuted relation slots, flipped join edges,
+//! reordered conjuncts — collide on the same fingerprint.  Paired with an
+//! [`crate::Epoch`], the fingerprint is the key of the engine's result
+//! cache: epochs are immutable once published, so `(fingerprint, epoch)`
+//! identifies an answer forever and cache invalidation reduces to the
+//! epoch bump a publication already performs.
+//!
+//! The type lives in `orchestra-common` (not the optimizer) because the
+//! engine's serving layer keys on it without depending on the optimizer.
+
+use crate::sha1::{sha1, to_hex, DIGEST_LEN};
+use std::fmt;
+
+/// The 160-bit identity of a canonical logical query.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryFingerprint(pub [u8; DIGEST_LEN]);
+
+impl QueryFingerprint {
+    /// Fingerprint of an already-canonical byte encoding.
+    pub fn of_bytes(canonical: &[u8]) -> QueryFingerprint {
+        QueryFingerprint(sha1(canonical))
+    }
+
+    /// The digest as lowercase hex (the form experiment output prints).
+    pub fn to_hex(&self) -> String {
+        to_hex(&self.0)
+    }
+}
+
+impl fmt::Display for QueryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for QueryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QueryFingerprint({})", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_encodings_collide_and_different_ones_do_not() {
+        let a = QueryFingerprint::of_bytes(b"select * from r");
+        let b = QueryFingerprint::of_bytes(b"select * from r");
+        let c = QueryFingerprint::of_bytes(b"select * from s");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_hex().len(), 40);
+        assert_eq!(format!("{a}"), a.to_hex());
+    }
+}

@@ -26,12 +26,16 @@
 //!   tuples in: type-specialised column vectors, an interned-string pool
 //!   ([`StringPool`]), and parallel sign/provenance tag columns, with
 //!   lossless conversion to and from [`Tuple`] rows.
+//! * [`QueryFingerprint`] — the SHA-1 identity of a canonical logical
+//!   query, the `(fingerprint, epoch)` key of the serving layer's result
+//!   cache.
 //! * [`OrchestraError`] — the shared error type.
 //! * [`rng`] — deterministic random-generation helpers so that every
 //!   experiment in the benchmark harness is reproducible.
 
 pub mod column;
 pub mod error;
+pub mod fingerprint;
 pub mod key;
 pub mod node;
 pub mod rng;
@@ -42,6 +46,7 @@ pub mod value;
 
 pub use column::{Column, ColumnData, ColumnarBatch, PoolMemo, StringPool};
 pub use error::{OrchestraError, Result};
+pub use fingerprint::QueryFingerprint;
 pub use key::{Key160, KeyRange};
 pub use node::{NodeId, NodeSet};
 pub use schema::{ColumnType, Relation, Schema};

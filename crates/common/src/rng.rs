@@ -81,6 +81,94 @@ impl StdRng {
     pub fn random_bool(&mut self, p: f64) -> bool {
         self.random_f64() < p
     }
+
+    /// An exponential sample with the given `mean` (inverse-CDF over one
+    /// uniform draw) — the inter-arrival time of a Poisson process whose
+    /// rate is `1 / mean`.  Panics unless `mean` is positive and finite.
+    ///
+    /// Exactly one `next_u64` is consumed per call, so arrival streams
+    /// are byte-reproducible across runs and platforms.
+    pub fn sample_exp(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "sample_exp needs a positive finite mean, got {mean}"
+        );
+        // random_f64 is in [0, 1); flip to (0, 1] so ln never sees zero.
+        let u = 1.0 - self.random_f64();
+        -mean * u.ln()
+    }
+
+    /// A Zipf-distributed rank in `1..=table.n()` drawn against a
+    /// precomputed [`ZipfSampler`] — one uniform draw plus a binary
+    /// search, so query-popularity streams stay byte-reproducible.
+    pub fn sample_zipf(&mut self, table: &ZipfSampler) -> usize {
+        table.sample(self)
+    }
+}
+
+/// Inverse-CDF sampler for the bounded Zipf distribution: rank `k` of
+/// `n` is drawn with probability proportional to `k^-s`.  The cumulative
+/// weights are precomputed once (O(n)), so each sample costs one uniform
+/// draw and a binary search — build it outside the sampling loop.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    /// `cumulative[k-1]` = Σ_{i ≤ k} i^-s; the last entry is the
+    /// normalizing constant.
+    cumulative: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// A sampler over ranks `1..=n` with skew `exponent` (s = 0 is
+    /// uniform; s ≥ 1 is the heavy skew web popularity follows).  Panics
+    /// on `n == 0` or a non-finite/negative exponent.
+    pub fn new(n: usize, exponent: f64) -> ZipfSampler {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "ZipfSampler needs a finite non-negative exponent, got {exponent}"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-exponent);
+            cumulative.push(total);
+        }
+        ZipfSampler {
+            cumulative,
+            exponent,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// The skew exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `k` (1-based).
+    pub fn probability(&self, k: usize) -> f64 {
+        assert!((1..=self.n()).contains(&k), "rank {k} out of range");
+        let total = *self.cumulative.last().expect("non-empty table");
+        (k as f64).powf(-self.exponent) / total
+    }
+
+    /// Draw a rank in `1..=n` (one uniform draw, one binary search).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let target = rng.random_f64() * total;
+        // First rank whose cumulative weight exceeds the target; the
+        // clamp guards the rounding edge where `u * total` lands exactly
+        // on the final cumulative weight.
+        self.cumulative
+            .partition_point(|&c| c <= target)
+            .min(self.n() - 1)
+            + 1
+    }
 }
 
 /// Ranges [`StdRng::random_range`] can sample from.
@@ -238,6 +326,62 @@ mod tests {
                 (800..1200).contains(&b),
                 "bucket count {b} far from uniform"
             );
+        }
+    }
+
+    #[test]
+    fn exponential_first_draws_are_pinned() {
+        // The serving experiment's arrival streams must stay
+        // byte-reproducible: these exact values are part of the contract.
+        let mut rng = seeded(42);
+        let draws: Vec<u64> = (0..4).map(|_| rng.sample_exp(1000.0) as u64).collect();
+        assert_eq!(draws, vec![87, 476, 1139, 2586]);
+    }
+
+    #[test]
+    fn exponential_mean_and_cv_are_sane() {
+        let mut rng = seeded(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.sample_exp(250.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((mean - 250.0).abs() < 250.0 * 0.05, "mean {mean} far off");
+        // An exponential's coefficient of variation is exactly 1.
+        assert!((cv - 1.0).abs() < 0.05, "CV {cv} far from 1");
+    }
+
+    #[test]
+    fn zipf_first_draws_are_pinned() {
+        let table = ZipfSampler::new(5, 1.2);
+        let mut rng = seeded(42);
+        let draws: Vec<usize> = (0..8).map(|_| rng.sample_zipf(&table)).collect();
+        assert_eq!(draws, vec![1, 1, 2, 4, 5, 3, 3, 4]);
+    }
+
+    #[test]
+    fn zipf_frequencies_follow_the_power_law() {
+        let table = ZipfSampler::new(10, 1.0);
+        let mut rng = seeded(11);
+        let mut counts = [0usize; 10];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[rng.sample_zipf(&table) - 1] += 1;
+        }
+        // Frequencies must be monotone-ish and match p(k) within 10%.
+        for k in 1..=10 {
+            let expected = table.probability(k) * n as f64;
+            let got = counts[k - 1] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.10 + 30.0,
+                "rank {k}: got {got}, expected ≈{expected}"
+            );
+        }
+        assert!(counts[0] > counts[4] && counts[4] > counts[9]);
+        // s = 0 degenerates to uniform.
+        let uniform = ZipfSampler::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((uniform.probability(k) - 0.25).abs() < 1e-12);
         }
     }
 

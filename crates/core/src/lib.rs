@@ -30,20 +30,21 @@ pub use orchestra_substrate as substrate;
 pub use orchestra_workloads as workloads;
 
 pub use orchestra_bench::{
-    failure_sweep_points, run_maintenance, run_plan_quality, run_recovery_sweep, run_scale_out,
-    run_tagging_overhead, run_throughput, MaintenanceReport, MaintenanceSweepSpec, PlanQuality,
-    RecoverySweep, ScaleOutPoint, TaggingOverhead, ThroughputPoint, ThroughputSweep,
+    failure_sweep_points, poisson_arrivals, run_maintenance, run_plan_quality, run_recovery_sweep,
+    run_scale_out, run_serving_experiment, run_tagging_overhead, run_throughput, trace_arrivals,
+    MaintenanceReport, MaintenanceSweepSpec, PlanQuality, RecoverySweep, ScaleOutPoint,
+    ServingPoint, ServingSpec, ServingSweep, TaggingOverhead, ThroughputPoint, ThroughputSweep,
 };
-pub use orchestra_common::{Epoch, NodeId, Relation, Schema, Tuple, Value};
+pub use orchestra_common::{Epoch, NodeId, QueryFingerprint, Relation, Schema, Tuple, Value};
 pub use orchestra_engine::{
-    refresh_view, AdmissionPolicy, EngineConfig, FailureSpec, MaintenanceMode, MaintenancePlan,
-    MaintenanceRun, MaterializedView, PhysicalPlan, PlanBuilder, QueryExecutor, QueryReport,
-    QuerySession, RecoveryStrategy, ScanOverrides, SchedulerConfig, SessionId, SessionReport,
-    SessionScheduler, WorkloadReport,
+    refresh_view, AdmissionPolicy, CacheStats, EngineConfig, EvictionPolicy, FailureSpec,
+    MaintenanceMode, MaintenancePlan, MaintenanceRun, MaterializedView, PhysicalPlan, PlanBuilder,
+    QueryExecutor, QueryReport, QuerySession, RecoveryStrategy, ResultCache, ScanOverrides,
+    SchedulerConfig, SessionId, SessionReport, SessionScheduler, ShedEvent, WorkloadReport,
 };
 pub use orchestra_optimizer::{
-    choose_maintenance, compile, compile_delta_legs, estimate_plan_cost, LogicalExpr, LogicalQuery,
-    MaintenanceChoice, MaintenanceDecision, PlanCost, Statistics, TableStats,
+    choose_maintenance, compile, compile_delta_legs, estimate_plan_cost, fingerprint, LogicalExpr,
+    LogicalQuery, MaintenanceChoice, MaintenanceDecision, PlanCost, Statistics, TableStats,
 };
 pub use orchestra_simnet::{ClusterProfile, SimTime};
 pub use orchestra_storage::{DistributedStorage, RelationDelta, StorageConfig, UpdateBatch};
@@ -123,6 +124,8 @@ mod tests {
                     plan,
                     epoch,
                     initiator: NodeId(0),
+                    arrival: SimTime::ZERO,
+                    fingerprint: Some(fingerprint(&w.logical())),
                     estimated_cost: cost,
                     overrides: Default::default(),
                     plan_resident: false,
@@ -133,6 +136,7 @@ mod tests {
             max_concurrent: 2,
             queue_capacity: 4,
             policy: AdmissionPolicy::ShortestCostFirst,
+            slo: None,
         });
         let workload = scheduler
             .run(&storage, &EngineConfig::default(), &sessions)

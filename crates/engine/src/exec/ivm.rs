@@ -856,6 +856,10 @@ pub fn refresh_view(
                 plan: view.maintenance.plan.clone(),
                 epoch: to_epoch,
                 initiator,
+                arrival: SimTime::ZERO,
+                // Maintenance answers are folded into view state, not
+                // served to clients — never cached.
+                fingerprint: None,
                 estimated_cost: 0.0,
                 overrides: ScanOverrides::new(),
                 plan_resident: view.installed_base,
@@ -914,6 +918,7 @@ pub fn refresh_view(
         max_concurrent: sessions.len(),
         queue_capacity: sessions.len(),
         policy: AdmissionPolicy::Fifo,
+        slo: None,
     });
     let submitted: Vec<QuerySession> = sessions.iter().map(|(s, _)| s.clone()).collect();
     let report = match failure {
@@ -997,6 +1002,8 @@ fn delta_legs(
                 plan: leg.plan.clone(),
                 epoch: to,
                 initiator,
+                arrival: SimTime::ZERO,
+                fingerprint: None,
                 estimated_cost: 0.0,
                 overrides,
                 plan_resident: view.installed_legs.contains(&leg.relation),

@@ -58,9 +58,14 @@
 //!   session-tagged wire envelope ([`SessionId`]);
 //! * `session` — the per-session handle onto a simulator shared by
 //!   several concurrent queries (shared-clock multiplexing);
-//! * `scheduler` — the multi-query [`SessionScheduler`]: admission
-//!   control over a bounded run queue, N runtimes interleaved over one
-//!   simulator, per-session recovery, [`WorkloadReport`] assembly;
+//! * `scheduler` — the multi-query [`SessionScheduler`]: open-loop
+//!   arrivals, admission control over a bounded run queue with load
+//!   shedding, N runtimes interleaved over one simulator, per-session
+//!   recovery, [`WorkloadReport`] assembly with tail-latency and
+//!   SLO-miss accounting;
+//! * `cache` — the epoch-keyed [`ResultCache`]: complete answers
+//!   memoized under `(fingerprint, epoch)` keys with LRU or cost-aware
+//!   eviction — immutable epochs mean no invalidation logic at all;
 //! * `ivm` — incremental view maintenance: maintenance-plan rewriting,
 //!   [`MaterializedView`] state, and the [`refresh_view`] driver that
 //!   pushes signed epoch deltas through the pipeline as scheduler
@@ -69,6 +74,7 @@
 //! * `report` — [`QueryReport`] assembly and per-link traffic
 //!   accounting (`RunStats`).
 
+pub mod cache;
 mod exchange;
 pub mod ivm;
 mod pipeline;
@@ -89,6 +95,7 @@ use orchestra_storage::DistributedStorage;
 use pipeline::Runtime;
 use session::SessionSim;
 
+pub use cache::{CacheStats, CachedAnswer, EntryStats, EvictionPolicy, ResultCache};
 pub use exchange::SessionId;
 pub use ivm::{
     refresh_view, FoldMode, MaintenanceLeg, MaintenanceMode, MaintenancePlan, MaintenanceRun,
@@ -96,7 +103,8 @@ pub use ivm::{
 };
 pub use report::{QueryReport, WallClock};
 pub use scheduler::{
-    AdmissionPolicy, QuerySession, SchedulerConfig, SessionReport, SessionScheduler, WorkloadReport,
+    AdmissionPolicy, QuerySession, SchedulerConfig, SessionReport, SessionScheduler, ShedEvent,
+    WorkloadReport,
 };
 
 /// How the executor reacts to a node failure.

@@ -414,6 +414,8 @@ fn session(name: &str, plan: crate::plan::PhysicalPlan, epoch: Epoch, cost: f64)
         plan,
         epoch,
         initiator: NodeId(0),
+        arrival: SimTime::ZERO,
+        fingerprint: None,
         estimated_cost: cost,
         overrides: Default::default(),
         plan_resident: false,
@@ -551,27 +553,232 @@ fn fifo_and_cost_first_admission_orders_are_deterministic() {
 }
 
 #[test]
-fn run_queue_bound_rejects_oversubmission() {
+fn run_queue_overflow_sheds_instead_of_erroring() {
     let mut s = cluster(4);
     publish_r(&mut s, 20);
     let scheduler = SessionScheduler::new(SchedulerConfig {
         max_concurrent: 2,
         queue_capacity: 2,
         policy: AdmissionPolicy::Fifo,
+        slo: None,
     });
     let sessions: Vec<QuerySession> = (0..3)
         .map(|i| session(&format!("q{i}"), scan_ship_plan(), Epoch(0), i as f64))
         .collect();
-    let err = scheduler
+    // A burst beyond the queue bound drops the overflow as a recorded
+    // shed event — the overloaded server answers what it admitted.
+    let workload = scheduler
         .run(&s, &EngineConfig::default(), &sessions)
-        .unwrap_err();
-    assert!(err.message().contains("run-queue bound"), "{err}");
+        .unwrap();
+    assert_eq!(workload.sessions.len(), 2);
+    assert_eq!(workload.shed.len(), 1);
+    assert_eq!(workload.shed[0].session.0, 2);
+    assert_eq!(workload.shed[0].name, "q2");
+    assert_eq!(workload.shed[0].at, SimTime::ZERO);
+    // The admitted sessions still complete with real answers.
+    assert!(workload
+        .sessions
+        .iter()
+        .all(|sr| !sr.report.rows.is_empty()));
 
-    // Within the bound, concurrency never exceeds the configured slots.
+    // Within the bound, nothing is shed and concurrency never exceeds
+    // the configured slots.
     let workload = scheduler
         .run(&s, &EngineConfig::default(), &sessions[..2])
         .unwrap();
+    assert!(workload.shed.is_empty());
     assert!(workload.peak_concurrency <= 2);
+}
+
+#[test]
+fn staggered_arrivals_split_latency_into_wait_and_service() {
+    let mut s = cluster(4);
+    publish_r(&mut s, 80);
+    let config = EngineConfig::default();
+    // One execution slot and three staggered arrivals: the first runs
+    // immediately, the later ones queue behind it.
+    let scheduler = SessionScheduler::new(SchedulerConfig {
+        max_concurrent: 1,
+        ..SchedulerConfig::default()
+    });
+    let solo = scheduler
+        .run(
+            &s,
+            &config,
+            &[session("solo", scan_ship_plan(), Epoch(0), 1.0)],
+        )
+        .unwrap();
+    let service = solo.sessions[0].latency;
+    assert!(service > SimTime::ZERO);
+
+    let mut sessions = [
+        session("first", scan_ship_plan(), Epoch(0), 1.0),
+        session("second", scan_ship_plan(), Epoch(0), 1.0),
+        session("third", scan_ship_plan(), Epoch(0), 1.0),
+    ];
+    // The second arrives mid-service of the first; the third arrives
+    // long after everything drained (the clock must jump to it).
+    sessions[1].arrival = SimTime::from_micros(service.as_micros() / 2);
+    sessions[2].arrival = SimTime::from_micros(service.as_micros() * 10);
+    let workload = scheduler.run(&s, &config, &sessions).unwrap();
+    let [first, second, third] = &workload.sessions[..] else {
+        panic!("all three sessions complete");
+    };
+
+    // Latency measures from *arrival*, not admission: the client's view.
+    assert_eq!(first.arrival, SimTime::ZERO);
+    assert_eq!(first.queue_wait, SimTime::ZERO);
+    assert_eq!(first.latency, first.finished_at);
+
+    // The second waited in the queue for most of the first's service
+    // (the slot frees when the first's output closes, just before its
+    // answer-complete instant).
+    assert!(second.admitted_at > second.arrival);
+    assert!(second.admitted_at <= first.finished_at);
+    assert_eq!(
+        second.queue_wait,
+        second.admitted_at.saturating_sub(second.arrival)
+    );
+    assert!(second.queue_wait > SimTime::ZERO);
+    assert_eq!(
+        second.latency,
+        second.finished_at.saturating_sub(second.arrival)
+    );
+    assert!(second.latency > second.queue_wait);
+
+    // The third arrived into an idle system: zero wait, pure service,
+    // and its completion (not its arrival) defines the makespan.
+    assert_eq!(third.admitted_at, third.arrival);
+    assert_eq!(third.queue_wait, SimTime::ZERO);
+    assert_eq!(third.latency, service);
+    assert_eq!(workload.makespan, third.finished_at);
+    assert!(workload.makespan >= sessions[2].arrival);
+}
+
+/// A distinct fingerprint per logical query for serving tests (the real
+/// canonical form is the optimizer's business; here any stable key does).
+fn fp(tag: &str) -> orchestra_common::QueryFingerprint {
+    orchestra_common::QueryFingerprint::of_bytes(tag.as_bytes())
+}
+
+#[test]
+fn serving_hits_cache_within_an_epoch_and_misses_across_publications() {
+    let mut s = cluster(4);
+    publish_r(&mut s, 80); // epoch 0
+    let config = EngineConfig::default();
+    let scheduler = SessionScheduler::new(SchedulerConfig::default());
+    let mut cache = ResultCache::new(8, EvictionPolicy::Lru);
+    let mut q = session("q", scan_ship_plan(), Epoch(0), 1.0);
+    q.fingerprint = Some(fp("scan_ship"));
+
+    // Cold: executes, fills the cache.
+    let cold = scheduler
+        .run_serving(&s, &config, &[q.clone()], &mut cache)
+        .unwrap();
+    assert!(!cold.sessions[0].served_from_cache);
+    assert_eq!(cold.cache.misses, 1);
+    assert_eq!(cold.cache.insertions, 1);
+    assert!(cold.total_bytes > 0);
+
+    // Warm: the identical answer at zero latency and zero traffic.
+    let warm = scheduler
+        .run_serving(&s, &config, &[q.clone()], &mut cache)
+        .unwrap();
+    assert!(warm.sessions[0].served_from_cache);
+    assert_eq!(warm.sessions[0].latency, SimTime::ZERO);
+    assert_eq!(warm.sessions[0].report.rows, cold.sessions[0].report.rows);
+    assert_eq!(warm.total_bytes, 0);
+    assert_eq!(warm.cache.hits, 1);
+    assert!(warm.cache.bytes_saved >= cold.sessions[0].report.total_bytes);
+
+    // A publication bumps the epoch: same fingerprint, new key — the
+    // stale answer is never served, the query re-executes and sees the
+    // new data.
+    let mut b = UpdateBatch::new();
+    for k in 80..100 {
+        b.insert("R", r_row(k));
+    }
+    s.publish(&b).unwrap(); // epoch 1
+    q.epoch = Epoch(1);
+    let bumped = scheduler
+        .run_serving(&s, &config, &[q.clone()], &mut cache)
+        .unwrap();
+    assert!(!bumped.sessions[0].served_from_cache);
+    assert_eq!(bumped.cache.misses, 1);
+    assert_ne!(
+        bumped.sessions[0].report.rows, cold.sessions[0].report.rows,
+        "the re-executed answer must reflect the publication"
+    );
+    assert_eq!(
+        bumped.sessions[0].report.rows,
+        full_run(&s, &scan_ship_plan(), Epoch(1))
+    );
+}
+
+#[test]
+fn cache_fill_survives_a_mid_query_failure_and_serves_the_recovered_answer() {
+    let mut s = cluster(6);
+    publish_r(&mut s, 120);
+    let config = EngineConfig::default();
+    let expected = full_run(&s, &scan_ship_plan(), Epoch(0));
+    let mut q = session("q", scan_ship_plan(), Epoch(0), 1.0);
+    q.fingerprint = Some(fp("scan_ship"));
+    let scheduler = SessionScheduler::new(SchedulerConfig::default());
+    let baseline = scheduler.run(&s, &config, &[q.clone()]).unwrap();
+    let failure = FailureSpec::at_time(
+        NodeId(4),
+        SimTime::from_micros(baseline.makespan.as_micros() / 2),
+    );
+
+    let mut cache = ResultCache::new(8, EvictionPolicy::Lru);
+    let failed_run = scheduler
+        .run_serving_with_failure(&s, &config, &[q.clone()], failure, &mut cache)
+        .unwrap();
+    assert!(failed_run.sessions[0].report.recovered);
+    assert_eq!(failed_run.sessions[0].report.rows, expected);
+    // Only the *completed* (recovered) answer was cached — a hit right
+    // after the failure run returns it verbatim.
+    assert_eq!(cache.stats().insertions, 1);
+    let warm = scheduler
+        .run_serving(&s, &config, &[q], &mut cache)
+        .unwrap();
+    assert!(warm.sessions[0].served_from_cache);
+    assert_eq!(warm.sessions[0].report.rows, expected);
+}
+
+#[test]
+fn workload_report_percentiles_and_slo_misses_track_latencies() {
+    let mut s = cluster(4);
+    publish_r(&mut s, 80);
+    let config = EngineConfig::default();
+    // One slot, a burst of four at time zero: latencies grow linearly
+    // with queue position.
+    let sessions: Vec<QuerySession> = (0..4)
+        .map(|i| session(&format!("q{i}"), scan_ship_plan(), Epoch(0), 1.0 + i as f64))
+        .collect();
+    let service = SessionScheduler::new(SchedulerConfig {
+        max_concurrent: 1,
+        ..SchedulerConfig::default()
+    })
+    .run(&s, &config, &sessions[..1])
+    .unwrap()
+    .sessions[0]
+        .latency;
+
+    let workload = SessionScheduler::new(SchedulerConfig {
+        max_concurrent: 1,
+        slo: Some(service), // only the first session can meet this
+        ..SchedulerConfig::default()
+    })
+    .run(&s, &config, &sessions)
+    .unwrap();
+    let mut latencies: Vec<SimTime> = workload.sessions.iter().map(|sr| sr.latency).collect();
+    latencies.sort();
+    // Nearest-rank percentiles over 4 samples: p50 = 2nd, p99/p999 = 4th.
+    assert_eq!(workload.latency_p50, latencies[1]);
+    assert_eq!(workload.latency_p99, latencies[3]);
+    assert_eq!(workload.latency_p999, latencies[3]);
+    assert_eq!(workload.slo_misses, 3);
 }
 
 #[test]
@@ -1028,6 +1235,8 @@ fn epoch_pinned_scans_read_the_past() {
                 plan: plan.clone(),
                 epoch: Epoch(1),
                 initiator: NodeId(0),
+                arrival: SimTime::ZERO,
+                fingerprint: None,
                 estimated_cost: 0.0,
                 overrides,
                 plan_resident: false,

@@ -70,10 +70,11 @@ pub mod plan;
 pub mod provenance;
 
 pub use exec::{
-    refresh_view, AdmissionPolicy, EngineConfig, FailureSpec, FoldMode, MaintenanceLeg,
-    MaintenanceMode, MaintenancePlan, MaintenanceRun, MaterializedView, QueryExecutor, QueryReport,
-    QuerySession, RecoveryStrategy, ScanOverrides, SchedulerConfig, SessionId, SessionReport,
-    SessionScheduler, WallClock, WorkloadReport,
+    refresh_view, AdmissionPolicy, CacheStats, CachedAnswer, EngineConfig, EntryStats,
+    EvictionPolicy, FailureSpec, FoldMode, MaintenanceLeg, MaintenanceMode, MaintenancePlan,
+    MaintenanceRun, MaterializedView, QueryExecutor, QueryReport, QuerySession, RecoveryStrategy,
+    ResultCache, ScanOverrides, SchedulerConfig, SessionId, SessionReport, SessionScheduler,
+    ShedEvent, WallClock, WorkloadReport,
 };
 pub use expr::{AggFunc, CmpOp, Predicate, ScalarExpr};
 pub use plan::{AggMode, OpId, Operator, OperatorKind, PhysicalPlan, PlanBuilder};

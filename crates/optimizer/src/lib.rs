@@ -29,6 +29,13 @@
 //!   answers: both refresh strategies priced under the same cost model,
 //!   with per-leg what-if statistics sized from the published batch's
 //!   signed delta counts;
+//! * [`fingerprint()`] ([`mod@fingerprint`]) —
+//!   the canonical identity of a [`LogicalQuery`]: slots renumbered by
+//!   relation name, predicates flattened and sorted, join edges oriented,
+//!   the normal form hashed to a
+//!   [`QueryFingerprint`](orchestra_common::QueryFingerprint) — the
+//!   identity half of the serving layer's `(fingerprint, epoch)` result
+//!   cache key;
 //! * [`compile`] ([`planner`]) — the bottom-up dynamic-programming
 //!   enumerator over connected join-graph subsets, with sargable
 //!   predicates pushed into the leaf scans, covering-index scans elected
@@ -46,12 +53,14 @@
 //! experiment.
 
 pub mod cost;
+pub mod fingerprint;
 pub mod logical;
 pub mod maintenance;
 pub mod planner;
 pub mod stats;
 
 pub use cost::{estimate_plan_cost, PlanCost};
+pub use fingerprint::{canonicalize, fingerprint};
 pub use logical::{col, Aggregation, ColRef, JoinEdge, LogicalExpr, LogicalQuery};
 pub use maintenance::{
     choose_maintenance, compile_delta_legs, MaintenanceChoice, MaintenanceDecision,

@@ -136,6 +136,22 @@ impl<M> Simulator<M> {
         self.queue.is_empty()
     }
 
+    /// Delivery instant of the next pending event, without popping it.
+    /// `None` means the simulation has quiesced.  Open-loop drivers peek
+    /// this to decide whether an external arrival precedes the next
+    /// simulated event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|ev| ev.time)
+    }
+
+    /// Advance the virtual clock to `at` without delivering anything —
+    /// the idle time between a quiesced (or not-yet-due) event queue and
+    /// an externally scheduled instant, e.g. the next session arrival of
+    /// an open-loop workload.  The clock never moves backwards.
+    pub fn advance_to(&mut self, at: SimTime) {
+        self.now = self.now.max(at);
+    }
+
     /// Mark `node` as failed from `at` onwards.
     pub fn fail_node(&mut self, node: NodeId, at: SimTime) {
         let slot = &mut self.failed_at[node.index()];
@@ -330,6 +346,25 @@ mod tests {
         s.schedule(NodeId(0), SimTime::from_millis(5), "c");
         let order: Vec<&str> = std::iter::from_fn(|| s.next().map(|d| d.payload)).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(s.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn peek_and_advance_drive_an_open_loop_clock() {
+        let mut s = sim(2);
+        assert_eq!(s.next_time(), None);
+        s.schedule(NodeId(0), SimTime::from_millis(5), "later");
+        assert_eq!(s.next_time(), Some(SimTime::from_millis(5)));
+        // Peeking never advances the clock or pops the event.
+        assert_eq!(s.now(), SimTime::ZERO);
+        // An arrival at t = 2 ms precedes the event: advance to it.
+        s.advance_to(SimTime::from_millis(2));
+        assert_eq!(s.now(), SimTime::from_millis(2));
+        // The clock never moves backwards.
+        s.advance_to(SimTime::from_millis(1));
+        assert_eq!(s.now(), SimTime::from_millis(2));
+        let d = s.next().unwrap();
+        assert_eq!(d.payload, "later");
         assert_eq!(s.now(), SimTime::from_millis(5));
     }
 

@@ -46,6 +46,8 @@ fn build_sessions(
                 plan,
                 epoch,
                 initiator: NodeId(i as u16),
+                arrival: SimTime::ZERO,
+                fingerprint: Some(orchestra_optimizer::fingerprint(&w.logical())),
                 estimated_cost: cost,
                 overrides: Default::default(),
                 plan_resident: false,
@@ -64,6 +66,7 @@ fn three_concurrent_sessions_recover_to_their_references_under_both_strategies()
         max_concurrent: 3,
         queue_capacity: 3,
         policy: AdmissionPolicy::Fifo,
+        slo: None,
     });
 
     // Failure-free baseline fixes the makespan the failure lands inside.
@@ -127,6 +130,7 @@ fn scheduled_answers_match_whichever_admission_policy_runs() {
             max_concurrent: 2,
             queue_capacity: 3,
             policy,
+            slo: None,
         });
         let workload = scheduler
             .run(&storage, &EngineConfig::default(), &sessions)
