@@ -6,9 +6,11 @@
 //! fresh run against it: every estimated plan cost, every measured
 //! traffic figure ([`check_plan_quality_baseline`]), every
 //! maintenance shipped-bytes total ([`check_maintenance_baseline`]),
-//! and every serving point's shipped bytes and cache hit rate
-//! ([`check_serving_baseline`]) must stay within `tolerance` (CI uses
-//! 5%) of the baseline.  A value moving in the *good* direction —
+//! every serving point's shipped bytes and cache hit rate
+//! ([`check_serving_baseline`]), and every subscriptions sweep's shared
+//! shipped-bytes and delta-derivation totals
+//! ([`check_subscriptions_baseline`]) must stay within `tolerance` (CI
+//! uses 5%) of the baseline.  A value moving in the *good* direction —
 //! lower cost/bytes, higher hit rate — always passes; the gate only
 //! catches regressions.
 //!
@@ -231,6 +233,104 @@ pub fn check_serving_baseline(
     }
 }
 
+/// The `subscriptions` fields gated per (churn label, subscriber
+/// count): the shared path's shipped-byte and delta-derivation totals.
+/// Both gate *upward* — shipping more maintenance bytes or deriving
+/// more deltas per epoch than the committed baseline is a regression of
+/// the fan-out sharing machinery; fewer of either always passes.
+const GATED_SUBSCRIPTION_FIELDS: [&str; 2] = ["total_shared_bytes", "total_shared_derivations"];
+
+/// Compare the top-level `subscriptions` sections of `current` against
+/// `baseline`: per (churn label, subscriber count) sweep, the shared
+/// maintenance shipped-byte total and the shared delta-derivation total
+/// must not rise beyond `tolerance` (lower is always fine).
+pub fn check_subscriptions_baseline(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passed = Vec::new();
+    let mut violations = Vec::new();
+
+    let baseline_sweeps = match subscription_sweeps_of(baseline) {
+        Ok(s) => s,
+        Err(e) => return Err(vec![format!("baseline document: {e}")]),
+    };
+    let current_sweeps = match subscription_sweeps_of(current) {
+        Ok(s) => s,
+        Err(e) => return Err(vec![format!("current document: {e}")]),
+    };
+
+    for (key, base_sweep) in &baseline_sweeps {
+        let Some(cur_sweep) = current_sweeps
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, s)| s)
+        else {
+            violations.push(format!(
+                "subscriptions sweep {key} present in the baseline but missing from the \
+                 current run"
+            ));
+            continue;
+        };
+        for field in GATED_SUBSCRIPTION_FIELDS {
+            let (Some(base), Some(cur)) = (
+                base_sweep.get(field).and_then(Json::as_f64),
+                cur_sweep.get(field).and_then(Json::as_f64),
+            ) else {
+                violations.push(format!("subscriptions sweep {key}: field {field} missing"));
+                continue;
+            };
+            if cur > base * (1.0 + tolerance) {
+                violations.push(format!(
+                    "subscriptions sweep {key}: {field} regressed {cur:.0} > {base:.0} \
+                     (+{:.1}% exceeds the {:.0}% tolerance)",
+                    (cur / base.max(f64::MIN_POSITIVE) - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else {
+                passed.push(format!(
+                    "subscriptions sweep {key}: {field} {cur:.0} within {base:.0} +{:.0}%",
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(passed)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Extract `("label/subs=N", sweep object)` pairs from a bench
+/// document's top-level `subscriptions` section.
+fn subscription_sweeps_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+    let sweeps = doc
+        .get("subscriptions")
+        .ok_or("no \"subscriptions\" section")?
+        .get("sweeps")
+        .and_then(Json::items)
+        .ok_or("subscriptions section has no \"sweeps\" array")?;
+    let mut out = Vec::with_capacity(sweeps.len());
+    for sweep in sweeps {
+        let label = sweep
+            .get("label")
+            .and_then(Json::as_str_val)
+            .ok_or("subscriptions sweep without a \"label\"")?;
+        let subs = sweep
+            .get("subscribers")
+            .and_then(Json::as_f64)
+            .ok_or("subscriptions sweep without a \"subscribers\" count")?;
+        out.push((format!("{label}/subs={subs:.0}"), sweep));
+    }
+    if out.is_empty() {
+        return Err("empty subscriptions \"sweeps\" array".into());
+    }
+    Ok(out)
+}
+
 /// Extract `("skew=… load=… cap=…", point object)` pairs from a bench
 /// document's top-level `serving` section.
 fn serving_points_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
@@ -443,6 +543,58 @@ mod tests {
         // A document without a serving section is malformed.
         let bare = Json::object(vec![("experiments", Json::Array(vec![]))]);
         assert!(check_serving_baseline(&bare, &baseline, 0.05).is_err());
+    }
+
+    fn subscriptions_doc(shared_bytes: u64, derivations: u64) -> Json {
+        Json::object(vec![(
+            "subscriptions",
+            Json::object(vec![(
+                "sweeps",
+                Json::Array(vec![Json::object(vec![
+                    ("label", Json::str("small-delta")),
+                    ("subscribers", Json::UInt(64)),
+                    ("total_shared_bytes", Json::UInt(shared_bytes)),
+                    ("total_shared_derivations", Json::UInt(derivations)),
+                ])]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn subscription_sweeps_gate_shared_bytes_and_derivations_upward() {
+        let baseline = subscriptions_doc(10_000, 5);
+        // Within tolerance, and improvements, pass.
+        let ok =
+            check_subscriptions_baseline(&subscriptions_doc(10_400, 5), &baseline, 0.05).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(
+            check_subscriptions_baseline(&subscriptions_doc(4_000, 1), &baseline, 0.05).is_ok()
+        );
+        // Shipping more shared-maintenance bytes is a regression…
+        let violations =
+            check_subscriptions_baseline(&subscriptions_doc(11_000, 5), &baseline, 0.05)
+                .unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("total_shared_bytes"),
+            "{violations:?}"
+        );
+        assert!(
+            violations[0].contains("small-delta/subs=64"),
+            "{violations:?}"
+        );
+        // …and so is deriving more deltas per epoch (O(views) creep).
+        let violations =
+            check_subscriptions_baseline(&subscriptions_doc(10_000, 7), &baseline, 0.05)
+                .unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("total_shared_derivations"),
+            "{violations:?}"
+        );
+        // A document without a subscriptions section is malformed.
+        let bare = Json::object(vec![("experiments", Json::Array(vec![]))]);
+        assert!(check_subscriptions_baseline(&bare, &baseline, 0.05).is_err());
     }
 
     #[test]

@@ -30,7 +30,13 @@
 //!   arrivals with Zipf-skewed query popularity driven through the
 //!   scheduler's epoch-keyed result cache, swept over arrival rate ×
 //!   cache capacity × skew, with p99/p999 tail latency, SLO-miss and
-//!   shed accounting, every answer (cached or executed) cross-checked.
+//!   shed accounting, every answer (cached or executed) cross-checked;
+//! * **standing-query fan-out** — [`run_subscriptions`]: many
+//!   registered views kept exact by one shared
+//!   [`orchestra_engine::ViewRegistry`] workload per epoch, swept over
+//!   subscriber count × churn against a per-view-independent control,
+//!   with per-epoch delta derivations held to O(changed relations) and
+//!   subscriber diffs accounted under their own key.
 //!
 //! Queries reach the executor through the optimizer: every experiment
 //! compiles the workload's [`orchestra_optimizer::LogicalQuery`] against
@@ -54,12 +60,14 @@ pub mod experiments;
 pub mod json;
 pub mod maintenance;
 pub mod serving;
+pub mod subscriptions;
 pub mod throughput;
 
 use orchestra_simnet::SimTime;
 
 pub use baseline::{
     check_maintenance_baseline, check_plan_quality_baseline, check_serving_baseline,
+    check_subscriptions_baseline,
 };
 pub use experiments::{
     run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, run_wall_clock,
@@ -74,6 +82,10 @@ pub use maintenance::{
 pub use serving::{
     poisson_arrivals, run_serving_experiment, trace_arrivals, ServingPoint, ServingSpec,
     ServingSweep,
+};
+pub use subscriptions::{
+    run_subscriptions, SubscriptionEpochPoint, SubscriptionFailurePoint, SubscriptionSweep,
+    SubscriptionsReport, SubscriptionsSpec,
 };
 pub use throughput::{run_throughput, QueryLatency, ThroughputPoint, ThroughputSweep};
 

@@ -16,12 +16,17 @@
 //! subsets CI's smoke and determinism gates use.  An unknown name lists
 //! the valid set and exits non-zero.  The pseudo-experiment `baseline`
 //! runs exactly the gated set (`plan_quality` + `maintenance` +
-//! `serving`); its output is what `BENCH_BASELINE.json` commits.
-//! `--check-baseline <path>` runs that set and fails (exit 1) if any
-//! estimated cost, measured traffic, maintenance shipped-bytes total,
-//! serving shipped-bytes total, or serving cache hit rate regressed
-//! more than 5% versus the committed baseline; refresh it with
+//! `serving` + `subscriptions`); its output is what
+//! `BENCH_BASELINE.json` commits.  `--check-baseline <path>` runs that
+//! set and fails (exit 1) if any estimated cost, measured traffic,
+//! maintenance shipped-bytes total, serving shipped-bytes total,
+//! serving cache hit rate, shared-maintenance shipped-bytes total, or
+//! shared delta-derivation count regressed more than 5% versus the
+//! committed baseline; refresh it with
 //! `cargo run --release -p orchestra-bench -- --experiment baseline > BENCH_BASELINE.json`.
+//! `--heavy` adds the slow scale points (a thousands-of-sessions
+//! serving run and a 256-subscriber fan-out sweep) to explicitly
+//! selected runs; the committed-baseline set never includes them.
 //!
 //! Exit status is non-zero (with a message on stderr) if any experiment
 //! fails — including any distributed or *maintained* answer that
@@ -29,8 +34,9 @@
 
 use orchestra_bench::{
     check_maintenance_baseline, check_plan_quality_baseline, check_serving_baseline,
-    run_maintenance, run_plan_quality, run_recovery_sweep, run_scale_out, run_serving_experiment,
-    run_tagging_overhead, run_throughput, run_wall_clock, Json, MaintenanceSweepSpec, ServingSpec,
+    check_subscriptions_baseline, run_maintenance, run_plan_quality, run_recovery_sweep,
+    run_scale_out, run_serving_experiment, run_subscriptions, run_tagging_overhead, run_throughput,
+    run_wall_clock, Json, MaintenanceSweepSpec, ServingSpec, SubscriptionsSpec,
 };
 use orchestra_common::{NodeId, Result};
 use orchestra_engine::{AdmissionPolicy, EngineConfig, EvictionPolicy};
@@ -86,6 +92,45 @@ const MAINTENANCE_ROWS: usize = 600;
 /// that per-query fixed costs (plan setup, channel creation) vanish
 /// against per-row work on both data paths.
 const WALL_CLOCK_ROWS: usize = 6000;
+/// Requests of the extra thousands-of-sessions serving point that
+/// `--heavy` adds (the ROADMAP's serving follow-on; far too slow for
+/// the default CI gates).
+const SERVING_HEAVY_REQUESTS: usize = 2048;
+/// Seed of the subscriptions experiment's data and churn streams.
+const SUBSCRIPTIONS_SEED: u64 = 42;
+/// Rows per catalogue workload in the subscriptions experiment.
+const SUBSCRIPTIONS_ROWS: usize = 120;
+/// Cluster size of the subscriptions experiment.
+const SUBSCRIPTIONS_NODES: u16 = 6;
+/// Registered-view counts of the subscriptions sweep.  64 is where the
+/// run starts *enforcing* that shared maintenance ships strictly fewer
+/// bytes than the per-view-independent control.
+const SUBSCRIBER_COUNTS: [usize; 3] = [1, 8, 64];
+/// The additional fan-out point `--heavy` adds (hundreds of views ×
+/// per-view independent control is too slow for the default gates).
+const HEAVY_SUBSCRIBER_COUNTS: [usize; 4] = [1, 8, 64, 256];
+/// The subscriptions experiment's churn points: a small-delta stream,
+/// and one that rewrites most of the churned relation per epoch.
+const SUBSCRIPTION_SWEEPS: [MaintenanceSweepSpec; 2] = [
+    MaintenanceSweepSpec {
+        label: "small-delta",
+        spec: EpochSpec {
+            inserts: 2,
+            modifies: 1,
+            deletes: 1,
+        },
+        epochs: 3,
+    },
+    MaintenanceSweepSpec {
+        label: "heavy-churn",
+        spec: EpochSpec {
+            inserts: 0,
+            modifies: 80,
+            deletes: 0,
+        },
+        epochs: 2,
+    },
+];
 /// The maintenance experiment's delta-size × epoch-count sweep: a
 /// small-delta stream the cost model should absorb incrementally, and a
 /// churn stream (the modify count swamps every relation) it should flip
@@ -112,12 +157,13 @@ const MAINTENANCE_SWEEPS: [MaintenanceSweepSpec; 2] = [
 ];
 
 /// The selectable experiments, in documentation order.  `baseline` is
-/// the committed-baseline subset: exactly `plan_quality`, `maintenance`
-/// and `serving`, the experiments `--check-baseline` gates.
+/// the committed-baseline subset: exactly `plan_quality`,
+/// `maintenance`, `serving` and `subscriptions`, the experiments
+/// `--check-baseline` gates.
 /// `wall_clock` (the columnar-vs-legacy host-throughput comparison) runs
 /// only when selected explicitly: its figures measure the host machine
 /// and are inherently nondeterministic.
-const EXPERIMENTS: [&str; 10] = [
+const EXPERIMENTS: [&str; 11] = [
     "all",
     "scale_out",
     "recovery_sweep",
@@ -126,6 +172,7 @@ const EXPERIMENTS: [&str; 10] = [
     "maintenance",
     "throughput",
     "serving",
+    "subscriptions",
     "wall_clock",
     "baseline",
 ];
@@ -151,7 +198,7 @@ fn main() {
             eprintln!("valid experiments: {}", EXPERIMENTS.join(", "));
             eprintln!(
                 "usage: orchestra-bench [--experiment <name>] [--no-wall-clock] \
-                 [--legacy-row-path] [--check-baseline <path>]"
+                 [--legacy-row-path] [--heavy] [--check-baseline <path>]"
             );
             std::process::exit(2);
         }
@@ -167,6 +214,10 @@ struct RunOptions {
     wall_clock: bool,
     /// Run every experiment through the legacy row-at-a-time data path.
     legacy_row_path: bool,
+    /// Add the slow scale points: the thousands-of-sessions serving run
+    /// and the 256-subscriber fan-out sweep.  Never part of the
+    /// committed-baseline output, which must stay fast and fixed-shape.
+    heavy: bool,
 }
 
 enum Mode {
@@ -178,6 +229,7 @@ fn parse_args(args: &[String]) -> std::result::Result<Mode, String> {
     let mut experiment = "all".to_string();
     let mut wall_clock = true;
     let mut legacy_row_path = false;
+    let mut heavy = false;
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -200,6 +252,10 @@ fn parse_args(args: &[String]) -> std::result::Result<Mode, String> {
                 legacy_row_path = true;
                 i += 1;
             }
+            "--heavy" => {
+                heavy = true;
+                i += 1;
+            }
             "--check-baseline" => {
                 let path = args
                     .get(i + 1)
@@ -216,6 +272,7 @@ fn parse_args(args: &[String]) -> std::result::Result<Mode, String> {
             experiment,
             wall_clock,
             legacy_row_path,
+            heavy,
         })),
     }
 }
@@ -361,6 +418,45 @@ fn run(options: &RunOptions) -> Result<Json> {
             &config,
         )?;
         doc.push(("serving", sweep.to_json()));
+        // The ROADMAP's serving follow-on, behind `--heavy` so the
+        // default gates stay fast: one thousands-of-sessions point at
+        // the skewed, overloaded corner where the result cache matters
+        // most.  Never part of the fixed-shape baseline document.
+        if options.heavy && !baseline {
+            let heavy_sweep = run_serving_experiment(
+                &ServingSpec {
+                    seed: SERVING_SEED,
+                    rows: SERVING_ROWS,
+                    nodes: SERVING_NODES,
+                    requests: SERVING_HEAVY_REQUESTS,
+                    load_factors: &[2.0],
+                    zipf_exponents: &[1.2],
+                    cache_capacities: &[0, 6],
+                    eviction: EvictionPolicy::Lru,
+                },
+                &config,
+            )?;
+            doc.push(("serving_heavy", heavy_sweep.to_json()));
+        }
+    }
+
+    if all || baseline || experiment == "subscriptions" {
+        let counts: &[usize] = if options.heavy && !baseline {
+            &HEAVY_SUBSCRIBER_COUNTS
+        } else {
+            &SUBSCRIBER_COUNTS
+        };
+        let report = run_subscriptions(
+            &SubscriptionsSpec {
+                seed: SUBSCRIPTIONS_SEED,
+                rows: SUBSCRIPTIONS_ROWS,
+                nodes: SUBSCRIPTIONS_NODES,
+                subscriber_counts: counts,
+                sweeps: &SUBSCRIPTION_SWEEPS,
+            },
+            &config,
+        )?;
+        doc.push(("subscriptions", report.to_json()));
     }
 
     Ok(Json::object(doc))
@@ -376,12 +472,14 @@ fn check_baseline(path: &str) -> Result<()> {
         experiment: "baseline".into(),
         wall_clock: false,
         legacy_row_path: false,
+        heavy: false,
     })?;
     let mut violations = Vec::new();
     for result in [
         check_plan_quality_baseline(&current, &baseline, BASELINE_TOLERANCE),
         check_maintenance_baseline(&current, &baseline, BASELINE_TOLERANCE),
         check_serving_baseline(&current, &baseline, BASELINE_TOLERANCE),
+        check_subscriptions_baseline(&current, &baseline, BASELINE_TOLERANCE),
     ] {
         match result {
             Ok(passed) => {

@@ -1,0 +1,677 @@
+//! The standing-query fan-out experiment: many subscribers, one shared
+//! maintenance workload per epoch.
+//!
+//! [`run_subscriptions`] registers `subscribers` materialized views over
+//! the mixed catalogue (each subscriber standing on one of the five
+//! catalogue queries, round-robin) in a single
+//! [`orchestra_engine::ViewRegistry`], publishes a churn stream against
+//! the shared base relations, and refreshes every view after every
+//! epoch **twice**:
+//!
+//! * **shared** — one [`ViewRegistry::refresh`]: deltas derived once per
+//!   changed relation (the storage memo's derivation counter proves it),
+//!   delta legs deduplicated across views by canonical plan fingerprint,
+//!   one scheduler workload, and per-subscriber signed result diffs with
+//!   exact byte accounting;
+//! * **independent** — the pre-registry control: every view refreshed on
+//!   its own through [`orchestra_engine::refresh_view`], with the delta
+//!   memo cleared before each so every view re-derives its own deltas,
+//!   exactly as N separate maintenance jobs would.
+//!
+//! The churn stream is driven by the first catalogue workload (TPC-H
+//! Q1, whose relation set is the shared TPC-H trio `customer`/`orders`/
+//! `lineitem`), so one published batch touches the three TPC-H standing
+//! query shapes and leaves the STBenchmark views unchanged — per-epoch
+//! derivations must stay O(changed relations) however many views are
+//! registered, and the unaffected subscribers must receive empty diffs.
+//!
+//! Enforced inside the run (an experiment that can't show its claim
+//! errors instead of emitting plausible numbers):
+//!
+//! * every epoch, shared-path delta derivations ≤ the churned relation
+//!   count — never O(views);
+//! * at 64+ subscribers, the shared path ships strictly fewer bytes
+//!   than the independent control at *every* churn point;
+//! * every view's answer — shared and independent alike — is checked
+//!   against a fresh full run of its plan at the new epoch (and the
+//!   churn donor additionally against its single-node stream
+//!   reference); each sweep ends with one mid-maintenance node-failure
+//!   epoch whose refreshed answers must still be exact.
+//!
+//! Diff bytes are reported under their own `view_diff_bytes` key — they
+//! are subscriber notification traffic, never folded into the
+//! maintenance `shared_bytes` nor into any result-cache figure.
+
+use crate::json::Json;
+use crate::maintenance::MaintenanceSweepSpec;
+use orchestra_common::{Epoch, NodeId, OrchestraError, Result, Tuple};
+use orchestra_engine::{
+    refresh_view, EngineConfig, FailureSpec, MaintenanceMode, MaterializedView, QueryExecutor,
+    ViewRegistry,
+};
+use orchestra_optimizer::Statistics;
+use orchestra_simnet::SimTime;
+use orchestra_storage::DistributedStorage;
+use orchestra_workloads::{
+    compiled_plan, deploy_all, epoch_stream, ConcatenateScenario, CopyScenario, TpchQuery,
+    TpchWorkload, Workload,
+};
+
+use crate::experiments::INITIATOR;
+
+/// Subscriber count at and beyond which the run *enforces* that shared
+/// maintenance ships strictly fewer bytes than the independent control.
+const ENFORCE_SHARING_AT: usize = 64;
+
+/// The experiment's shape: data scale plus the two swept axes
+/// (subscriber count × churn).
+#[derive(Clone, Debug)]
+pub struct SubscriptionsSpec<'a> {
+    /// Seed of the catalogue data and the churn stream.
+    pub seed: u64,
+    /// Base row count of every catalogue workload.
+    pub rows: usize,
+    /// Cluster size.
+    pub nodes: u16,
+    /// Registered-view counts to sweep (e.g. 1/8/64/256).
+    pub subscriber_counts: &'a [usize],
+    /// Churn points: per-epoch delta size × epoch count, reusing the
+    /// maintenance experiment's sweep shape.
+    pub sweeps: &'a [MaintenanceSweepSpec],
+}
+
+/// One maintained epoch's shared-vs-independent measurements.
+#[derive(Clone, Debug)]
+pub struct SubscriptionEpochPoint {
+    /// The published epoch.
+    pub epoch: u64,
+    /// Sessions the views would have demanded refreshed one by one.
+    pub leg_instances: usize,
+    /// Shared sessions actually run after fingerprint dedup.
+    pub shared_sessions: usize,
+    /// Bytes the shared maintenance workload shipped.
+    pub shared_bytes: u64,
+    /// Delta derivations of the shared refresh (memo misses).
+    pub shared_derivations: u64,
+    /// Virtual time of the shared refresh.
+    pub shared_makespan: SimTime,
+    /// Bytes shipped to subscribers as signed result diffs — reported
+    /// under its own key, never part of `shared_bytes`.
+    pub view_diff_bytes: u64,
+    /// Delta-leg sessions the independent control ran.
+    pub independent_sessions: usize,
+    /// Bytes the independent control shipped, all views summed.
+    pub independent_bytes: u64,
+    /// Delta derivations of the independent control (memo cleared per
+    /// view, so every view re-derives like a separate job).
+    pub independent_derivations: u64,
+    /// Virtual time of the independent control, refreshes summed.
+    pub independent_makespan: SimTime,
+}
+
+impl SubscriptionEpochPoint {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("epoch", Json::UInt(self.epoch)),
+            ("leg_instances", Json::UInt(self.leg_instances as u64)),
+            ("shared_sessions", Json::UInt(self.shared_sessions as u64)),
+            ("shared_bytes", Json::UInt(self.shared_bytes)),
+            ("shared_derivations", Json::UInt(self.shared_derivations)),
+            (
+                "shared_makespan_us",
+                Json::UInt(self.shared_makespan.as_micros()),
+            ),
+            ("view_diff_bytes", Json::UInt(self.view_diff_bytes)),
+            (
+                "independent_sessions",
+                Json::UInt(self.independent_sessions as u64),
+            ),
+            ("independent_bytes", Json::UInt(self.independent_bytes)),
+            (
+                "independent_derivations",
+                Json::UInt(self.independent_derivations),
+            ),
+            (
+                "independent_makespan_us",
+                Json::UInt(self.independent_makespan.as_micros()),
+            ),
+        ])
+    }
+}
+
+/// The mid-maintenance failure epoch that closes a sweep.
+#[derive(Clone, Debug)]
+pub struct SubscriptionFailurePoint {
+    /// The node killed mid-refresh.
+    pub victim: NodeId,
+    /// The virtual instant it was killed.
+    pub failure_at: SimTime,
+    /// Did the shared refresh actually run a recovery round?
+    pub recovered: bool,
+    /// Bytes the failure-interrupted refresh shipped, recovery included.
+    pub shipped_bytes: u64,
+}
+
+impl SubscriptionFailurePoint {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("victim", Json::UInt(self.victim.index() as u64)),
+            ("failure_at_us", Json::UInt(self.failure_at.as_micros())),
+            ("recovered", Json::Bool(self.recovered)),
+            ("shipped_bytes", Json::UInt(self.shipped_bytes)),
+        ])
+    }
+}
+
+/// One (churn × subscriber count) sweep's full result.
+#[derive(Clone, Debug)]
+pub struct SubscriptionSweep {
+    /// The churn point's label.
+    pub label: String,
+    /// Registered views.
+    pub subscribers: usize,
+    /// Shared sessions the priming refresh ran (≤ catalogue size however
+    /// many views registered — identical recomputations collide).
+    pub priming_sessions: usize,
+    /// One point per maintained epoch.
+    pub points: Vec<SubscriptionEpochPoint>,
+    /// Shared maintenance bytes summed over the sweep's epochs.
+    pub total_shared_bytes: u64,
+    /// Independent-control bytes summed over the sweep's epochs.
+    pub total_independent_bytes: u64,
+    /// Subscriber diff bytes summed over the sweep's epochs.
+    pub total_view_diff_bytes: u64,
+    /// Shared-path delta derivations summed over the sweep's epochs.
+    pub total_shared_derivations: u64,
+    /// Independent-control derivations summed over the sweep's epochs.
+    pub total_independent_derivations: u64,
+    /// The mid-maintenance failure check that closed the sweep.
+    pub failure: SubscriptionFailurePoint,
+}
+
+impl SubscriptionSweep {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("label", Json::str(self.label.clone())),
+            ("subscribers", Json::UInt(self.subscribers as u64)),
+            ("priming_sessions", Json::UInt(self.priming_sessions as u64)),
+            ("total_shared_bytes", Json::UInt(self.total_shared_bytes)),
+            (
+                "total_independent_bytes",
+                Json::UInt(self.total_independent_bytes),
+            ),
+            (
+                "total_view_diff_bytes",
+                Json::UInt(self.total_view_diff_bytes),
+            ),
+            (
+                "total_shared_derivations",
+                Json::UInt(self.total_shared_derivations),
+            ),
+            (
+                "total_independent_derivations",
+                Json::UInt(self.total_independent_derivations),
+            ),
+            (
+                "epochs",
+                Json::Array(
+                    self.points
+                        .iter()
+                        .map(SubscriptionEpochPoint::to_json)
+                        .collect(),
+                ),
+            ),
+            ("failure", self.failure.to_json()),
+        ])
+    }
+}
+
+/// The full experiment result.
+#[derive(Clone, Debug)]
+pub struct SubscriptionsReport {
+    /// Cluster size.
+    pub nodes: u16,
+    /// The standing-query catalogue, in subscriber round-robin order.
+    pub catalogue: Vec<String>,
+    /// The relations the churn stream publishes against.
+    pub churn_relations: Vec<String>,
+    /// One entry per (churn × subscriber count), churn-major.
+    pub sweeps: Vec<SubscriptionSweep>,
+}
+
+impl SubscriptionsReport {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("nodes", Json::UInt(self.nodes as u64)),
+            (
+                "catalogue",
+                Json::Array(self.catalogue.iter().map(Json::str).collect()),
+            ),
+            (
+                "churn_relations",
+                Json::Array(self.churn_relations.iter().map(Json::str).collect()),
+            ),
+            (
+                "sweeps",
+                Json::Array(self.sweeps.iter().map(SubscriptionSweep::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The standing-query catalogue: the five mixed-catalogue workloads
+/// with the churn donor (TPC-H Q1, registering the shared TPC-H trio)
+/// first, so the donor is always registered — even at one subscriber —
+/// and one published batch fans out to the Q1/Q3/Q6 views while
+/// leaving the STBenchmark views untouched.
+fn catalogue(seed: u64, rows: usize) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(TpchWorkload::scaled(TpchQuery::Q1, seed, rows)),
+        Box::new(TpchWorkload::scaled(TpchQuery::Q3, seed, rows)),
+        Box::new(TpchWorkload::scaled(TpchQuery::Q6, seed, rows)),
+        Box::new(CopyScenario { seed, rows }),
+        Box::new(ConcatenateScenario { seed, rows }),
+    ]
+}
+
+/// Run the fan-out experiment: for every churn point and subscriber
+/// count, a fresh deployment, `subscribers` registered views, and the
+/// shared-vs-independent comparison per published epoch.
+pub fn run_subscriptions(
+    spec: &SubscriptionsSpec,
+    config: &EngineConfig,
+) -> Result<SubscriptionsReport> {
+    if spec.subscriber_counts.is_empty() || spec.sweeps.is_empty() {
+        return Err(OrchestraError::Execution(
+            "a subscriptions sweep needs subscriber counts and churn points".into(),
+        ));
+    }
+    let names: Vec<String> = catalogue(spec.seed, spec.rows)
+        .iter()
+        .map(|w| w.name())
+        .collect();
+    let churn_relations: Vec<String> = catalogue(spec.seed, spec.rows)[0]
+        .relations()
+        .iter()
+        .map(|r| r.name().to_string())
+        .collect();
+    let mut report = SubscriptionsReport {
+        nodes: spec.nodes,
+        catalogue: names,
+        churn_relations,
+        sweeps: Vec::new(),
+    };
+    for sweep in spec.sweeps {
+        for &subscribers in spec.subscriber_counts {
+            report
+                .sweeps
+                .push(run_sweep(spec, subscribers, sweep, config)?);
+        }
+    }
+    Ok(report)
+}
+
+/// One distinct standing query: its compiled plan and, for incremental
+/// views, the delta-first leg plans every subscriber of this shape
+/// installs.
+struct StandingQuery {
+    name: String,
+    plan: orchestra_engine::PhysicalPlan,
+    leg_inputs: Option<Vec<(String, orchestra_engine::PhysicalPlan)>>,
+}
+
+/// Every view's answer — in `registry` and in the `independent` control
+/// — must equal a fresh full run of its plan at `epoch`.  The churn
+/// donor (catalogue index 0) is additionally checked against
+/// `donor_reference`, the stream's single-node ground truth.
+fn cross_check(
+    storage: &DistributedStorage,
+    config: &EngineConfig,
+    queries: &[StandingQuery],
+    registry: &ViewRegistry,
+    independent: Option<&[MaterializedView]>,
+    epoch: Epoch,
+    donor_reference: Option<&[Tuple]>,
+) -> Result<()> {
+    let mut fresh: Vec<Vec<Tuple>> = Vec::with_capacity(queries.len());
+    for query in queries {
+        let run =
+            QueryExecutor::new(storage, config.clone()).execute(&query.plan, epoch, INITIATOR)?;
+        fresh.push(run.rows);
+    }
+    if let Some(reference) = donor_reference {
+        if fresh[0] != reference {
+            return Err(OrchestraError::Execution(format!(
+                "fresh run of {} at {epoch} disagrees with the stream reference",
+                queries[0].name
+            )));
+        }
+    }
+    for id in 0..registry.len() {
+        let expected = &fresh[id % queries.len()];
+        if registry.view(id).answer() != *expected {
+            return Err(OrchestraError::Execution(format!(
+                "shared maintenance of {} diverged at {epoch}",
+                registry.view(id).name()
+            )));
+        }
+        if let Some(views) = independent {
+            if views[id].answer() != *expected {
+                return Err(OrchestraError::Execution(format!(
+                    "independent maintenance of {} diverged at {epoch}",
+                    views[id].name()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_sweep(
+    spec: &SubscriptionsSpec,
+    subscribers: usize,
+    sweep: &MaintenanceSweepSpec,
+    config: &EngineConfig,
+) -> Result<SubscriptionSweep> {
+    let workloads = catalogue(spec.seed, spec.rows);
+    let refs: Vec<&dyn Workload> = workloads.iter().map(|w| w.as_ref()).collect();
+    let (mut storage, base_epoch) = deploy_all(&refs, spec.nodes)?;
+    let stats = Statistics::collect(&storage, base_epoch);
+
+    // Compile each distinct standing query once; every subscriber of the
+    // same shape installs a clone (the registry's fingerprint dedup is
+    // what collapses their sessions again at refresh time).
+    let queries: Vec<StandingQuery> = workloads
+        .iter()
+        .map(|w| -> Result<StandingQuery> {
+            let plan = compiled_plan(w.as_ref(), &storage, base_epoch)?;
+            let probe = MaterializedView::new(w.name(), &plan)?;
+            let leg_inputs = if probe.supports_incremental() {
+                Some(orchestra_optimizer::compile_delta_legs(
+                    &w.logical(),
+                    &stats,
+                )?)
+            } else {
+                None
+            };
+            Ok(StandingQuery {
+                name: w.name(),
+                plan,
+                leg_inputs,
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    let mut registry = ViewRegistry::new(INITIATOR);
+    for i in 0..subscribers {
+        let query = &queries[i % queries.len()];
+        let mut view = MaterializedView::new(format!("{}#{i:03}", query.name), &query.plan)?;
+        if let Some(legs) = &query.leg_inputs {
+            view.install_leg_plans(legs)?;
+        }
+        registry.register(view);
+    }
+
+    // Prime every subscriber at the deployment epoch: one shared
+    // workload, and identical recomputations collide to at most one
+    // session per distinct shape.
+    let priming = registry.refresh(&storage, config, base_epoch, None)?;
+    if priming.sessions_run > queries.len() {
+        return Err(OrchestraError::Execution(format!(
+            "priming {subscribers} subscribers ran {} sessions — recompute sharing across \
+             identical views is broken (expected at most {})",
+            priming.sessions_run,
+            queries.len()
+        )));
+    }
+    cross_check(
+        &storage, config, &queries, &registry, None, base_epoch, None,
+    )?;
+
+    // The independent control starts from the same primed state: what N
+    // separate maintenance jobs would hold after materialization.
+    let mut independent: Vec<MaterializedView> =
+        (0..subscribers).map(|i| registry.view(i).clone()).collect();
+
+    // One extra epoch beyond the sweep's count: the failure epoch.
+    let specs = vec![sweep.spec; sweep.epochs + 1];
+    let stream = epoch_stream(refs[0], spec.seed, &specs)?;
+
+    let mut out = SubscriptionSweep {
+        label: sweep.label.to_string(),
+        subscribers,
+        priming_sessions: priming.sessions_run,
+        points: Vec::with_capacity(sweep.epochs),
+        total_shared_bytes: 0,
+        total_independent_bytes: 0,
+        total_view_diff_bytes: 0,
+        total_shared_derivations: 0,
+        total_independent_derivations: 0,
+        failure: SubscriptionFailurePoint {
+            victim: NodeId(spec.nodes - 1),
+            failure_at: SimTime::ZERO,
+            recovered: false,
+            shipped_bytes: 0,
+        },
+    };
+    let changed_relations = report_changed_relations(refs[0]);
+
+    for i in 0..sweep.epochs {
+        let epoch = storage.publish(stream.batch(i))?;
+
+        // Shared path first: the publish created a fresh epoch interval,
+        // so the memo is cold and the refresh's derivation counter is an
+        // honest miss count.
+        let refresh = registry.refresh(&storage, config, epoch, None)?;
+        if refresh.delta_derivations > changed_relations as u64 {
+            return Err(OrchestraError::Execution(format!(
+                "shared refresh of {subscribers} subscribers derived {} deltas at {epoch} — \
+                 derivations must be O(changed relations) (= {changed_relations}), not O(views)",
+                refresh.delta_derivations
+            )));
+        }
+
+        // Independent control: clear the memo before every view so each
+        // re-derives its own deltas, exactly as N separate jobs against
+        // N separate maintenance processes would.
+        let mut independent_sessions = 0usize;
+        let mut independent_bytes = 0u64;
+        let mut independent_derivations = 0u64;
+        let mut independent_makespan = SimTime::ZERO;
+        for view in &mut independent {
+            storage.clear_delta_memo();
+            let before = storage.delta_derivations();
+            let mode = if view.supports_incremental() {
+                MaintenanceMode::Incremental
+            } else {
+                MaintenanceMode::Recompute
+            };
+            let run = refresh_view(view, &storage, config, mode, epoch, INITIATOR, None)?;
+            independent_sessions += run.legs;
+            independent_bytes += run.shipped_bytes;
+            independent_derivations += storage.delta_derivations() - before;
+            independent_makespan =
+                SimTime::from_micros(independent_makespan.as_micros() + run.makespan.as_micros());
+        }
+        storage.clear_delta_memo();
+
+        cross_check(
+            &storage,
+            config,
+            &queries,
+            &registry,
+            Some(&independent),
+            epoch,
+            Some(stream.reference(i)),
+        )?;
+
+        if subscribers >= ENFORCE_SHARING_AT && refresh.shipped_bytes >= independent_bytes {
+            return Err(OrchestraError::Execution(format!(
+                "sharing must pay at {subscribers} subscribers ({} churn, {epoch}): shared \
+                 shipped {} bytes vs {independent_bytes} independent",
+                sweep.label, refresh.shipped_bytes
+            )));
+        }
+
+        out.total_shared_bytes += refresh.shipped_bytes;
+        out.total_independent_bytes += independent_bytes;
+        out.total_view_diff_bytes += refresh.diff_bytes;
+        out.total_shared_derivations += refresh.delta_derivations;
+        out.total_independent_derivations += independent_derivations;
+        out.points.push(SubscriptionEpochPoint {
+            epoch: epoch.0,
+            leg_instances: refresh.leg_instances,
+            shared_sessions: refresh.sessions_run,
+            shared_bytes: refresh.shipped_bytes,
+            shared_derivations: refresh.delta_derivations,
+            shared_makespan: refresh.makespan,
+            view_diff_bytes: refresh.diff_bytes,
+            independent_sessions,
+            independent_bytes,
+            independent_derivations,
+            independent_makespan,
+        });
+    }
+
+    // The failure epoch: publish one more batch, calibrate the failure
+    // instant on a throwaway clone of the whole registry, then kill a
+    // node halfway through the real shared refresh.  (The probe warms
+    // the delta memo, so the interrupted refresh reports 0 derivations —
+    // recovery correctness is what this epoch checks.)
+    let failure_idx = sweep.epochs;
+    let epoch = storage.publish(stream.batch(failure_idx))?;
+    let mut probe = registry.clone();
+    let probe_refresh = probe.refresh(&storage, config, epoch, None)?;
+    let failure_at = SimTime::from_micros((probe_refresh.makespan.as_micros() / 2).max(1));
+    let failure = FailureSpec::at_time(NodeId(spec.nodes - 1), failure_at);
+    let interrupted = registry.refresh(&storage, config, epoch, Some(failure))?;
+    cross_check(
+        &storage,
+        config,
+        &queries,
+        &registry,
+        None,
+        epoch,
+        Some(stream.reference(failure_idx)),
+    )?;
+    out.failure = SubscriptionFailurePoint {
+        victim: failure.node,
+        failure_at,
+        recovered: interrupted.recovered,
+        shipped_bytes: interrupted.shipped_bytes,
+    };
+    Ok(out)
+}
+
+/// How many relations one churn batch publishes against — the bound the
+/// shared path's per-epoch derivation count is held to.
+fn report_changed_relations(donor: &dyn Workload) -> usize {
+    donor.relations().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_workloads::EpochSpec;
+
+    #[test]
+    fn fan_out_shares_deltas_and_stays_exact() {
+        let report = run_subscriptions(
+            &SubscriptionsSpec {
+                seed: 13,
+                rows: 80,
+                nodes: 5,
+                subscriber_counts: &[1, 8],
+                sweeps: &[MaintenanceSweepSpec {
+                    label: "small-delta",
+                    spec: EpochSpec {
+                        inserts: 2,
+                        modifies: 1,
+                        deletes: 1,
+                    },
+                    epochs: 2,
+                }],
+            },
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.catalogue.len(), 5);
+        // The churn donor registers the shared TPC-H trio.
+        assert_eq!(report.churn_relations.len(), 3);
+        assert!(report.churn_relations.contains(&"lineitem".to_string()));
+        assert_eq!(report.sweeps.len(), 2);
+
+        let solo = &report.sweeps[0];
+        assert_eq!(solo.subscribers, 1);
+        // One subscriber: nothing to share, the control and the registry
+        // run the same sessions.
+        assert_eq!(solo.total_shared_bytes, solo.total_independent_bytes);
+
+        let fanned = &report.sweeps[1];
+        assert_eq!(fanned.subscribers, 8);
+        // Eight subscribers over five shapes: 2× Q1, 2× Q3, 2× Q6 are
+        // hit by the TPC-H churn — the shared path runs one leg per
+        // distinct (shape, pivot) while the control runs one per view,
+        // so sharing already pays below the enforcement threshold.
+        assert!(
+            fanned.total_shared_bytes < fanned.total_independent_bytes,
+            "{} shared vs {} independent",
+            fanned.total_shared_bytes,
+            fanned.total_independent_bytes
+        );
+        // Derivations: O(changed relations) shared, O(views) independent.
+        for point in &fanned.points {
+            assert!(point.shared_derivations <= 3, "{point:?}");
+            assert!(
+                point.independent_derivations > point.shared_derivations,
+                "{point:?}"
+            );
+            assert!(point.shared_sessions < point.leg_instances, "{point:?}");
+            // Diff bytes live under their own key and are not part of
+            // the maintenance traffic.
+            assert!(point.view_diff_bytes > 0, "{point:?}");
+        }
+        // Priming collapsed eight recomputations onto five shapes.
+        assert!(fanned.priming_sessions <= 5);
+        // The failure epoch genuinely interrupted and recovered.
+        assert!(fanned.failure.recovered);
+        assert!(fanned.failure.failure_at > SimTime::ZERO);
+
+        let json = report.to_json().render();
+        assert!(json.contains("\"view_diff_bytes\""), "{json}");
+        assert!(json.contains("\"total_shared_derivations\""), "{json}");
+        assert!(json.contains("\"failure\""), "{json}");
+    }
+
+    #[test]
+    fn subscriptions_report_is_deterministic() {
+        let run = || {
+            run_subscriptions(
+                &SubscriptionsSpec {
+                    seed: 7,
+                    rows: 60,
+                    nodes: 4,
+                    subscriber_counts: &[4],
+                    sweeps: &[MaintenanceSweepSpec {
+                        label: "small-delta",
+                        spec: EpochSpec {
+                            inserts: 1,
+                            modifies: 1,
+                            deletes: 0,
+                        },
+                        epochs: 1,
+                    }],
+                },
+                &EngineConfig::default(),
+            )
+            .unwrap()
+            .to_json()
+            .render()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -115,6 +115,10 @@ pub struct ZipfSampler {
     /// `cumulative[k-1]` = Σ_{i ≤ k} i^-s; the last entry is the
     /// normalizing constant.
     cumulative: Vec<f64>,
+    /// The harmonic normalizer H_{n,s} = Σ_{i ≤ n} i^-s, memoized at
+    /// construction — bit-identical to `cumulative.last()`, so draws are
+    /// unchanged; the per-draw bounds-checked re-read is what goes away.
+    total: f64,
     exponent: f64,
 }
 
@@ -136,6 +140,7 @@ impl ZipfSampler {
         }
         ZipfSampler {
             cumulative,
+            total,
             exponent,
         }
     }
@@ -153,14 +158,12 @@ impl ZipfSampler {
     /// Probability of rank `k` (1-based).
     pub fn probability(&self, k: usize) -> f64 {
         assert!((1..=self.n()).contains(&k), "rank {k} out of range");
-        let total = *self.cumulative.last().expect("non-empty table");
-        (k as f64).powf(-self.exponent) / total
+        (k as f64).powf(-self.exponent) / self.total
     }
 
     /// Draw a rank in `1..=n` (one uniform draw, one binary search).
     pub fn sample(&self, rng: &mut StdRng) -> usize {
-        let total = *self.cumulative.last().expect("non-empty table");
-        let target = rng.random_f64() * total;
+        let target = rng.random_f64() * self.total;
         // First rank whose cumulative weight exceeds the target; the
         // clamp guards the rounding edge where `u * total` lands exactly
         // on the final cumulative weight.
@@ -357,6 +360,25 @@ mod tests {
         let mut rng = seeded(42);
         let draws: Vec<usize> = (0..8).map(|_| rng.sample_zipf(&table)).collect();
         assert_eq!(draws, vec![1, 1, 2, 4, 5, 3, 3, 4]);
+    }
+
+    #[test]
+    fn zipf_normalizer_memo_leaves_the_sequence_unchanged() {
+        // Regression for memoizing the harmonic normalizer: the memoized
+        // total must be bit-identical to the last cumulative weight, so
+        // every previously pinned popularity stream replays byte-exact.
+        for (n, s, seed) in [(5, 1.2, 42u64), (100, 0.8, 7), (1000, 1.0, 99)] {
+            let table = ZipfSampler::new(n, s);
+            let direct: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+            assert_eq!(table.probability(1), 1.0 / direct, "n={n} s={s}");
+            let mut rng = seeded(seed);
+            let draws: Vec<usize> = (0..16).map(|_| rng.sample_zipf(&table)).collect();
+            assert!(draws.iter().all(|&k| (1..=n).contains(&k)));
+            // The serving sweep's exact draw prefix at its default seed.
+            if (n, s, seed) == (5, 1.2, 42) {
+                assert_eq!(&draws[..8], &[1, 1, 2, 4, 5, 3, 3, 4]);
+            }
+        }
     }
 
     #[test]

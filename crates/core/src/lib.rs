@@ -31,16 +31,18 @@ pub use orchestra_workloads as workloads;
 
 pub use orchestra_bench::{
     failure_sweep_points, poisson_arrivals, run_maintenance, run_plan_quality, run_recovery_sweep,
-    run_scale_out, run_serving_experiment, run_tagging_overhead, run_throughput, trace_arrivals,
-    MaintenanceReport, MaintenanceSweepSpec, PlanQuality, RecoverySweep, ScaleOutPoint,
-    ServingPoint, ServingSpec, ServingSweep, TaggingOverhead, ThroughputPoint, ThroughputSweep,
+    run_scale_out, run_serving_experiment, run_subscriptions, run_tagging_overhead, run_throughput,
+    trace_arrivals, MaintenanceReport, MaintenanceSweepSpec, PlanQuality, RecoverySweep,
+    ScaleOutPoint, ServingPoint, ServingSpec, ServingSweep, SubscriptionSweep, SubscriptionsReport,
+    SubscriptionsSpec, TaggingOverhead, ThroughputPoint, ThroughputSweep,
 };
 pub use orchestra_common::{Epoch, NodeId, QueryFingerprint, Relation, Schema, Tuple, Value};
 pub use orchestra_engine::{
     refresh_view, AdmissionPolicy, CacheStats, EngineConfig, EvictionPolicy, FailureSpec,
     MaintenanceMode, MaintenancePlan, MaintenanceRun, MaterializedView, PhysicalPlan, PlanBuilder,
-    QueryExecutor, QueryReport, QuerySession, RecoveryStrategy, ResultCache, ScanOverrides,
-    SchedulerConfig, SessionId, SessionReport, SessionScheduler, ShedEvent, WorkloadReport,
+    QueryExecutor, QueryReport, QuerySession, RecoveryStrategy, RegistryRefresh, ResultCache,
+    ScanOverrides, SchedulerConfig, SessionId, SessionReport, SessionScheduler, ShedEvent,
+    ViewDiff, ViewRegistry, WorkloadReport,
 };
 pub use orchestra_optimizer::{
     choose_maintenance, compile, compile_delta_legs, estimate_plan_cost, fingerprint, LogicalExpr,

@@ -54,6 +54,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Network bytes the hits avoided shipping (the sum, over every hit,
     /// of the bytes the entry's query moved when it actually executed).
+    ///
+    /// This is strictly a *result-cache* figure: subscriber
+    /// notification traffic ([`super::registry::ViewDiff`] bytes) is
+    /// accounted under its own `view_diff_bytes` key and never folds
+    /// into this counter, so serving JSON reports the two under
+    /// distinct keys without double-counting.
     pub bytes_saved: u64,
 }
 

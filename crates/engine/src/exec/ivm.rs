@@ -726,14 +726,36 @@ impl MaterializedView {
     }
 
     /// Throw the state away (the recompute path's clean slate).
-    fn reset(&mut self) {
+    pub(super) fn reset(&mut self) {
         self.groups.clear();
         self.multiset.clear();
     }
 
+    /// Is the base (recompute) dataflow already resident at the
+    /// participants?
+    pub(super) fn base_installed(&self) -> bool {
+        self.installed_base
+    }
+
+    /// Mark the base dataflow resident (a recompute run completed).
+    pub(super) fn mark_base_installed(&mut self) {
+        self.installed_base = true;
+    }
+
+    /// Mark `relation`'s delta-leg dataflow resident (its leg completed).
+    pub(super) fn mark_leg_installed(&mut self, relation: &str) {
+        self.installed_legs.insert(relation.to_string());
+    }
+
+    /// Advance the epoch the state reflects (the caller has folded every
+    /// session of the refresh, or nothing changed).
+    pub(super) fn set_epoch(&mut self, epoch: Epoch) {
+        self.epoch = Some(epoch);
+    }
+
     /// Fold one session's signed answer rows into the state, under the
     /// fold mode of the plan that session ran.
-    fn fold(&mut self, fold: &FoldMode, rows: &[(Tuple, i8)]) {
+    pub(super) fn fold(&mut self, fold: &FoldMode, rows: &[(Tuple, i8)]) {
         match fold.clone() {
             FoldMode::Multiset => {
                 for (tuple, sign) in rows {
@@ -962,7 +984,7 @@ pub fn refresh_view(
 /// the new epoch, the pivot reading the signed delta, and relations
 /// after *i* pinned to the old epoch.  Legs whose pivot relation did not
 /// change are skipped.
-fn delta_legs(
+pub(super) fn delta_legs(
     view: &MaterializedView,
     storage: &DistributedStorage,
     from: Epoch,

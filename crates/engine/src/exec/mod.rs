@@ -70,6 +70,11 @@
 //!   [`MaterializedView`] state, and the [`refresh_view`] driver that
 //!   pushes signed epoch deltas through the pipeline as scheduler
 //!   sessions;
+//! * `registry` — the standing-query subscription layer
+//!   ([`ViewRegistry`]): many registered views kept exact by one shared
+//!   maintenance workload per epoch — deltas derived once per changed
+//!   relation, colliding delta legs executed once and forked at the
+//!   initiator — with per-subscriber signed result diffs;
 //! * `recovery` — the Restart and Incremental strategies;
 //! * `report` — [`QueryReport`] assembly and per-link traffic
 //!   accounting (`RunStats`).
@@ -79,6 +84,7 @@ mod exchange;
 pub mod ivm;
 mod pipeline;
 mod recovery;
+pub mod registry;
 mod report;
 mod scan;
 pub mod scheduler;
@@ -101,6 +107,7 @@ pub use ivm::{
     refresh_view, FoldMode, MaintenanceLeg, MaintenanceMode, MaintenancePlan, MaintenanceRun,
     MaterializedView, ScanOverrides,
 };
+pub use registry::{RegistryRefresh, ViewDiff, ViewRegistry};
 pub use report::{QueryReport, WallClock};
 pub use scheduler::{
     AdmissionPolicy, QuerySession, SchedulerConfig, SessionReport, SessionScheduler, ShedEvent,

@@ -1249,3 +1249,151 @@ fn epoch_pinned_scans_read_the_past() {
         "the pinned scan must see epoch 0 despite the session reading epoch 1"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Standing-query fan-out (exec/registry.rs)
+// ---------------------------------------------------------------------------
+
+/// Apply one subscriber's signed diff to its previously acknowledged
+/// answer — what a real subscriber would do on notification.
+fn apply_diff(acked: &[Tuple], diff: &ViewDiff) -> Vec<Tuple> {
+    let mut rows: Vec<Tuple> = acked.to_vec();
+    for retract in &diff.retracts {
+        let pos = rows
+            .iter()
+            .position(|t| t == retract)
+            .expect("retracted row must be acknowledged");
+        rows.remove(pos);
+    }
+    rows.extend(diff.inserts.iter().cloned());
+    rows.sort();
+    rows
+}
+
+#[test]
+fn registry_shares_sessions_across_views_and_stays_exact() {
+    let mut s = cluster(5);
+    publish_r(&mut s, 80); // epoch 0
+    publish_s_matching(&mut s, 80); // epoch 1
+    let config = EngineConfig::default();
+
+    let mut registry = ViewRegistry::new(NodeId(0));
+    let plans: Vec<crate::plan::PhysicalPlan> = vec![
+        join_plan(),
+        join_plan(),
+        join_plan(),
+        join_plan(),
+        agg_plan(),
+        scan_ship_plan(),
+    ];
+    for (i, plan) in plans.iter().enumerate() {
+        registry.register(MaterializedView::new(format!("view-{i}"), plan).unwrap());
+    }
+    assert_eq!(registry.len(), 6);
+
+    // Priming refresh: every view recomputes, but the four identical
+    // join views collide on one fingerprint — three sessions, not six.
+    let primed = registry.refresh(&s, &config, Epoch(1), None).unwrap();
+    assert_eq!(primed.leg_instances, 6);
+    assert_eq!(primed.sessions_run, 3, "duplicate recomputes are shared");
+    for (i, plan) in plans.iter().enumerate() {
+        assert_eq!(registry.view(i).answer(), full_run(&s, plan, Epoch(1)));
+    }
+    // The first notification ships the full answer as inserts.
+    assert!(primed.diffs.iter().all(|d| d.retracts.is_empty()));
+    assert!(primed.diff_bytes > 0);
+    let mut acked: Vec<Vec<Tuple>> = primed.diffs.iter().map(|d| d.inserts.clone()).collect();
+
+    // Epoch 2 touches both relations.
+    let mut b = UpdateBatch::new();
+    for k in 200..208 {
+        b.insert("R", r_row(k));
+        b.insert("S", Tuple::new(vec![Value::Int(k), Value::Int(k * 10)]));
+    }
+    for k in 0..6 {
+        b.modify("R", r_row_v2(k));
+    }
+    b.delete("S", vec![Value::Int(7)]);
+    s.publish(&b).unwrap();
+
+    let refresh = registry.refresh(&s, &config, Epoch(2), None).unwrap();
+    // Independent maintenance would run 4×2 join legs + 1 agg leg +
+    // 1 copy leg; sharing collapses the join legs to one per relation.
+    assert_eq!(refresh.leg_instances, 10);
+    assert_eq!(refresh.sessions_run, 4);
+    // Deltas are derived once per changed relation, not once per view.
+    assert_eq!(
+        refresh.delta_derivations, 2,
+        "six views over two changed relations must derive exactly two diffs"
+    );
+    for (i, plan) in plans.iter().enumerate() {
+        let expected = full_run(&s, plan, Epoch(2));
+        assert_eq!(registry.view(i).answer(), expected, "view-{i} diverged");
+        // The signed diff reconstructs the new answer from the old one.
+        assert_eq!(apply_diff(&acked[i], &refresh.diffs[i]), expected);
+        acked[i] = expected;
+    }
+
+    // Epoch 3 touches only S: the agg and copy views (which scan R
+    // alone) ride along with zero sessions and empty diffs.
+    let mut b = UpdateBatch::new();
+    b.insert("S", Tuple::new(vec![Value::Int(900), Value::Int(9000)]));
+    s.publish(&b).unwrap();
+    let refresh = registry.refresh(&s, &config, Epoch(3), None).unwrap();
+    assert_eq!(refresh.sessions_run, 1, "only the shared S leg runs");
+    assert_eq!(refresh.delta_derivations, 1);
+    for (i, plan) in plans.iter().enumerate() {
+        assert_eq!(registry.view(i).answer(), full_run(&s, plan, Epoch(3)));
+        assert_eq!(registry.view(i).epoch(), Some(Epoch(3)));
+    }
+    assert_eq!(refresh.diffs[4].shipped_bytes, 0, "agg view is unchanged");
+    assert_eq!(refresh.diffs[5].shipped_bytes, 0, "copy view is unchanged");
+}
+
+#[test]
+fn registry_refresh_survives_a_mid_maintenance_failure() {
+    let mut s = cluster(5);
+    publish_r(&mut s, 80);
+    publish_s_matching(&mut s, 80); // epoch 1
+    let config = EngineConfig::default();
+
+    let mut registry = ViewRegistry::new(NodeId(0));
+    for i in 0..3 {
+        registry.register(MaterializedView::new(format!("join-{i}"), &join_plan()).unwrap());
+    }
+    registry.refresh(&s, &config, Epoch(1), None).unwrap();
+
+    let mut b = UpdateBatch::new();
+    for k in 300..330 {
+        b.insert("R", r_row(k));
+        b.insert("S", Tuple::new(vec![Value::Int(k), Value::Int(k * 10)]));
+    }
+    for k in 0..20 {
+        b.modify("R", r_row_v2(k));
+    }
+    s.publish(&b).unwrap();
+
+    // Probe the failure-free refresh on a clone to aim mid-makespan.
+    let mut probe = registry.clone();
+    let baseline = probe.refresh(&s, &config, Epoch(2), None).unwrap();
+    assert!(baseline.makespan > SimTime::ZERO);
+    let failure = FailureSpec::at_time(
+        NodeId(4),
+        SimTime::from_micros(baseline.makespan.as_micros() / 2),
+    );
+    let refresh = registry
+        .refresh(&s, &config, Epoch(2), Some(failure))
+        .unwrap();
+    assert!(
+        refresh.recovered,
+        "the mid-makespan failure must interrupt the shared workload"
+    );
+    let expected = full_run(&s, &join_plan(), Epoch(2));
+    for i in 0..3 {
+        assert_eq!(
+            registry.view(i).answer(),
+            expected,
+            "join-{i} must survive the failure exactly"
+        );
+    }
+}

@@ -73,8 +73,8 @@ pub use exec::{
     refresh_view, AdmissionPolicy, CacheStats, CachedAnswer, EngineConfig, EntryStats,
     EvictionPolicy, FailureSpec, FoldMode, MaintenanceLeg, MaintenanceMode, MaintenancePlan,
     MaintenanceRun, MaterializedView, QueryExecutor, QueryReport, QuerySession, RecoveryStrategy,
-    ResultCache, ScanOverrides, SchedulerConfig, SessionId, SessionReport, SessionScheduler,
-    ShedEvent, WallClock, WorkloadReport,
+    RegistryRefresh, ResultCache, ScanOverrides, SchedulerConfig, SessionId, SessionReport,
+    SessionScheduler, ShedEvent, ViewDiff, ViewRegistry, WallClock, WorkloadReport,
 };
 pub use expr::{AggFunc, CmpOp, Predicate, ScalarExpr};
 pub use plan::{AggMode, OpId, Operator, OperatorKind, PhysicalPlan, PlanBuilder};

@@ -324,6 +324,56 @@ mod tests {
     }
 
     #[test]
+    fn prefix_sharing_equivalence_classes_are_complete_and_sound() {
+        // The view registry executes ONE shared session for colliding
+        // plans, so the equivalence classes must be complete (every
+        // trivial respelling collides — a missed collision only wastes a
+        // session) and sound (a near-miss must never collide — a false
+        // collision would feed one view another view's rows).
+        use std::collections::BTreeSet;
+
+        // Completeness: all six slot permutations, with join-edge lists
+        // flipped and reversed on top, collapse onto one fingerprint.
+        let mut class: BTreeSet<QueryFingerprint> = BTreeSet::new();
+        for order in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let mut q = three_way(order);
+            class.insert(fingerprint(&q));
+            for e in &mut q.joins {
+                std::mem::swap(&mut e.left, &mut e.right);
+            }
+            q.joins.reverse();
+            class.insert(fingerprint(&q));
+        }
+        assert_eq!(
+            class.len(),
+            1,
+            "every respelling of the three-way join must share one identity"
+        );
+
+        // Soundness: the same shape with one differing constant is a
+        // distinct identity for every constant — pairwise and against
+        // the base class.
+        let mut identities = class;
+        for c in [1i64, 2, 3, 4, 6, 1000] {
+            let mut q = three_way([0, 1, 2]);
+            q.predicates[0].1 = Predicate::cmp(2, CmpOp::Eq, c);
+            identities.insert(fingerprint(&q));
+        }
+        assert_eq!(
+            identities.len(),
+            7,
+            "each predicate constant must keep its own identity"
+        );
+    }
+
+    #[test]
     fn catalogue_workload_fingerprints_are_stable_within_a_run() {
         // The canonical form is idempotent: canonicalizing twice changes
         // nothing, so fingerprints are stable however often they are

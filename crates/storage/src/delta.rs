@@ -28,6 +28,9 @@ use crate::coordinator::CoordinatorKey;
 use crate::distributed::DistributedStorage;
 use crate::page::PageDescriptor;
 use orchestra_common::{Epoch, KeyRange, NodeId, OrchestraError, Result, Tuple, TupleId};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// The changes one partition of a relation underwent between two epochs,
 /// matched by tuple key.
@@ -108,6 +111,7 @@ pub struct DeltaPartitionScan {
 
 /// One partition whose page version differs between the two epochs:
 /// the tuple IDs removed by the interval and the tuple IDs added by it.
+#[derive(Clone)]
 struct PartitionChange {
     partition: u32,
     /// Index pages consulted to diff this partition (1 when only one
@@ -115,6 +119,33 @@ struct PartitionChange {
     pages_read: usize,
     removed: Vec<TupleId>,
     added: Vec<TupleId>,
+}
+
+/// The derived page diff of one `(relation, from, to)` interval: the
+/// changed partitions plus the (shared, diffed) page counts.
+type ChangeSet = (Vec<PartitionChange>, usize, usize);
+
+/// Memo of derived page diffs, keyed by `(relation, from, to)`.
+///
+/// Epoch versions are immutable once published, so a derived diff never
+/// goes stale — the memo needs no invalidation, only capacity discipline
+/// (callers with adversarial access patterns can [`DeltaMemo::clear`]).
+/// Interior mutability lets the read paths ([`DistributedStorage::delta`]
+/// and [`DistributedStorage::delta_partition`]) share one derivation per
+/// interval across every consumer — the fan-out property the view
+/// registry's per-epoch cost bound rests on.  The store is
+/// single-threaded by construction (like the simulator), so a `RefCell`
+/// suffices.
+#[derive(Clone, Default)]
+pub(crate) struct DeltaMemo {
+    entries: RefCell<HashMap<(String, Epoch, Epoch), Rc<ChangeSet>>>,
+    derivations: Cell<u64>,
+}
+
+impl DeltaMemo {
+    fn clear(&self) {
+        self.entries.borrow_mut().clear();
+    }
 }
 
 impl DistributedStorage {
@@ -130,21 +161,58 @@ impl DistributedStorage {
             .clone())
     }
 
-    /// Diff the two versions' page lists: partitions whose page ID is
-    /// identical are shared and skipped; the rest are diffed tuple-ID
-    /// list against tuple-ID list.  Returns the changed partitions in
-    /// partition order plus the (shared, diffed) page counts.
-    fn changed_partitions(
-        &self,
-        relation: &str,
-        from: Epoch,
-        to: Epoch,
-    ) -> Result<(Vec<PartitionChange>, usize, usize)> {
+    /// Diff the two versions' page lists, memoized per `(relation, from,
+    /// to)`: the first consumer of an interval pays the derivation
+    /// ([`DistributedStorage::delta_derivations`] counts those); every
+    /// later consumer — another view's delta leg, the cost model, a
+    /// re-run during recovery — is handed the same derived diff for free.
+    fn changed_partitions(&self, relation: &str, from: Epoch, to: Epoch) -> Result<Rc<ChangeSet>> {
         if from > to {
             return Err(OrchestraError::StorageInvalid(format!(
                 "delta of {relation} requested over an inverted interval {from}..{to}"
             )));
         }
+        let key = (relation.to_string(), from, to);
+        if let Some(hit) = self.delta_memo.entries.borrow().get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        let derived = Rc::new(self.derive_changed_partitions(relation, from, to)?);
+        self.delta_memo
+            .derivations
+            .set(self.delta_memo.derivations.get() + 1);
+        self.delta_memo
+            .entries
+            .borrow_mut()
+            .insert(key, Rc::clone(&derived));
+        Ok(derived)
+    }
+
+    /// Number of epoch-interval page diffs derived so far — the memo's
+    /// cache misses.  Serving a second view of the same interval does not
+    /// move this counter; the subscriptions experiment asserts it stays
+    /// O(changed relations) per epoch rather than O(registered views).
+    pub fn delta_derivations(&self) -> u64 {
+        self.delta_memo.derivations.get()
+    }
+
+    /// Drop every memoized page diff (the derivation counter is kept).
+    /// The independent-maintenance arm of the subscriptions experiment
+    /// uses this to model each view re-deriving its own deltas.
+    pub fn clear_delta_memo(&self) {
+        self.delta_memo.clear();
+    }
+
+    /// The un-memoized derivation behind [`Self::changed_partitions`]:
+    /// partitions whose page ID is identical in both versions are shared
+    /// and skipped; the rest are diffed tuple-ID list against tuple-ID
+    /// list.  Returns the changed partitions in partition order plus the
+    /// (shared, diffed) page counts.
+    fn derive_changed_partitions(
+        &self,
+        relation: &str,
+        from: Epoch,
+        to: Epoch,
+    ) -> Result<ChangeSet> {
         let old_pages = self.pages_at(relation, from)?;
         let new_pages = self.pages_at(relation, to)?;
         let mut shared = 0;
@@ -207,7 +275,8 @@ impl DistributedStorage {
     /// present in both versions under different tuple IDs is reported as
     /// a modify with both the old and the new tuple value.
     pub fn delta(&self, relation: &str, from: Epoch, to: Epoch) -> Result<RelationDelta> {
-        let (changes, pages_shared, pages_diffed) = self.changed_partitions(relation, from, to)?;
+        let derived = self.changed_partitions(relation, from, to)?;
+        let (changes, pages_shared, pages_diffed) = &*derived;
         let mut partitions = Vec::with_capacity(changes.len());
         for change in changes {
             // Both lists are key-sorted (tuple IDs order by key first), so
@@ -250,8 +319,8 @@ impl DistributedStorage {
             from,
             to,
             partitions,
-            pages_shared,
-            pages_diffed,
+            pages_shared: *pages_shared,
+            pages_diffed: *pages_diffed,
         })
     }
 
@@ -272,8 +341,8 @@ impl DistributedStorage {
         ranges: &[KeyRange],
     ) -> Result<DeltaPartitionScan> {
         let mut scan = DeltaPartitionScan::default();
-        let (changes, _, _) = self.changed_partitions(relation, from, to)?;
-        for change in changes {
+        let derived = self.changed_partitions(relation, from, to)?;
+        for change in &derived.0 {
             scan.pages_read += change.pages_read;
             for (ids, sign) in [(&change.removed, -1i8), (&change.added, 1i8)] {
                 for id in ids.iter() {
@@ -432,6 +501,60 @@ mod tests {
         let mut expected = s.retrieve("R", e1, NodeId(0), &|_| true).unwrap().tuples;
         expected.sort();
         assert_eq!(state, expected);
+    }
+
+    #[test]
+    fn delta_derivation_is_memoized_and_counted() {
+        let mut s = storage(4);
+        let mut b0 = UpdateBatch::new();
+        for k in 0..60 {
+            b0.insert("R", r(k, "v0"));
+        }
+        let e0 = s.publish(&b0).unwrap();
+        let mut b1 = UpdateBatch::new();
+        for k in 0..6 {
+            b1.modify("R", r(k, "v1"));
+        }
+        let e1 = s.publish(&b1).unwrap();
+
+        assert_eq!(s.delta_derivations(), 0);
+        let first = s.delta("R", e0, e1).unwrap();
+        assert_eq!(s.delta_derivations(), 1, "first consumer derives");
+        let second = s.delta("R", e0, e1).unwrap();
+        assert_eq!(s.delta_derivations(), 1, "second consumer is a memo hit");
+        assert_eq!(first.signed_row_count(), second.signed_row_count());
+        assert_eq!(first.partitions.len(), second.partitions.len());
+
+        // The signed scan path shares the same derivation.
+        for node in s.routing().nodes() {
+            let ranges = s.routing().ranges_of(node);
+            s.delta_partition("R", e0, e1, node, &ranges).unwrap();
+        }
+        assert_eq!(s.delta_derivations(), 1, "delta scans reuse the diff");
+
+        // A new interval is a new derivation.
+        let mut b2 = UpdateBatch::new();
+        b2.insert("R", r(300, "new"));
+        let e2 = s.publish(&b2).unwrap();
+        s.delta("R", e1, e2).unwrap();
+        assert_eq!(s.delta_derivations(), 2);
+
+        // Clearing the memo forces re-derivation; the result is bit-equal.
+        s.clear_delta_memo();
+        let rederived = s.delta("R", e0, e1).unwrap();
+        assert_eq!(s.delta_derivations(), 3);
+        assert_eq!(rederived.signed_row_count(), first.signed_row_count());
+
+        // A clone (the engine's scratch copies) carries the memo but
+        // counts its own derivations without touching the original.
+        let scratch = s.clone();
+        scratch.delta("R", e0, e1).unwrap();
+        assert_eq!(
+            scratch.delta_derivations(),
+            3,
+            "clone hits the carried memo"
+        );
+        assert_eq!(s.delta_derivations(), 3, "original counter is untouched");
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub struct DistributedStorage {
     catalog: HashMap<String, Relation>,
     relation_epochs: HashMap<String, Vec<Epoch>>,
     published: u64,
+    /// Memoized epoch-interval page diffs (see `delta.rs`) — shared by
+    /// every delta consumer so fan-out maintenance derives each changed
+    /// relation's delta once per epoch, not once per view.
+    pub(crate) delta_memo: crate::delta::DeltaMemo,
 }
 
 impl DistributedStorage {
@@ -112,6 +116,7 @@ impl DistributedStorage {
             catalog: HashMap::new(),
             relation_epochs: HashMap::new(),
             published: 0,
+            delta_memo: crate::delta::DeltaMemo::default(),
         }
     }
 
