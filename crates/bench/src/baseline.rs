@@ -7,10 +7,11 @@
 //! traffic figure ([`check_plan_quality_baseline`]), every
 //! maintenance shipped-bytes total ([`check_maintenance_baseline`]),
 //! every serving point's shipped bytes and cache hit rate
-//! ([`check_serving_baseline`]), and every subscriptions sweep's shared
+//! ([`check_serving_baseline`]), every subscriptions sweep's shared
 //! shipped-bytes and delta-derivation totals
-//! ([`check_subscriptions_baseline`]) must stay within `tolerance` (CI
-//! uses 5%) of the baseline.  A value moving in the *good* direction —
+//! ([`check_subscriptions_baseline`]), and every gossip convergence
+//! point's rounds and rumor bytes ([`check_churn_baseline`]) must stay
+//! within `tolerance` (CI uses 5%) of the baseline.  A value moving in the *good* direction —
 //! lower cost/bytes, higher hit rate — always passes; the gate only
 //! catches regressions.
 //!
@@ -304,6 +305,107 @@ pub fn check_subscriptions_baseline(
     }
 }
 
+/// The `churn` fields gated per convergence point — rounds to uniform
+/// membership and rumor bytes spent getting there — plus the
+/// experiment-wide totals.  All gate *upward*: more rounds or more
+/// gossip traffic than the committed baseline is a dissemination
+/// regression; converging faster or cheaper always passes.
+const GATED_CHURN_FIELDS: [&str; 2] = ["rounds", "rumor_bytes"];
+const GATED_CHURN_TOTALS: [&str; 2] = ["total_convergence_rounds", "total_rumor_bytes"];
+
+/// Compare the top-level `churn` sections of `current` against
+/// `baseline`: per convergence point (keyed by cluster size), rounds
+/// and rumor bytes must not rise beyond `tolerance`, and the same holds
+/// for the experiment-wide totals (which also cover the sustained
+/// scenario's epochs).
+pub fn check_churn_baseline(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passed = Vec::new();
+    let mut violations = Vec::new();
+
+    let baseline_points = match churn_points_of(baseline) {
+        Ok(p) => p,
+        Err(e) => return Err(vec![format!("baseline document: {e}")]),
+    };
+    let current_points = match churn_points_of(current) {
+        Ok(p) => p,
+        Err(e) => return Err(vec![format!("current document: {e}")]),
+    };
+
+    for (key, base_point) in &baseline_points {
+        let Some(cur_point) = current_points
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, p)| p)
+        else {
+            violations.push(format!(
+                "churn point {key} present in the baseline but missing from the current run"
+            ));
+            continue;
+        };
+        let fields: &[&str] = if key == "totals" {
+            &GATED_CHURN_TOTALS
+        } else {
+            &GATED_CHURN_FIELDS
+        };
+        for field in fields {
+            let (Some(base), Some(cur)) = (
+                base_point.get(field).and_then(Json::as_f64),
+                cur_point.get(field).and_then(Json::as_f64),
+            ) else {
+                violations.push(format!("churn point {key}: field {field} missing"));
+                continue;
+            };
+            if cur > base * (1.0 + tolerance) {
+                violations.push(format!(
+                    "churn point {key}: {field} regressed {cur:.0} > {base:.0} \
+                     (+{:.1}% exceeds the {:.0}% tolerance)",
+                    (cur / base.max(f64::MIN_POSITIVE) - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else {
+                passed.push(format!(
+                    "churn point {key}: {field} {cur:.0} within {base:.0} +{:.0}%",
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(passed)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Extract `("n=<size>", point)` pairs from a bench document's
+/// top-level `churn` section, plus a synthetic `("totals", churn
+/// object)` entry carrying the experiment-wide totals.
+fn churn_points_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+    let churn = doc.get("churn").ok_or("no \"churn\" section")?;
+    let points = churn
+        .get("convergence")
+        .and_then(Json::items)
+        .ok_or("churn section has no \"convergence\" array")?;
+    let mut out = Vec::with_capacity(points.len() + 1);
+    for point in points {
+        let nodes = point
+            .get("nodes")
+            .and_then(Json::as_f64)
+            .ok_or("churn convergence point without a \"nodes\" count")?;
+        out.push((format!("n={nodes:.0}"), point));
+    }
+    if out.is_empty() {
+        return Err("empty churn \"convergence\" array".into());
+    }
+    out.push(("totals".to_string(), churn));
+    Ok(out)
+}
+
 /// Extract `("label/subs=N", sweep object)` pairs from a bench
 /// document's top-level `subscriptions` section.
 fn subscription_sweeps_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
@@ -595,6 +697,56 @@ mod tests {
         // A document without a subscriptions section is malformed.
         let bare = Json::object(vec![("experiments", Json::Array(vec![]))]);
         assert!(check_subscriptions_baseline(&bare, &baseline, 0.05).is_err());
+    }
+
+    fn churn_doc(rounds: u64, total_bytes: u64) -> Json {
+        Json::object(vec![(
+            "churn",
+            Json::object(vec![
+                (
+                    "convergence",
+                    Json::Array(vec![Json::object(vec![
+                        ("nodes", Json::UInt(100)),
+                        ("rounds", Json::UInt(rounds)),
+                        ("rumor_bytes", Json::UInt(40_000)),
+                    ])]),
+                ),
+                ("total_convergence_rounds", Json::UInt(rounds + 20)),
+                ("total_rumor_bytes", Json::UInt(total_bytes)),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn churn_points_gate_rounds_and_bytes_upward() {
+        let baseline = churn_doc(10, 100_000);
+        // Within tolerance, and improvements, pass.
+        let ok = check_churn_baseline(&churn_doc(10, 104_000), &baseline, 0.05).unwrap();
+        assert_eq!(ok.len(), 4);
+        assert!(check_churn_baseline(&churn_doc(8, 60_000), &baseline, 0.05).is_ok());
+        // Needing more rounds to converge is a regression…
+        let violations =
+            check_churn_baseline(&churn_doc(11, 100_000), &baseline, 0.05).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("n=100")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("rounds")),
+            "{violations:?}"
+        );
+        // …and so is spending more rumor bytes overall.
+        let violations =
+            check_churn_baseline(&churn_doc(10, 111_000), &baseline, 0.05).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("total_rumor_bytes"),
+            "{violations:?}"
+        );
+        assert!(violations[0].contains("totals"), "{violations:?}");
+        // A document without a churn section is malformed.
+        let bare = Json::object(vec![("experiments", Json::Array(vec![]))]);
+        assert!(check_churn_baseline(&bare, &baseline, 0.05).is_err());
     }
 
     #[test]

@@ -1,0 +1,571 @@
+//! The `churn` experiment: gossip membership under sustained change.
+//!
+//! Two scenarios, both enforced in-run (a violated invariant fails the
+//! whole bench run, so CI cannot silently publish a broken figure):
+//!
+//! * **Convergence points** — a cluster of `n` nodes absorbs a burst of
+//!   churn (crashes, a graceful leave, two joins) and must converge back
+//!   to a uniform membership view within the epidemic bound
+//!   `3·⌈log2 n⌉ + 4` rounds at fanout 2, for every configured `n`
+//!   (CI gates 100 and 1000).  Rounds, rumor bytes and message counts
+//!   come from the simulator's exact accounting.
+//!
+//! * **Sustained churn** — a small engine-backed cluster rides out a
+//!   Poisson join/leave/crash stream ([`orchestra_workloads::churn`])
+//!   for several epochs.  Each epoch the initiator plans a query against
+//!   its own *possibly stale* gossip view after a single round of
+//!   dissemination; the answer must match the reference exactly —
+//!   staleness may cost recovery time, never correctness.  The view then
+//!   converges (within the log bound), the routing table follows the
+//!   ground truth under the configured [`ReplicationPolicy`], and
+//!   anti-entropy repairs placement before the next epoch's departures.
+//!
+//! The `--heavy` nightly adds a 1000-node sustained stream (gossip-only:
+//! the engine's dense node sets stop at 256 ids, the membership layer
+//! does not).
+
+use crate::json::Json;
+use orchestra_common::{
+    ColumnType, Epoch, NodeId, NodeSet, OrchestraError, Relation, Result, Schema, Tuple, Value,
+};
+use orchestra_engine::{EngineConfig, PhysicalPlan, PlanBuilder, QueryExecutor};
+use orchestra_simnet::ClusterProfile;
+use orchestra_storage::{anti_entropy, DistributedStorage, StorageConfig, UpdateBatch};
+use orchestra_substrate::{
+    AllocationScheme, Gossip, GossipConfig, MembershipChange, ReplicationPolicy, RoutingTable,
+};
+use orchestra_workloads::{churn_stream, ChurnSpec};
+
+/// Shape of the churn experiment.
+#[derive(Clone, Debug)]
+pub struct ChurnBenchSpec {
+    /// Cluster sizes for the convergence-bound points.
+    pub convergence_sizes: Vec<usize>,
+    /// Epochs of the sustained engine-backed scenario.
+    pub epochs: usize,
+    /// Initial live nodes of the sustained scenario.
+    pub initial_nodes: usize,
+    /// Node-id universe of the sustained scenario (bounds joins).
+    pub universe: usize,
+    /// Rows seeded into the scanned relation.
+    pub rows: i64,
+    /// Replication policy driving both data placement and the stale
+    /// snapshots initiators derive from their gossip views.
+    pub policy: ReplicationPolicy,
+    /// Cluster size of the heavy gossip-only sustained scenario
+    /// (`0` skips it; the nightly passes 1000).
+    pub heavy_nodes: usize,
+    /// Seed for every random draw of the experiment.
+    pub seed: u64,
+}
+
+impl Default for ChurnBenchSpec {
+    fn default() -> Self {
+        ChurnBenchSpec {
+            convergence_sizes: vec![100, 1000],
+            epochs: 6,
+            initial_nodes: 8,
+            universe: 24,
+            rows: 240,
+            policy: ReplicationPolicy::PercentageOfNodes(0.35),
+            heavy_nodes: 0,
+            seed: 0x0c48,
+        }
+    }
+}
+
+/// One convergence-bound measurement: a burst of churn at cluster size
+/// `nodes`, gossiped to uniformity.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergencePoint {
+    /// Cluster size before the burst.
+    pub nodes: usize,
+    /// Gossip fanout in force.
+    pub fanout: usize,
+    /// Rounds until every live view matched the ground truth.
+    pub rounds: u64,
+    /// The enforced bound: `3·⌈log2 nodes⌉ + 4`.
+    pub round_bound: u64,
+    /// Rumor bytes on the wire (simulator accounting).
+    pub rumor_bytes: u64,
+    /// Gossip messages sent.
+    pub messages: u64,
+    /// Messages dropped at departed participants.
+    pub dropped: u64,
+}
+
+impl ConvergencePoint {
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("nodes", Json::UInt(self.nodes as u64)),
+            ("fanout", Json::UInt(self.fanout as u64)),
+            ("rounds", Json::UInt(self.rounds)),
+            ("round_bound", Json::UInt(self.round_bound)),
+            ("rumor_bytes", Json::UInt(self.rumor_bytes)),
+            ("messages", Json::UInt(self.messages)),
+            ("dropped", Json::UInt(self.dropped)),
+        ])
+    }
+}
+
+/// One epoch of the sustained engine-backed scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnEpochPoint {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Membership events injected this epoch.
+    pub events: usize,
+    /// Live nodes once the epoch's churn converged.
+    pub live_after: usize,
+    /// Replication degree the policy chose for that population.
+    pub replication_factor: usize,
+    /// Ground-truth records the initiator's view lagged at query time.
+    pub staleness_at_query: usize,
+    /// Did the stale-snapshot query stall and engage recovery?
+    pub query_recovered: bool,
+    /// Rounds this epoch's churn took to converge.
+    pub convergence_rounds: u64,
+    /// The enforced bound for this epoch.
+    pub round_bound: u64,
+    /// Rumor bytes spent this epoch (dissemination + convergence).
+    pub rumor_bytes: u64,
+    /// Tuples anti-entropy copied to restore placement.
+    pub tuples_copied: usize,
+}
+
+impl ChurnEpochPoint {
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("epoch", Json::UInt(self.epoch as u64)),
+            ("events", Json::UInt(self.events as u64)),
+            ("live_after", Json::UInt(self.live_after as u64)),
+            (
+                "replication_factor",
+                Json::UInt(self.replication_factor as u64),
+            ),
+            (
+                "staleness_at_query",
+                Json::UInt(self.staleness_at_query as u64),
+            ),
+            ("query_recovered", Json::Bool(self.query_recovered)),
+            ("convergence_rounds", Json::UInt(self.convergence_rounds)),
+            ("round_bound", Json::UInt(self.round_bound)),
+            ("rumor_bytes", Json::UInt(self.rumor_bytes)),
+            ("tuples_copied", Json::UInt(self.tuples_copied as u64)),
+        ])
+    }
+}
+
+/// One epoch of the heavy gossip-only sustained scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct HeavyEpochPoint {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Membership events injected this epoch.
+    pub events: usize,
+    /// Live nodes once the epoch converged.
+    pub live_after: usize,
+    /// Staleness sampled at the lowest-id live node after two rounds.
+    pub staleness_sample: usize,
+    /// Rounds this epoch's churn took to converge.
+    pub convergence_rounds: u64,
+    /// The enforced bound for this epoch.
+    pub round_bound: u64,
+    /// Rumor bytes spent this epoch.
+    pub rumor_bytes: u64,
+}
+
+impl HeavyEpochPoint {
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("epoch", Json::UInt(self.epoch as u64)),
+            ("events", Json::UInt(self.events as u64)),
+            ("live_after", Json::UInt(self.live_after as u64)),
+            ("staleness_sample", Json::UInt(self.staleness_sample as u64)),
+            ("convergence_rounds", Json::UInt(self.convergence_rounds)),
+            ("round_bound", Json::UInt(self.round_bound)),
+            ("rumor_bytes", Json::UInt(self.rumor_bytes)),
+        ])
+    }
+}
+
+/// The churn experiment's results.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// Convergence-bound points, one per configured cluster size.
+    pub convergence: Vec<ConvergencePoint>,
+    /// Sustained engine-backed epochs.
+    pub sustained: Vec<ChurnEpochPoint>,
+    /// Heavy gossip-only epochs (empty unless `heavy_nodes > 0`).
+    pub heavy: Vec<HeavyEpochPoint>,
+}
+
+impl ChurnReport {
+    /// Gated total: convergence rounds across the default scenarios
+    /// (heavy points are nightly-only and never enter the baseline).
+    pub fn total_convergence_rounds(&self) -> u64 {
+        self.convergence.iter().map(|p| p.rounds).sum::<u64>()
+            + self
+                .sustained
+                .iter()
+                .map(|p| p.convergence_rounds)
+                .sum::<u64>()
+    }
+
+    /// Gated total: rumor bytes across the default scenarios.
+    pub fn total_rumor_bytes(&self) -> u64 {
+        self.convergence.iter().map(|p| p.rumor_bytes).sum::<u64>()
+            + self.sustained.iter().map(|p| p.rumor_bytes).sum::<u64>()
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "convergence",
+                Json::Array(self.convergence.iter().map(|p| p.to_json()).collect()),
+            ),
+            (
+                "sustained",
+                Json::Array(self.sustained.iter().map(|p| p.to_json()).collect()),
+            ),
+            (
+                "total_convergence_rounds",
+                Json::UInt(self.total_convergence_rounds()),
+            ),
+            ("total_rumor_bytes", Json::UInt(self.total_rumor_bytes())),
+        ];
+        if !self.heavy.is_empty() {
+            fields.push((
+                "heavy",
+                Json::Array(self.heavy.iter().map(|p| p.to_json()).collect()),
+            ));
+        }
+        Json::object(fields)
+    }
+}
+
+/// The epidemic convergence bound enforced throughout: `3·⌈log2 n⌉ + 4`
+/// rounds at fanout 2 (push gossip reaches all n members in `O(log n)`
+/// rounds with overwhelming probability; the constants absorb the
+/// unlucky tail so the gate is deterministic-friendly).
+fn log_round_bound(n: usize) -> u64 {
+    let ceil_log2 = if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u64
+    };
+    3 * ceil_log2 + 4
+}
+
+/// Run the whole experiment.
+pub fn run_churn(spec: &ChurnBenchSpec) -> Result<ChurnReport> {
+    let mut convergence = Vec::with_capacity(spec.convergence_sizes.len());
+    for &n in &spec.convergence_sizes {
+        convergence.push(convergence_point(n, spec.seed)?);
+    }
+    let sustained = sustained_with_queries(spec)?;
+    let heavy = if spec.heavy_nodes > 0 {
+        sustained_gossip_only(spec.heavy_nodes, spec.epochs, spec.seed)?
+    } else {
+        Vec::new()
+    };
+    Ok(ChurnReport {
+        convergence,
+        sustained,
+        heavy,
+    })
+}
+
+/// One convergence point: a burst of churn at cluster size `n`, run to
+/// uniformity under the enforced `O(log n)` bound.
+fn convergence_point(n: usize, seed: u64) -> Result<ConvergencePoint> {
+    if n < 8 {
+        return Err(OrchestraError::Execution(format!(
+            "convergence points need at least 8 nodes, got {n}"
+        )));
+    }
+    let cfg = GossipConfig {
+        seed,
+        ..GossipConfig::default()
+    };
+    let mut gossip = Gossip::new(n, n + 8, cfg, ClusterProfile::wan_metro());
+    // The burst: three crashes and a graceful leave spread around the id
+    // space, plus two fresh joins — every rumor kind at once.
+    let burst = [
+        MembershipChange::Failed(NodeId((n / 5) as u16)),
+        MembershipChange::Failed(NodeId((2 * n / 5) as u16)),
+        MembershipChange::Failed(NodeId((3 * n / 5) as u16)),
+        MembershipChange::Left(NodeId((4 * n / 5) as u16)),
+        MembershipChange::Joined(NodeId(n as u16)),
+        MembershipChange::Joined(NodeId(n as u16 + 1)),
+    ];
+    for change in burst {
+        gossip.inject(change)?;
+    }
+    let round_bound = log_round_bound(n + 2);
+    let rounds = gossip.run_until_converged(round_bound).map_err(|e| {
+        OrchestraError::Execution(format!(
+            "churn enforcement: n={n} failed the O(log n) convergence bound \
+             of {round_bound} rounds at fanout {}: {e}",
+            cfg.fanout
+        ))
+    })?;
+    Ok(ConvergencePoint {
+        nodes: n,
+        fanout: cfg.fanout,
+        rounds,
+        round_bound,
+        rumor_bytes: gossip.total_bytes(),
+        messages: gossip.messages_sent(),
+        dropped: gossip.dropped_messages(),
+    })
+}
+
+/// Build the scanned relation's plan: scan → ship → output.
+fn scan_plan() -> PhysicalPlan {
+    let mut b = PlanBuilder::new();
+    let scan = b.scan("R", 2, None);
+    let ship = b.ship(scan);
+    b.output(ship)
+}
+
+/// The sustained engine-backed scenario (see the module doc).
+fn sustained_with_queries(spec: &ChurnBenchSpec) -> Result<Vec<ChurnEpochPoint>> {
+    let initiator = NodeId(0);
+    let initial: Vec<NodeId> = (0..spec.initial_nodes as u16).map(NodeId).collect();
+    let routing =
+        RoutingTable::build_with_policy(&initial, AllocationScheme::Balanced, spec.policy);
+    let mut storage = DistributedStorage::new(routing, StorageConfig::default());
+    storage.register_relation(Relation::partitioned(
+        "R",
+        Schema::keyed_on_first(vec![("k", ColumnType::Int), ("v", ColumnType::Str)]),
+    ));
+    let mut reference = Vec::new();
+    let mut batch = UpdateBatch::new();
+    for k in 0..spec.rows {
+        let t = Tuple::new(vec![Value::Int(k), Value::str("v0")]);
+        batch.insert("R", t.clone());
+        reference.push(t);
+    }
+    storage.publish(&batch)?;
+    reference.sort();
+    let plan = scan_plan();
+
+    let cfg = GossipConfig {
+        seed: spec.seed,
+        ..GossipConfig::default()
+    };
+    let mut gossip = Gossip::new(
+        spec.initial_nodes,
+        spec.universe,
+        cfg,
+        ClusterProfile::wan_metro(),
+    );
+    let stream = churn_stream(
+        spec.universe,
+        spec.initial_nodes,
+        &[initiator],
+        &ChurnSpec {
+            epochs: spec.epochs,
+            arrivals_per_epoch: 1.5,
+            departures_per_epoch: 1.5,
+            crash_fraction: 0.5,
+            min_live: spec.initial_nodes.saturating_sub(3).max(4),
+            seed: spec.seed,
+        },
+    )?;
+
+    let mut departed: Vec<NodeId> = Vec::new();
+    let mut points = Vec::with_capacity(stream.len());
+    for e in 0..stream.len() {
+        let bytes_before = gossip.total_bytes();
+        for change in stream.epoch(e) {
+            gossip.inject(*change)?;
+            match change {
+                MembershipChange::Joined(n) => {
+                    departed.retain(|d| d != n);
+                    storage.mark_recovered(*n);
+                }
+                MembershipChange::Left(n) | MembershipChange::Failed(n) => departed.push(*n),
+            }
+        }
+        // One round of dissemination: enough for rumors to start
+        // spreading, not enough to converge — the initiator's view is
+        // genuinely stale when the query plans against it.
+        gossip.run_round();
+        let staleness = gossip.staleness_of(initiator);
+        let snapshot = gossip
+            .view(initiator)
+            .ok_or_else(|| {
+                OrchestraError::Execution(format!("initiator {initiator} lost its view"))
+            })?
+            .snapshot(AllocationScheme::Balanced, spec.policy)?;
+        let mut departed_set = NodeSet::empty();
+        for node in &departed {
+            departed_set.insert(*node);
+        }
+        let report = QueryExecutor::new(&storage, EngineConfig::default())
+            .execute_with_stale_snapshot(&plan, Epoch(0), initiator, &snapshot, &departed_set)?;
+        let mut rows = report.rows.clone();
+        rows.sort();
+        if rows != reference {
+            return Err(OrchestraError::Execution(format!(
+                "churn enforcement: epoch {e} answered {} rows against a \
+                 reference of {} under a stale snapshot (staleness {staleness})",
+                rows.len(),
+                reference.len()
+            )));
+        }
+
+        let round_bound = log_round_bound(spec.universe);
+        let convergence_rounds = gossip.run_until_converged(round_bound).map_err(|e2| {
+            OrchestraError::Execution(format!(
+                "churn enforcement: epoch {e} failed the convergence bound \
+                 of {round_bound} rounds: {e2}"
+            ))
+        })?;
+
+        // Adopt the converged truth: rebuild placement under the policy,
+        // mark the departed, repair with anti-entropy.
+        let live = gossip.live_nodes();
+        let truth = RoutingTable::build_with_policy(&live, AllocationScheme::Balanced, spec.policy);
+        let replication_factor = truth.replication_factor();
+        storage.set_routing(truth);
+        for node in &departed {
+            storage.mark_failed(*node);
+        }
+        let repair = anti_entropy(&mut storage)?;
+
+        points.push(ChurnEpochPoint {
+            epoch: e,
+            events: stream.epoch(e).len(),
+            live_after: live.len(),
+            replication_factor,
+            staleness_at_query: staleness,
+            query_recovered: report.recovered,
+            convergence_rounds,
+            round_bound,
+            rumor_bytes: gossip.total_bytes() - bytes_before,
+            tuples_copied: repair.tuples_copied,
+        });
+    }
+    Ok(points)
+}
+
+/// The heavy sustained scenario: a 1000-node (nightly) cluster riding a
+/// denser Poisson stream, gossip-layer only.
+fn sustained_gossip_only(nodes: usize, epochs: usize, seed: u64) -> Result<Vec<HeavyEpochPoint>> {
+    let universe = nodes + nodes / 10 + 8;
+    let cfg = GossipConfig {
+        seed,
+        ..GossipConfig::default()
+    };
+    let mut gossip = Gossip::new(nodes, universe, cfg, ClusterProfile::wan_metro());
+    let stream = churn_stream(
+        universe,
+        nodes,
+        &[],
+        &ChurnSpec {
+            epochs,
+            arrivals_per_epoch: 6.0,
+            departures_per_epoch: 6.0,
+            crash_fraction: 0.5,
+            min_live: nodes / 2,
+            seed,
+        },
+    )?;
+    let mut points = Vec::with_capacity(stream.len());
+    for e in 0..stream.len() {
+        let bytes_before = gossip.total_bytes();
+        for change in stream.epoch(e) {
+            gossip.inject(*change)?;
+        }
+        gossip.run_round();
+        gossip.run_round();
+        let probe = gossip.live_nodes()[0];
+        let staleness_sample = gossip.staleness_of(probe);
+        let round_bound = log_round_bound(universe);
+        let convergence_rounds = gossip.run_until_converged(round_bound).map_err(|e2| {
+            OrchestraError::Execution(format!(
+                "churn enforcement: heavy epoch {e} failed the convergence \
+                 bound of {round_bound} rounds: {e2}"
+            ))
+        })?;
+        points.push(HeavyEpochPoint {
+            epoch: e,
+            events: stream.epoch(e).len(),
+            live_after: gossip.live_nodes().len(),
+            staleness_sample,
+            convergence_rounds,
+            round_bound,
+            rumor_bytes: gossip.total_bytes() - bytes_before,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ChurnBenchSpec {
+        ChurnBenchSpec {
+            convergence_sizes: vec![32],
+            epochs: 3,
+            rows: 120,
+            ..ChurnBenchSpec::default()
+        }
+    }
+
+    #[test]
+    fn churn_experiment_is_deterministic() {
+        let a = run_churn(&small_spec()).unwrap();
+        let b = run_churn(&small_spec()).unwrap();
+        assert_eq!(a.to_json().render(), b.to_json().render());
+    }
+
+    #[test]
+    fn convergence_points_respect_their_bound_and_count_bytes() {
+        let report = run_churn(&small_spec()).unwrap();
+        assert_eq!(report.convergence.len(), 1);
+        let p = &report.convergence[0];
+        assert_eq!(p.nodes, 32);
+        assert!(p.rounds <= p.round_bound);
+        assert!(p.rumor_bytes > 0);
+        assert!(p.messages > 0);
+        assert!(report.heavy.is_empty());
+    }
+
+    #[test]
+    fn sustained_epochs_query_correctly_and_repair_placement() {
+        let report = run_churn(&small_spec()).unwrap();
+        assert_eq!(report.sustained.len(), 3);
+        // The stream has churn, so at least one epoch sees staleness or
+        // a recovery; every epoch stayed within its bound (enforced
+        // in-run, re-checked here) and the totals feed the gate.
+        for p in &report.sustained {
+            assert!(p.convergence_rounds <= p.round_bound);
+        }
+        assert!(report.total_convergence_rounds() > 0);
+        assert!(report.total_rumor_bytes() > 0);
+    }
+
+    #[test]
+    fn heavy_scenario_is_gossip_only_and_bounded() {
+        let spec = ChurnBenchSpec {
+            convergence_sizes: vec![],
+            epochs: 2,
+            heavy_nodes: 64,
+            ..ChurnBenchSpec::default()
+        };
+        let report = run_churn(&spec).unwrap();
+        assert_eq!(report.heavy.len(), 2);
+        for p in &report.heavy {
+            assert!(p.convergence_rounds <= p.round_bound);
+            assert!(p.live_after >= 32);
+        }
+        // Heavy points never enter the gated totals.
+        let bytes: u64 = report.sustained.iter().map(|p| p.rumor_bytes).sum();
+        assert_eq!(report.total_rumor_bytes(), bytes);
+    }
+}

@@ -36,7 +36,12 @@
 //!   [`orchestra_engine::ViewRegistry`] workload per epoch, swept over
 //!   subscriber count × churn against a per-view-independent control,
 //!   with per-epoch delta derivations held to O(changed relations) and
-//!   subscriber diffs accounted under their own key.
+//!   subscriber diffs accounted under their own key;
+//! * **membership churn** — [`run_churn`]: epidemic membership under a
+//!   burst (convergence within `3·⌈log2 n⌉ + 4` rounds at fanout 2,
+//!   enforced for n = 100 and n = 1000) and under sustained Poisson
+//!   churn, where each epoch's query runs against the initiator's
+//!   possibly stale gossip view and must still match the reference.
 //!
 //! Queries reach the executor through the optimizer: every experiment
 //! compiles the workload's [`orchestra_optimizer::LogicalQuery`] against
@@ -55,6 +60,7 @@
 //! [`run_scale_out`] with WAN [`orchestra_simnet::ClusterProfile`]s.
 
 pub mod baseline;
+pub mod churn;
 pub mod equiv;
 pub mod experiments;
 pub mod json;
@@ -66,8 +72,11 @@ pub mod throughput;
 use orchestra_simnet::SimTime;
 
 pub use baseline::{
-    check_maintenance_baseline, check_plan_quality_baseline, check_serving_baseline,
-    check_subscriptions_baseline,
+    check_churn_baseline, check_maintenance_baseline, check_plan_quality_baseline,
+    check_serving_baseline, check_subscriptions_baseline,
+};
+pub use churn::{
+    run_churn, ChurnBenchSpec, ChurnEpochPoint, ChurnReport, ConvergencePoint, HeavyEpochPoint,
 };
 pub use experiments::{
     run_plan_quality, run_recovery_sweep, run_scale_out, run_tagging_overhead, run_wall_clock,

@@ -14,29 +14,34 @@
 //!
 //! `--experiment <name>` restricts the run to one experiment — the fast
 //! subsets CI's smoke and determinism gates use.  An unknown name lists
-//! the valid set and exits non-zero.  The pseudo-experiment `baseline`
-//! runs exactly the gated set (`plan_quality` + `maintenance` +
-//! `serving` + `subscriptions`); its output is what
+//! the valid set and exits non-zero; `--list-experiments` prints the
+//! valid set (one name per line) and exits zero, the machine-readable
+//! form CI's loops iterate.  The pseudo-experiment `baseline` runs
+//! exactly the gated set (`plan_quality` + `maintenance` + `serving` +
+//! `subscriptions` + `churn`); its output is what
 //! `BENCH_BASELINE.json` commits.  `--check-baseline <path>` runs that
 //! set and fails (exit 1) if any estimated cost, measured traffic,
 //! maintenance shipped-bytes total, serving shipped-bytes total,
-//! serving cache hit rate, shared-maintenance shipped-bytes total, or
-//! shared delta-derivation count regressed more than 5% versus the
-//! committed baseline; refresh it with
+//! serving cache hit rate, shared-maintenance shipped-bytes total,
+//! shared delta-derivation count, gossip convergence-rounds total, or
+//! rumor-bytes total regressed more than 5% versus the committed
+//! baseline; refresh it with
 //! `cargo run --release -p orchestra-bench -- --experiment baseline > BENCH_BASELINE.json`.
 //! `--heavy` adds the slow scale points (a thousands-of-sessions
-//! serving run and a 256-subscriber fan-out sweep) to explicitly
-//! selected runs; the committed-baseline set never includes them.
+//! serving run, a 256-subscriber fan-out sweep and a 1000-node
+//! sustained-churn stream) to explicitly selected runs; the
+//! committed-baseline set never includes them.
 //!
 //! Exit status is non-zero (with a message on stderr) if any experiment
 //! fails — including any distributed or *maintained* answer that
 //! disagrees with its workload's single-node reference.
 
 use orchestra_bench::{
-    check_maintenance_baseline, check_plan_quality_baseline, check_serving_baseline,
-    check_subscriptions_baseline, run_maintenance, run_plan_quality, run_recovery_sweep,
-    run_scale_out, run_serving_experiment, run_subscriptions, run_tagging_overhead, run_throughput,
-    run_wall_clock, Json, MaintenanceSweepSpec, ServingSpec, SubscriptionsSpec,
+    check_churn_baseline, check_maintenance_baseline, check_plan_quality_baseline,
+    check_serving_baseline, check_subscriptions_baseline, run_churn, run_maintenance,
+    run_plan_quality, run_recovery_sweep, run_scale_out, run_serving_experiment, run_subscriptions,
+    run_tagging_overhead, run_throughput, run_wall_clock, ChurnBenchSpec, Json,
+    MaintenanceSweepSpec, ServingSpec, SubscriptionsSpec,
 };
 use orchestra_common::{NodeId, Result};
 use orchestra_engine::{AdmissionPolicy, EngineConfig, EvictionPolicy};
@@ -109,6 +114,9 @@ const SUBSCRIBER_COUNTS: [usize; 3] = [1, 8, 64];
 /// The additional fan-out point `--heavy` adds (hundreds of views ×
 /// per-view independent control is too slow for the default gates).
 const HEAVY_SUBSCRIBER_COUNTS: [usize; 4] = [1, 8, 64, 256];
+/// Cluster size of the sustained gossip-only churn stream `--heavy`
+/// adds (the nightly's 1000-node point).
+const CHURN_HEAVY_NODES: usize = 1000;
 /// The subscriptions experiment's churn points: a small-delta stream,
 /// and one that rewrites most of the churned relation per epoch.
 const SUBSCRIPTION_SWEEPS: [MaintenanceSweepSpec; 2] = [
@@ -158,12 +166,12 @@ const MAINTENANCE_SWEEPS: [MaintenanceSweepSpec; 2] = [
 
 /// The selectable experiments, in documentation order.  `baseline` is
 /// the committed-baseline subset: exactly `plan_quality`,
-/// `maintenance`, `serving` and `subscriptions`, the experiments
-/// `--check-baseline` gates.
+/// `maintenance`, `serving`, `subscriptions` and `churn`, the
+/// experiments `--check-baseline` gates.
 /// `wall_clock` (the columnar-vs-legacy host-throughput comparison) runs
 /// only when selected explicitly: its figures measure the host machine
 /// and are inherently nondeterministic.
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "all",
     "scale_out",
     "recovery_sweep",
@@ -173,6 +181,7 @@ const EXPERIMENTS: [&str; 11] = [
     "throughput",
     "serving",
     "subscriptions",
+    "churn",
     "wall_clock",
     "baseline",
 ];
@@ -193,12 +202,17 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Ok(Mode::ListExperiments) => {
+            for name in EXPERIMENTS {
+                println!("{name}");
+            }
+        }
         Err(message) => {
             eprintln!("{message}");
             eprintln!("valid experiments: {}", EXPERIMENTS.join(", "));
             eprintln!(
-                "usage: orchestra-bench [--experiment <name>] [--no-wall-clock] \
-                 [--legacy-row-path] [--heavy] [--check-baseline <path>]"
+                "usage: orchestra-bench [--experiment <name>] [--list-experiments] \
+                 [--no-wall-clock] [--legacy-row-path] [--heavy] [--check-baseline <path>]"
             );
             std::process::exit(2);
         }
@@ -223,6 +237,10 @@ struct RunOptions {
 enum Mode {
     Run(RunOptions),
     CheckBaseline(String),
+    /// Print the selectable experiment names, one per line — the
+    /// machine-readable list CI's loops iterate instead of hard-coding
+    /// names that drift.
+    ListExperiments,
 }
 
 fn parse_args(args: &[String]) -> std::result::Result<Mode, String> {
@@ -230,6 +248,7 @@ fn parse_args(args: &[String]) -> std::result::Result<Mode, String> {
     let mut wall_clock = true;
     let mut legacy_row_path = false;
     let mut heavy = false;
+    let mut list = false;
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -263,8 +282,15 @@ fn parse_args(args: &[String]) -> std::result::Result<Mode, String> {
                 baseline_path = Some(path.clone());
                 i += 2;
             }
+            "--list-experiments" => {
+                list = true;
+                i += 1;
+            }
             other => return Err(format!("unrecognized argument: {other}")),
         }
+    }
+    if list {
+        return Ok(Mode::ListExperiments);
     }
     match baseline_path {
         Some(path) => Ok(Mode::CheckBaseline(path)),
@@ -440,6 +466,20 @@ fn run(options: &RunOptions) -> Result<Json> {
         }
     }
 
+    if all || baseline || experiment == "churn" {
+        let report = run_churn(&ChurnBenchSpec {
+            // The nightly's 1000-node sustained stream; the convergence
+            // points at 100 and 1000 run (and are enforced) everywhere.
+            heavy_nodes: if options.heavy && !baseline {
+                CHURN_HEAVY_NODES
+            } else {
+                0
+            },
+            ..ChurnBenchSpec::default()
+        })?;
+        doc.push(("churn", report.to_json()));
+    }
+
     if all || baseline || experiment == "subscriptions" {
         let counts: &[usize] = if options.heavy && !baseline {
             &HEAVY_SUBSCRIBER_COUNTS
@@ -480,6 +520,7 @@ fn check_baseline(path: &str) -> Result<()> {
         check_maintenance_baseline(&current, &baseline, BASELINE_TOLERANCE),
         check_serving_baseline(&current, &baseline, BASELINE_TOLERANCE),
         check_subscriptions_baseline(&current, &baseline, BASELINE_TOLERANCE),
+        check_churn_baseline(&current, &baseline, BASELINE_TOLERANCE),
     ] {
         match result {
             Ok(passed) => {

@@ -30,10 +30,11 @@ pub use orchestra_substrate as substrate;
 pub use orchestra_workloads as workloads;
 
 pub use orchestra_bench::{
-    failure_sweep_points, poisson_arrivals, run_maintenance, run_plan_quality, run_recovery_sweep,
-    run_scale_out, run_serving_experiment, run_subscriptions, run_tagging_overhead, run_throughput,
-    trace_arrivals, MaintenanceReport, MaintenanceSweepSpec, PlanQuality, RecoverySweep,
-    ScaleOutPoint, ServingPoint, ServingSpec, ServingSweep, SubscriptionSweep, SubscriptionsReport,
+    failure_sweep_points, poisson_arrivals, run_churn, run_maintenance, run_plan_quality,
+    run_recovery_sweep, run_scale_out, run_serving_experiment, run_subscriptions,
+    run_tagging_overhead, run_throughput, trace_arrivals, ChurnBenchSpec, ChurnReport,
+    MaintenanceReport, MaintenanceSweepSpec, PlanQuality, RecoverySweep, ScaleOutPoint,
+    ServingPoint, ServingSpec, ServingSweep, SubscriptionSweep, SubscriptionsReport,
     SubscriptionsSpec, TaggingOverhead, ThroughputPoint, ThroughputSweep,
 };
 pub use orchestra_common::{Epoch, NodeId, QueryFingerprint, Relation, Schema, Tuple, Value};
@@ -50,7 +51,9 @@ pub use orchestra_optimizer::{
 };
 pub use orchestra_simnet::{ClusterProfile, SimTime};
 pub use orchestra_storage::{DistributedStorage, RelationDelta, StorageConfig, UpdateBatch};
-pub use orchestra_substrate::{AllocationScheme, RoutingTable};
+pub use orchestra_substrate::{
+    AllocationScheme, Gossip, GossipConfig, MembershipChange, ReplicationPolicy, RoutingTable,
+};
 pub use orchestra_workloads::{
     compiled_plan, deploy, deploy_all, epoch_stream, mixed_stream, ConcatenateScenario,
     CopyScenario, EpochSpec, EpochStream, TpchDataset, TpchQuery, TpchWorkload, Workload,

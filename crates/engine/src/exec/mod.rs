@@ -94,9 +94,10 @@ mod session;
 mod tests;
 
 use crate::plan::PhysicalPlan;
-use orchestra_common::{Epoch, NodeId, OrchestraError, Result};
+use orchestra_common::{Epoch, NodeId, NodeSet, OrchestraError, Result};
 use orchestra_simnet::{ClusterProfile, SimTime};
 use orchestra_storage::DistributedStorage;
+use orchestra_substrate::RoutingTable;
 
 use pipeline::Runtime;
 use session::SessionSim;
@@ -256,6 +257,63 @@ impl<'a> QueryExecutor<'a> {
         let mut sim = SessionSim::exclusive(table, self.config.profile);
         sim.fail_node(failure.node, failure.at);
         let scratch = Box::new(self.storage.clone());
+        Runtime::new(
+            StorageHandle::Scratch(scratch),
+            &self.config,
+            plan,
+            epoch,
+            initiator,
+            sim,
+        )?
+        .run()
+    }
+
+    /// Execute `plan` against a possibly **stale** routing snapshot — the
+    /// view a gossip-informed initiator derived locally, which may still
+    /// list nodes in `departed` that are in truth already gone.
+    ///
+    /// The run plans and routes strictly by `snapshot`, while the
+    /// simulated network reflects the truth: every node in `departed` is
+    /// dead from the first instant, so messages addressed to it drop and
+    /// its local state is unreachable.  If the snapshot never touches a
+    /// departed node the query completes normally; if it does, the
+    /// end-of-stream cascade stalls and the ordinary Restart/Incremental
+    /// recovery reassigns the departed ranges — exactly the machinery a
+    /// same-epoch failure would invoke.  Staleness therefore costs
+    /// recovery time, never correctness.
+    ///
+    /// Errors if the initiator itself is in `departed` (a dead node
+    /// cannot initiate) or is absent from the snapshot.
+    pub fn execute_with_stale_snapshot(
+        &self,
+        plan: &PhysicalPlan,
+        epoch: Epoch,
+        initiator: NodeId,
+        snapshot: &RoutingTable,
+        departed: &NodeSet,
+    ) -> Result<QueryReport> {
+        if departed.contains(initiator) {
+            return Err(OrchestraError::Execution(format!(
+                "initiator {initiator} has departed and cannot run the query"
+            )));
+        }
+        let mut sim = SessionSim::exclusive(snapshot, self.config.profile);
+        for node in departed.iter() {
+            // A departed node the snapshot no longer lists cannot be
+            // addressed at all (the simulator is sized to the snapshot's
+            // members), so only snapshot members need killing.
+            if snapshot.contains_node(node) {
+                sim.fail_node(node, SimTime::ZERO);
+            }
+        }
+        let mut scratch = Box::new(self.storage.clone());
+        scratch.set_routing(snapshot.clone());
+        // The departed nodes' local state is unreachable from the first
+        // instant: storage lookups must fail over to surviving replicas
+        // rather than pretend to read a dead node's disk.
+        for node in departed.iter() {
+            scratch.mark_failed(node);
+        }
         Runtime::new(
             StorageHandle::Scratch(scratch),
             &self.config,

@@ -134,6 +134,15 @@ impl ClusterProfile {
         }
     }
 
+    /// A many-node metropolitan WAN for membership-dissemination studies:
+    /// broadband-class per-node links (1 MB/s) with 20 ms one-way latency.
+    /// Gossip messages are tiny, so what matters here is latency and the
+    /// sheer node count (hundreds to thousands of participants), not
+    /// bulk-transfer bandwidth.
+    pub fn wan_metro() -> ClusterProfile {
+        ClusterProfile::wan(1000.0, 20.0)
+    }
+
     /// Transfer time of `bytes` over one node's link, excluding latency.
     pub fn transfer_time(&self, bytes: usize) -> SimTime {
         SimTime::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)

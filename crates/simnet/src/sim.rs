@@ -161,6 +161,17 @@ impl<M> Simulator<M> {
         }
     }
 
+    /// Clear `node`'s failure record: it participates again from the next
+    /// event onwards (a churned node rejoining with a fresh process).
+    ///
+    /// Messages that were addressed to the node while it was down and have
+    /// already been popped stay dropped; events still queued will now be
+    /// delivered — the simulated equivalent of a packet arriving just as
+    /// the replacement process binds the port.
+    pub fn revive_node(&mut self, node: NodeId) {
+        self.failed_at[node.index()] = None;
+    }
+
     /// Has `node` failed as of `at`?
     pub fn is_failed_at(&self, node: NodeId, at: SimTime) -> bool {
         matches!(self.failed_at[node.index()], Some(t) if t <= at)
@@ -450,6 +461,25 @@ mod tests {
         assert!(s.is_failed_at(NodeId(1), SimTime::from_millis(1)));
         assert!(!s.is_failed_at(NodeId(1), SimTime::ZERO));
         assert_eq!(s.failed_nodes_at(SimTime::from_secs(1)).len(), 1);
+    }
+
+    #[test]
+    fn revived_node_sends_and_receives_again() {
+        let mut s = sim(2);
+        s.fail_node(NodeId(1), SimTime::ZERO);
+        assert!(s
+            .send(NodeId(1), NodeId(0), 10, SimTime::from_millis(1), "dead")
+            .is_none());
+        s.revive_node(NodeId(1));
+        assert!(!s.is_failed_at(NodeId(1), SimTime::from_secs(1)));
+        assert!(s
+            .send(NodeId(1), NodeId(0), 10, SimTime::from_millis(2), "alive")
+            .is_some());
+        assert!(s
+            .send(NodeId(0), NodeId(1), 10, SimTime::from_millis(2), "inbound")
+            .is_some());
+        let delivered: Vec<&str> = std::iter::from_fn(|| s.next().map(|d| d.payload)).collect();
+        assert_eq!(delivered, vec!["alive", "inbound"]);
     }
 
     #[test]

@@ -150,6 +150,15 @@ impl DistributedStorage {
         self.failed.insert(node);
     }
 
+    /// Clear a node's failed mark: a crashed or departed node has
+    /// rejoined (as a fresh process on the same identity) and may be
+    /// read from and written to again.  Its store is whatever survived
+    /// in this process — typically empty until anti-entropy repopulates
+    /// it under a routing table that lists the node once more.
+    pub fn mark_recovered(&mut self, node: NodeId) {
+        self.failed.remove(node);
+    }
+
     /// Nodes currently marked failed.
     pub fn failed_nodes(&self) -> NodeSet {
         self.failed

@@ -59,4 +59,5 @@ pub use delta::{DeltaPartitionScan, PartitionDelta, RelationDelta};
 pub use distributed::{DistributedStorage, PartitionScan, RetrievalResult, StorageConfig};
 pub use node_store::NodeStore;
 pub use page::{IndexPage, PageDescriptor, PageId};
+pub use replication::{anti_entropy, ReplicationReport};
 pub use update::{Update, UpdateBatch};

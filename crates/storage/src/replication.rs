@@ -117,7 +117,7 @@ mod tests {
     use crate::distributed::StorageConfig;
     use crate::update::UpdateBatch;
     use orchestra_common::{ColumnType, Epoch, NodeId, Relation, Schema, Tuple, Value};
-    use orchestra_substrate::{AllocationScheme, RoutingTable};
+    use orchestra_substrate::{zone_of, AllocationScheme, ReplicationPolicy, RoutingTable};
 
     fn build_storage(nodes: u16) -> DistributedStorage {
         let routing = RoutingTable::build(
@@ -168,6 +168,59 @@ mod tests {
         let result = s.retrieve("R", Epoch(0), NodeId(6), &|_| true).unwrap();
         assert_eq!(result.tuples.len(), 150);
         // A second pass is a no-op.
+        assert_eq!(anti_entropy(&mut s).unwrap(), ReplicationReport::default());
+    }
+
+    #[test]
+    fn switching_to_a_geo_spread_policy_rebalances_across_zones() {
+        let mut s = build_storage(12);
+        // Operations hands down a new placement policy: copies must span
+        // three failure zones.  Anti-entropy realises it without any new
+        // plumbing, because it asks the routing table for replica sets.
+        let policy = ReplicationPolicy::GeoSpread {
+            zones: 3,
+            copies_per_zone: 1,
+        };
+        let routing = RoutingTable::build_with_policy(
+            &(0..12).map(NodeId).collect::<Vec<_>>(),
+            AllocationScheme::Balanced,
+            policy,
+        );
+        s.set_routing(routing);
+        anti_entropy(&mut s).unwrap();
+        // Every tuple version now has a copy in every zone.
+        for src in s.routing().nodes() {
+            for (relation, hash, id, _) in s.store(src).tuples_with_relation() {
+                let mut zones_covered = [false; 3];
+                for holder in s.routing().nodes() {
+                    if s.store(holder).tuple(relation, *hash, id).is_some() {
+                        zones_covered[zone_of(holder, 3)] = true;
+                    }
+                }
+                assert_eq!(
+                    zones_covered, [true; 3],
+                    "tuple {id:?} of {relation} not spread across all zones"
+                );
+            }
+        }
+        // A second pass finds nothing left to do.
+        assert_eq!(anti_entropy(&mut s).unwrap(), ReplicationReport::default());
+    }
+
+    #[test]
+    fn percentage_policy_raises_the_replication_degree_with_the_cluster() {
+        let mut s = build_storage(10);
+        // 40% of 10 nodes = degree 4, one more copy than the fixed-factor
+        // seeding; anti-entropy tops every item up.
+        let routing = RoutingTable::build_with_policy(
+            &(0..10).map(NodeId).collect::<Vec<_>>(),
+            AllocationScheme::Balanced,
+            ReplicationPolicy::PercentageOfNodes(0.4),
+        );
+        assert_eq!(routing.replication_factor(), 4);
+        s.set_routing(routing);
+        let report = anti_entropy(&mut s).unwrap();
+        assert!(report.tuples_copied > 0, "degree 3 → 4 requires copies");
         assert_eq!(anti_entropy(&mut s).unwrap(), ReplicationReport::default());
     }
 

@@ -1,0 +1,886 @@
+//! Epidemic membership dissemination.
+//!
+//! The paper models membership as a single authoritative routing snapshot
+//! per query, rebuilt stop-the-world on every change — workable for the
+//! "dozens to hundreds of relatively stable machines" of Section I, but
+//! not for sustained churn at a thousand participants.  This module adds
+//! the Dynamo-family alternative: every node keeps its own *local* view of
+//! the membership and learns about changes through **rumors** exchanged in
+//! periodic fanout-`k` gossip rounds over the simulated network, with real
+//! message and byte accounting.
+//!
+//! ## Rumor lifecycle
+//!
+//! A [`Rumor`] asserts that `subject` is in [`PeerState`] at a given
+//! **incarnation**.  Incarnations are per-origin version numbers: a node
+//! bumps its own incarnation each time it (re)joins, which is what lets a
+//! rejoined node *refute* stale failure rumors still circulating about its
+//! previous life.  Conflicts resolve by a total order:
+//!
+//! 1. higher incarnation wins outright;
+//! 2. at equal incarnation, `Failed > Left > Alive` (a crash report about
+//!    incarnation `i` beats the birth announcement of incarnation `i`, and
+//!    only incarnation `i + 1` can overturn it).
+//!
+//! An accepted rumor becomes **hot**: the receiver retransmits it for a
+//! bounded number of rounds (`O(log n)` by default) to `fanout` peers
+//! chosen uniformly from the nodes it currently believes alive, then stops
+//! — classic rumor mongering, which spreads an update to all `n` nodes in
+//! `O(log n)` expected rounds while keeping per-round traffic bounded.
+//!
+//! Rumor mongering alone can strand a cluster: a rumor's retransmit
+//! budgets may all expire before it reaches every member, and the
+//! knowledge that a node failed can vanish outright if its detector
+//! departs before spreading the report.  Two SWIM-style backstops close
+//! those gaps: each round every live node *probes* one believed-alive
+//! peer (learning the terminal record of a peer that is in truth gone),
+//! and [`Gossip::run_until_converged`] falls back to a **full-state
+//! sync round** whenever the hot path goes quiet while views still
+//! disagree.
+//!
+//! ## Derived membership
+//!
+//! Nothing here is authoritative.  A node's [`MemberView`] *derives* a
+//! [`Membership`] (and from it a `RoutingSnapshot`) on demand — two nodes
+//! may derive different memberships at the same instant, and a query
+//! planned against one node's snapshot may reference peers that are
+//! already gone.  That staleness is deliberate: the engine's existing
+//! Restart/Incremental recovery absorbs it (see
+//! `QueryExecutor::execute_with_stale_snapshot`), so membership agreement
+//! is needed only *eventually*, not per-query.
+
+use crate::allocation::AllocationScheme;
+use crate::membership::{Membership, MembershipChange};
+use crate::replication::ReplicationPolicy;
+use crate::routing::RoutingSnapshot;
+use orchestra_common::rng::{self, StdRng};
+use orchestra_common::{NodeId, OrchestraError, Result};
+use orchestra_simnet::{ClusterProfile, SimTime, Simulator};
+use std::collections::BTreeMap;
+
+/// Wire size of one serialized rumor: 2 bytes subject id, 8 bytes
+/// incarnation, 1 byte state tag.
+pub const RUMOR_WIRE_BYTES: usize = 11;
+
+/// Fixed per-message overhead: sender id, rumor count, protocol/round
+/// header — the envelope around the rumor batch.
+pub const GOSSIP_HEADER_BYTES: usize = 16;
+
+/// The state a rumor asserts about its subject.
+///
+/// The declaration order *is* the same-incarnation precedence: at equal
+/// incarnation a `Failed` report beats `Left`, which beats `Alive`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PeerState {
+    /// The subject is a live participant.
+    Alive,
+    /// The subject departed gracefully.
+    Left,
+    /// The subject was detected as crashed.
+    Failed,
+}
+
+/// One membership assertion circulating through the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rumor {
+    /// The node the rumor is about.
+    pub subject: NodeId,
+    /// The subject's per-origin incarnation number the assertion refers
+    /// to.  Bumped by the subject itself on every (re)join.
+    pub incarnation: u64,
+    /// The asserted state.
+    pub state: PeerState,
+}
+
+impl Rumor {
+    /// Does this rumor carry newer information than `(incarnation,
+    /// state)`?  Higher incarnation wins; ties break by state precedence.
+    pub fn supersedes(&self, incarnation: u64, state: PeerState) -> bool {
+        self.incarnation > incarnation || (self.incarnation == incarnation && self.state > state)
+    }
+}
+
+/// One node's local, versioned view of the membership.
+///
+/// Holds the most recent `(incarnation, state)` record accepted for every
+/// node it has ever heard about, the set of still-hot rumors it is
+/// mongering, and the ordered log of accepted changes (the derived
+/// [`Membership::history`]).
+#[derive(Clone, Debug)]
+pub struct MemberView {
+    records: BTreeMap<NodeId, (u64, PeerState)>,
+    /// Rumors this node is still retransmitting, with remaining rounds.
+    hot: Vec<(Rumor, u32)>,
+    history: Vec<MembershipChange>,
+    version: u64,
+}
+
+impl MemberView {
+    /// A view that already knows `alive` members at incarnation 1 — the
+    /// bootstrap state of a node that joined a settled cluster.
+    pub fn seeded(alive: impl IntoIterator<Item = NodeId>) -> MemberView {
+        MemberView {
+            records: alive
+                .into_iter()
+                .map(|n| (n, (1, PeerState::Alive)))
+                .collect(),
+            hot: Vec::new(),
+            history: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// Merge a rumor into the view.  Returns `true` if it carried news
+    /// (and is now hot for `budget` more rounds); stale and duplicate
+    /// rumors are ignored.
+    pub fn apply(&mut self, rumor: Rumor, budget: u32) -> bool {
+        if let Some(&(inc, state)) = self.records.get(&rumor.subject) {
+            if !rumor.supersedes(inc, state) {
+                return false;
+            }
+        }
+        self.records
+            .insert(rumor.subject, (rumor.incarnation, rumor.state));
+        // A newer assertion refutes any older hot rumor about the subject.
+        self.hot.retain(|(r, _)| r.subject != rumor.subject);
+        if budget > 0 {
+            self.hot.push((rumor, budget));
+        }
+        self.history.push(match rumor.state {
+            PeerState::Alive => MembershipChange::Joined(rumor.subject),
+            PeerState::Left => MembershipChange::Left(rumor.subject),
+            PeerState::Failed => MembershipChange::Failed(rumor.subject),
+        });
+        self.version += 1;
+        true
+    }
+
+    /// The rumors to push this round.  Each hot rumor's budget drops by
+    /// one; exhausted rumors go cold (they stay in `records`, they just
+    /// stop being retransmitted).
+    pub fn take_hot(&mut self) -> Vec<Rumor> {
+        let out: Vec<Rumor> = self.hot.iter().map(|(r, _)| *r).collect();
+        for entry in &mut self.hot {
+            entry.1 -= 1;
+        }
+        self.hot.retain(|(_, b)| *b > 0);
+        out
+    }
+
+    /// Every record of this view as a rumor — the payload of a
+    /// full-state anti-entropy push ([`Gossip::run_sync_round`]).
+    pub fn all_rumors(&self) -> Vec<Rumor> {
+        self.records
+            .iter()
+            .map(|(n, (incarnation, state))| Rumor {
+                subject: *n,
+                incarnation: *incarnation,
+                state: *state,
+            })
+            .collect()
+    }
+
+    /// Monotone counter bumped on every accepted rumor: two views with
+    /// equal versions that started from the same seed are identical.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The latest accepted record about `node`, if any.
+    pub fn state_of(&self, node: NodeId) -> Option<(u64, PeerState)> {
+        self.records.get(&node).copied()
+    }
+
+    /// Does this view believe `node` is currently alive?
+    pub fn believes_alive(&self, node: NodeId) -> bool {
+        matches!(self.records.get(&node), Some((_, PeerState::Alive)))
+    }
+
+    /// All nodes this view believes alive, sorted by id.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.records
+            .iter()
+            .filter(|(_, (_, s))| *s == PeerState::Alive)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Derive a [`Membership`] from this view: the believed-alive set,
+    /// the believed-failed set, and the accepted-change log.  Possibly
+    /// stale by construction.
+    pub fn membership(&self, scheme: AllocationScheme, policy: ReplicationPolicy) -> Membership {
+        let failed = self
+            .records
+            .iter()
+            .filter(|(_, (_, s))| *s == PeerState::Failed)
+            .map(|(n, _)| *n);
+        Membership::derived(
+            self.alive_nodes(),
+            failed,
+            self.history.clone(),
+            scheme,
+            policy,
+        )
+    }
+
+    /// Derive a routing snapshot a query initiator would plan against.
+    pub fn snapshot(
+        &self,
+        scheme: AllocationScheme,
+        policy: ReplicationPolicy,
+    ) -> Result<RoutingSnapshot> {
+        Ok(self.membership(scheme, policy).routing_table()?.snapshot())
+    }
+}
+
+/// Configuration of the gossip protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct GossipConfig {
+    /// Peers each node pushes its hot rumors to per round.
+    pub fanout: usize,
+    /// Virtual time between gossip rounds, in milliseconds.
+    pub round_ms: u64,
+    /// Rounds a node retransmits a freshly accepted rumor; `0` selects
+    /// `⌈log2 n⌉ + 2` automatically.
+    pub push_rounds: u32,
+    /// Seed for peer selection (all gossip randomness flows from here).
+    pub seed: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            fanout: 2,
+            round_ms: 200,
+            push_rounds: 0,
+            seed: 0x60551b,
+        }
+    }
+}
+
+/// A gossiping cluster: the ground truth of who is actually up, every
+/// live node's [`MemberView`], and the simulated network the rumors
+/// travel over.
+///
+/// Drives the whole-cluster simulation; per-node state stays strictly
+/// view-local, so the convergence and staleness it measures are honest.
+pub struct Gossip {
+    cfg: GossipConfig,
+    push_budget: u32,
+    sim: Simulator<Vec<Rumor>>,
+    /// `Some` iff the node currently participates in gossip.
+    views: Vec<Option<MemberView>>,
+    /// Ground truth: the latest incarnation and state of every node that
+    /// was ever a member (`None` = never joined).
+    truth: Vec<Option<(u64, PeerState)>>,
+    rounds_run: u64,
+    messages_sent: u64,
+}
+
+impl Gossip {
+    /// A settled cluster of nodes `0..initial` out of a universe of
+    /// `universe` possible participants, gossiping over `profile`.
+    ///
+    /// Panics if `initial` is zero or exceeds `universe`.
+    pub fn new(
+        initial: usize,
+        universe: usize,
+        cfg: GossipConfig,
+        profile: ClusterProfile,
+    ) -> Gossip {
+        assert!(
+            initial > 0 && initial <= universe,
+            "need 0 < initial <= universe"
+        );
+        assert!(universe <= u16::MAX as usize, "node ids are u16");
+        let push_budget = if cfg.push_rounds == 0 {
+            (universe.max(2) as f64).log2().ceil() as u32 + 2
+        } else {
+            cfg.push_rounds
+        };
+        let members: Vec<NodeId> = (0..initial as u16).map(NodeId).collect();
+        let mut views = vec![None; universe];
+        for n in &members {
+            views[n.index()] = Some(MemberView::seeded(members.iter().copied()));
+        }
+        let mut truth = vec![None; universe];
+        for n in &members {
+            truth[n.index()] = Some((1, PeerState::Alive));
+        }
+        Gossip {
+            cfg,
+            push_budget,
+            sim: Simulator::new(universe, profile),
+            views,
+            truth,
+            rounds_run: 0,
+            messages_sent: 0,
+        }
+    }
+
+    /// Inject a membership event into the ground truth and seed the
+    /// corresponding rumor at its origin:
+    ///
+    /// * `Joined(x)` — `x` bumps its incarnation, copies the view of its
+    ///   bootstrap contact (the lowest-id live node), and both start
+    ///   mongering the `Alive` rumor.
+    /// * `Left(x)` — `x` announces its departure to its contact and goes
+    ///   dark (messages to it now drop).
+    /// * `Failed(x)` — `x` crashes silently; its failure-detector
+    ///   neighbour (next live node by id) originates the `Failed` rumor.
+    pub fn inject(&mut self, change: MembershipChange) -> Result<()> {
+        let now = self.sim.now();
+        match change {
+            MembershipChange::Joined(x) => {
+                if self.views[x.index()].is_some() {
+                    return Err(OrchestraError::Substrate(format!(
+                        "node {x} is already gossiping"
+                    )));
+                }
+                let inc = self.truth[x.index()].map_or(1, |(i, _)| i + 1);
+                self.truth[x.index()] = Some((inc, PeerState::Alive));
+                self.sim.revive_node(x);
+                let rumor = Rumor {
+                    subject: x,
+                    incarnation: inc,
+                    state: PeerState::Alive,
+                };
+                let mut view = match self.contact(x) {
+                    Some(c) => self.views[c.index()].clone().expect("contact is live"),
+                    None => MemberView::seeded([]),
+                };
+                view.apply(rumor, self.push_budget);
+                self.views[x.index()] = Some(view);
+                if let Some(c) = self.contact(x) {
+                    self.apply_at(c, rumor);
+                }
+            }
+            MembershipChange::Left(x) => {
+                let Some((inc, _)) = self.truth[x.index()] else {
+                    return Err(OrchestraError::Substrate(format!(
+                        "node {x} was never a member"
+                    )));
+                };
+                self.truth[x.index()] = Some((inc, PeerState::Left));
+                self.views[x.index()] = None;
+                self.sim.fail_node(x, now);
+                let rumor = Rumor {
+                    subject: x,
+                    incarnation: inc,
+                    state: PeerState::Left,
+                };
+                if let Some(c) = self.contact(x) {
+                    self.apply_at(c, rumor);
+                }
+            }
+            MembershipChange::Failed(x) => {
+                let Some((inc, _)) = self.truth[x.index()] else {
+                    return Err(OrchestraError::Substrate(format!(
+                        "node {x} was never a member"
+                    )));
+                };
+                self.truth[x.index()] = Some((inc, PeerState::Failed));
+                self.views[x.index()] = None;
+                self.sim.fail_node(x, now);
+                let rumor = Rumor {
+                    subject: x,
+                    incarnation: inc,
+                    state: PeerState::Failed,
+                };
+                if let Some(detector) = self.detector_of(x) {
+                    self.apply_at(detector, rumor);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one gossip round: every live node probes one believed-alive
+    /// peer (an accurate failure detector — a ping to a peer that has
+    /// in truth departed returns no ack, and the prober learns its
+    /// terminal record), then pushes its hot rumors to `fanout` peers
+    /// drawn from the nodes *it* believes alive, and finally all
+    /// resulting deliveries are merged.  Messages to departed nodes drop
+    /// in the simulator (and are counted there).
+    pub fn run_round(&mut self) {
+        self.round(false);
+    }
+
+    /// One full-state anti-entropy round: every live node pushes its
+    /// *entire* record set, not just its hot rumors, to `fanout` peers.
+    /// Rumor mongering's per-record budgets can die out before a rumor
+    /// reaches every member, freezing stale views; epidemic layers
+    /// therefore back the hot path with periodic full sync (SWIM's
+    /// anti-entropy), and [`Gossip::run_until_converged`] falls back to
+    /// this whenever the hot path goes quiet while views still disagree.
+    pub fn run_sync_round(&mut self) {
+        self.round(true);
+    }
+
+    fn round(&mut self, full_sync: bool) {
+        let start = SimTime::from_millis(self.rounds_run * self.cfg.round_ms);
+        self.sim.advance_to(start);
+        // Peer selection draws from a stream derived per round, so the
+        // choices are independent of how callers interleave inject() with
+        // run_round() — determinism depends only on the event sequence.
+        let mut rng = self.round_rng();
+        for id in 0..self.views.len() {
+            let node = NodeId(id as u16);
+            let Some(view) = self.views[id].as_mut() else {
+                continue;
+            };
+            let peers: Vec<NodeId> = view
+                .alive_nodes()
+                .into_iter()
+                .filter(|p| *p != node)
+                .collect();
+            if peers.is_empty() {
+                continue;
+            }
+            // The probe: without it, knowledge of a failure can vanish
+            // entirely (the one-shot detector departs before its rumor
+            // spreads) and no view could ever re-learn it.  Ping/ack
+            // bytes are noise next to rumor payloads and are not part
+            // of the byte accounting.
+            let probe = peers[rng.random_range(0..peers.len())];
+            if let Some((incarnation, state)) = self.truth[probe.index()] {
+                if state != PeerState::Alive {
+                    view.apply(
+                        Rumor {
+                            subject: probe,
+                            incarnation,
+                            state,
+                        },
+                        self.push_budget,
+                    );
+                }
+            }
+            let rumors = if full_sync {
+                view.all_rumors()
+            } else {
+                view.take_hot()
+            };
+            if rumors.is_empty() {
+                continue;
+            }
+            let bytes = GOSSIP_HEADER_BYTES + RUMOR_WIRE_BYTES * rumors.len();
+            let k = self.cfg.fanout.min(peers.len());
+            let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let cand = peers[rng.random_range(0..peers.len())];
+                if !chosen.contains(&cand) {
+                    chosen.push(cand);
+                }
+            }
+            for dst in chosen {
+                if self
+                    .sim
+                    .send(node, dst, bytes, start, rumors.clone())
+                    .is_some()
+                {
+                    self.messages_sent += 1;
+                }
+            }
+        }
+        while let Some(d) = self.sim.next() {
+            if let Some(view) = self.views[d.to.index()].as_mut() {
+                for rumor in d.payload {
+                    view.apply(rumor, self.push_budget);
+                }
+            }
+        }
+        self.rounds_run += 1;
+    }
+
+    /// Run rounds until every live view agrees with the ground truth,
+    /// returning how many rounds it took.  Errors if `max_rounds` pass
+    /// without convergence.
+    ///
+    /// Rumor mongering carries almost every run; if a round puts no
+    /// message on the wire while views still disagree (the hot path died
+    /// out before full coverage), the next round is a full-state sync
+    /// ([`Gossip::run_sync_round`]) so convergence can never freeze.
+    pub fn run_until_converged(&mut self, max_rounds: u64) -> Result<u64> {
+        let start = self.rounds_run;
+        let mut sync_next = false;
+        while self.rounds_run - start <= max_rounds {
+            if self.converged() {
+                return Ok(self.rounds_run - start);
+            }
+            if self.rounds_run - start == max_rounds {
+                break;
+            }
+            let sent_before = self.messages_sent;
+            if sync_next {
+                self.run_sync_round();
+            } else {
+                self.run_round();
+            }
+            sync_next = self.messages_sent == sent_before;
+        }
+        Err(OrchestraError::Substrate(format!(
+            "gossip failed to converge within {max_rounds} rounds"
+        )))
+    }
+
+    /// Do all live views agree with the ground truth about who is alive?
+    pub fn converged(&self) -> bool {
+        let truth_alive: Vec<bool> = self
+            .truth
+            .iter()
+            .map(|t| matches!(t, Some((_, PeerState::Alive))))
+            .collect();
+        self.views.iter().flatten().all(|view| {
+            (0..truth_alive.len()).all(|u| view.believes_alive(NodeId(u as u16)) == truth_alive[u])
+        })
+    }
+
+    /// How many of `viewer`'s records lag the ground truth — the
+    /// staleness a query planned at `viewer` right now would embed.
+    pub fn staleness_of(&self, viewer: NodeId) -> usize {
+        let Some(view) = self.views[viewer.index()].as_ref() else {
+            return 0;
+        };
+        self.truth
+            .iter()
+            .enumerate()
+            .filter(|(u, t)| {
+                let Some((inc, state)) = t else { return false };
+                let truth = Rumor {
+                    subject: NodeId(*u as u16),
+                    incarnation: *inc,
+                    state: *state,
+                };
+                match view.state_of(truth.subject) {
+                    Some((vi, vs)) => truth.supersedes(vi, vs),
+                    None => true,
+                }
+            })
+            .count()
+    }
+
+    /// The local view of `node`, if it is participating.
+    pub fn view(&self, node: NodeId) -> Option<&MemberView> {
+        self.views[node.index()].as_ref()
+    }
+
+    /// Ground truth: the nodes actually alive right now, sorted by id.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.truth
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, Some((_, PeerState::Alive))))
+            .map(|(i, _)| NodeId(i as u16))
+            .collect()
+    }
+
+    /// Gossip rounds executed so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Gossip messages actually placed on the wire.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total rumor bytes transferred (from the simulator's exact
+    /// accounting).
+    pub fn total_bytes(&self) -> u64 {
+        self.sim.stats().total_bytes()
+    }
+
+    /// Messages dropped because a participant had already departed.
+    pub fn dropped_messages(&self) -> u64 {
+        self.sim.dropped_messages()
+    }
+
+    /// The retransmit budget given to freshly accepted rumors.
+    pub fn push_budget(&self) -> u32 {
+        self.push_budget
+    }
+
+    /// The lowest-id live node other than `x` — bootstrap contact and
+    /// departure witness.
+    fn contact(&self, x: NodeId) -> Option<NodeId> {
+        self.live_nodes().into_iter().find(|n| *n != x)
+    }
+
+    /// The failure detector for `x`: the next live node by id (wrapping),
+    /// a deterministic stand-in for the ping neighbour of Section V-C.
+    fn detector_of(&self, x: NodeId) -> Option<NodeId> {
+        let n = self.views.len() as u16;
+        (1..n)
+            .map(|step| NodeId((x.0 + step) % n))
+            .find(|cand| self.views[cand.index()].is_some())
+    }
+
+    fn apply_at(&mut self, node: NodeId, rumor: Rumor) {
+        if let Some(view) = self.views[node.index()].as_mut() {
+            view.apply(rumor, self.push_budget);
+        }
+    }
+
+    fn round_rng(&self) -> StdRng {
+        rng::seeded_stream(
+            self.cfg.seed ^ self.rounds_run.wrapping_mul(0x9e3779b97f4a7c15),
+            "gossip-round",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Gossip {
+        Gossip::new(
+            n,
+            n + 8,
+            GossipConfig::default(),
+            ClusterProfile::wan_metro(),
+        )
+    }
+
+    #[test]
+    fn settled_cluster_starts_converged() {
+        let g = cluster(8);
+        assert!(g.converged());
+        assert_eq!(g.live_nodes().len(), 8);
+        assert_eq!(g.total_bytes(), 0);
+    }
+
+    #[test]
+    fn rumor_precedence_orders_states_and_incarnations() {
+        let alive2 = Rumor {
+            subject: NodeId(1),
+            incarnation: 2,
+            state: PeerState::Alive,
+        };
+        assert!(
+            alive2.supersedes(1, PeerState::Failed),
+            "higher incarnation wins"
+        );
+        assert!(
+            !alive2.supersedes(2, PeerState::Failed),
+            "equal incarnation: Failed beats Alive"
+        );
+        assert!(!alive2.supersedes(3, PeerState::Alive));
+        let failed2 = Rumor {
+            subject: NodeId(1),
+            incarnation: 2,
+            state: PeerState::Failed,
+        };
+        assert!(failed2.supersedes(2, PeerState::Left));
+        assert!(failed2.supersedes(2, PeerState::Alive));
+    }
+
+    #[test]
+    fn join_rumor_reaches_every_view() {
+        let mut g = cluster(16);
+        g.inject(MembershipChange::Joined(NodeId(20))).unwrap();
+        assert!(!g.converged());
+        let rounds = g.run_until_converged(64).unwrap();
+        assert!(rounds > 0);
+        for n in g.live_nodes() {
+            assert!(
+                g.view(n).unwrap().believes_alive(NodeId(20)),
+                "{n} missed the join"
+            );
+        }
+        assert!(g.total_bytes() > 0);
+        assert!(g.messages_sent() > 0);
+    }
+
+    #[test]
+    fn failure_rumor_evicts_the_crashed_node_everywhere() {
+        let mut g = cluster(16);
+        g.inject(MembershipChange::Failed(NodeId(3))).unwrap();
+        g.run_until_converged(64).unwrap();
+        for n in g.live_nodes() {
+            assert!(!g.view(n).unwrap().believes_alive(NodeId(3)));
+        }
+        // The crashed node itself no longer participates.
+        assert!(g.view(NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn rejoin_with_higher_incarnation_refutes_stale_failure_rumor() {
+        let mut g = cluster(16);
+        // Node 5 crashes; the failure rumor starts circulating...
+        g.inject(MembershipChange::Failed(NodeId(5))).unwrap();
+        g.run_round();
+        // ...but node 5 rejoins (incarnation 2) before it has converged.
+        g.inject(MembershipChange::Joined(NodeId(5))).unwrap();
+        g.run_until_converged(64).unwrap();
+        // The stale Failed(inc 1) rumor must not evict the rejoined node.
+        for n in g.live_nodes() {
+            let (inc, state) = g.view(n).unwrap().state_of(NodeId(5)).unwrap();
+            assert_eq!(
+                (inc, state),
+                (2, PeerState::Alive),
+                "view at {n} kept a stale record"
+            );
+        }
+        assert!(g.live_nodes().contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn stale_failure_rumor_arriving_after_rejoin_is_discarded() {
+        // Direct view-level check of the satellite requirement: a Failed
+        // rumor about incarnation 1 reaching a view that already accepted
+        // Alive at incarnation 2 is a no-op.
+        let mut view = MemberView::seeded([NodeId(0), NodeId(1)]);
+        assert!(view.apply(
+            Rumor {
+                subject: NodeId(1),
+                incarnation: 2,
+                state: PeerState::Alive,
+            },
+            3,
+        ));
+        let version = view.version();
+        assert!(!view.apply(
+            Rumor {
+                subject: NodeId(1),
+                incarnation: 1,
+                state: PeerState::Failed,
+            },
+            3,
+        ));
+        assert_eq!(view.version(), version);
+        assert!(view.believes_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn graceful_leave_disseminates() {
+        let mut g = cluster(8);
+        g.inject(MembershipChange::Left(NodeId(2))).unwrap();
+        g.run_until_converged(64).unwrap();
+        for n in g.live_nodes() {
+            assert_eq!(
+                g.view(n).unwrap().state_of(NodeId(2)),
+                Some((1, PeerState::Left))
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_is_logarithmic_at_fanout_two() {
+        for n in [32usize, 128] {
+            let mut g = Gossip::new(
+                n,
+                n + 8,
+                GossipConfig::default(),
+                ClusterProfile::wan_metro(),
+            );
+            g.inject(MembershipChange::Joined(NodeId(n as u16)))
+                .unwrap();
+            let bound = 3 * (n as f64).log2().ceil() as u64 + 4;
+            let rounds = g.run_until_converged(bound).unwrap();
+            assert!(rounds <= bound, "n={n}: {rounds} rounds > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn staleness_decays_to_zero_as_rumors_spread() {
+        let mut g = cluster(32);
+        g.inject(MembershipChange::Failed(NodeId(9))).unwrap();
+        let viewer = NodeId(31);
+        let before = g.staleness_of(viewer);
+        assert_eq!(before, 1, "viewer has not heard about the crash yet");
+        g.run_until_converged(64).unwrap();
+        assert_eq!(g.staleness_of(viewer), 0);
+    }
+
+    #[test]
+    fn derived_membership_and_snapshot_follow_the_view() {
+        let mut g = cluster(8);
+        g.inject(MembershipChange::Failed(NodeId(1))).unwrap();
+        g.run_until_converged(64).unwrap();
+        let view = g.view(NodeId(0)).unwrap();
+        let m = view.membership(
+            AllocationScheme::Balanced,
+            ReplicationPolicy::FixedFactor(3),
+        );
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.failed_ids(), &[NodeId(1)]);
+        assert!(!m.history().is_empty());
+        let snap = view
+            .snapshot(
+                AllocationScheme::Balanced,
+                ReplicationPolicy::FixedFactor(3),
+            )
+            .unwrap();
+        assert!(!snap.contains_node(NodeId(1)));
+        assert_eq!(snap.node_count(), 7);
+    }
+
+    #[test]
+    fn gossip_is_deterministic() {
+        let run = || {
+            let mut g = cluster(24);
+            g.inject(MembershipChange::Failed(NodeId(7))).unwrap();
+            g.inject(MembershipChange::Joined(NodeId(30))).unwrap();
+            let rounds = g.run_until_converged(64).unwrap();
+            (rounds, g.total_bytes(), g.messages_sent())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lost_failure_knowledge_is_rediscovered_by_probing() {
+        let mut g = cluster(8);
+        // Node 3 crashes; its detector (node 4, the next live id) is the
+        // only view holding the Failed(3) rumor...
+        g.inject(MembershipChange::Failed(NodeId(3))).unwrap();
+        // ...and then the detector crashes before a single round runs, so
+        // knowledge of 3's death exists in no surviving view.
+        g.inject(MembershipChange::Failed(NodeId(4))).unwrap();
+        for n in g.live_nodes() {
+            assert!(
+                g.view(n).unwrap().believes_alive(NodeId(3)),
+                "{n} should not yet know about 3's crash"
+            );
+        }
+        // The per-round probe must rediscover the failure and converge.
+        g.run_until_converged(64).unwrap();
+        for n in g.live_nodes() {
+            let view = g.view(n).unwrap();
+            assert!(!view.believes_alive(NodeId(3)));
+            assert!(!view.believes_alive(NodeId(4)));
+        }
+    }
+
+    #[test]
+    fn sync_round_ships_full_state_when_rumors_die_out() {
+        let mut g = cluster(8);
+        g.inject(MembershipChange::Joined(NodeId(9))).unwrap();
+        // Exhaust every hot rumor without requiring convergence.
+        for _ in 0..32 {
+            g.run_round();
+        }
+        if !g.converged() {
+            let before = g.messages_sent();
+            g.run_sync_round();
+            assert!(g.messages_sent() > before, "sync round must push state");
+        }
+        g.run_until_converged(64).unwrap();
+        assert!(g.converged());
+    }
+
+    #[test]
+    fn thousand_node_cluster_converges_within_log_bound() {
+        let mut g = Gossip::new(
+            1000,
+            1001,
+            GossipConfig::default(),
+            ClusterProfile::wan_metro(),
+        );
+        g.inject(MembershipChange::Joined(NodeId(1000))).unwrap();
+        let bound = 3 * (1000f64).log2().ceil() as u64 + 4;
+        let rounds = g.run_until_converged(bound).unwrap();
+        assert!(rounds <= bound, "{rounds} > {bound}");
+        assert!(g.total_bytes() > 0);
+    }
+}

@@ -27,16 +27,29 @@
 //!
 //! Replica placement follows Pastry/PAST: each data item is stored at its
 //! owner plus ⌊r/2⌋ clockwise and ⌊r/2⌋ counter-clockwise neighbours
-//! ([`routing::RoutingTable::replicas_of`]).
+//! ([`routing::RoutingTable::replicas_of`]) — or, under a non-default
+//! [`replication::ReplicationPolicy`], at a membership-scaled or
+//! zone-spread replica set.
+//!
+//! Beyond the paper's stable-membership assumption, [`gossip`] adds
+//! epidemic membership dissemination: nodes exchange incarnation-versioned
+//! rumors in fanout-k rounds over the simulated network, and each node
+//! *derives* its own possibly-stale [`membership::Membership`] from its
+//! local rumor view, which is what makes sustained churn at
+//! hundreds-to-thousands of nodes tractable.
 
 pub mod allocation;
+pub mod gossip;
 pub mod membership;
 pub mod metrics;
+pub mod replication;
 pub mod ring;
 pub mod routing;
 
 pub use allocation::AllocationScheme;
+pub use gossip::{Gossip, GossipConfig, MemberView, PeerState, Rumor};
 pub use membership::{Membership, MembershipChange};
 pub use metrics::AllocationStats;
+pub use replication::{zone_of, ReplicationPolicy};
 pub use ring::{node_position, RingNode};
 pub use routing::{RangeAssignment, RoutingSnapshot, RoutingTable};

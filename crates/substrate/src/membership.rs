@@ -15,8 +15,15 @@
 //!   cause all the ranges to change slightly" — rebuilding the table is a
 //!   membership-time (not query-time) cost, which the paper accepts in
 //!   exchange for uniform distribution.
+//!
+//! Under gossip dissemination ([`crate::gossip`]) there is no longer one
+//! authoritative `Membership`: each node *derives* one from its local
+//! rumor view ([`Membership::derived`]), and two nodes may briefly derive
+//! different memberships.  Snapshots taken from a stale derivation are
+//! handled by the engine's existing recovery machinery.
 
 use crate::allocation::AllocationScheme;
+use crate::replication::ReplicationPolicy;
 use crate::routing::{RoutingSnapshot, RoutingTable};
 use orchestra_common::{NodeId, NodeSet, OrchestraError, Result};
 
@@ -35,9 +42,9 @@ pub enum MembershipChange {
 #[derive(Clone, Debug)]
 pub struct Membership {
     live: Vec<NodeId>,
-    failed: NodeSet,
+    failed: Vec<NodeId>,
     scheme: AllocationScheme,
-    replication_factor: usize,
+    policy: ReplicationPolicy,
     history: Vec<MembershipChange>,
 }
 
@@ -48,16 +55,49 @@ impl Membership {
         scheme: AllocationScheme,
         replication_factor: usize,
     ) -> Self {
+        Self::with_policy(
+            initial,
+            scheme,
+            ReplicationPolicy::FixedFactor(replication_factor),
+        )
+    }
+
+    /// Start a CDSS whose replica placement is driven by `policy`.
+    pub fn with_policy(
+        initial: impl IntoIterator<Item = NodeId>,
+        scheme: AllocationScheme,
+        policy: ReplicationPolicy,
+    ) -> Self {
         let mut live: Vec<NodeId> = initial.into_iter().collect();
         live.sort_unstable();
         live.dedup();
         Membership {
             live,
-            failed: NodeSet::empty(),
+            failed: Vec::new(),
             scheme,
-            replication_factor,
+            policy,
             history: Vec::new(),
         }
+    }
+
+    /// Reconstruct a membership from a node's local gossip view: the nodes
+    /// it currently believes alive, the nodes it believes failed, and the
+    /// order in which it accepted those beliefs.  This is a *derived*,
+    /// possibly-stale view — another node may derive a different one from
+    /// the same cluster at the same instant.
+    pub fn derived(
+        live: impl IntoIterator<Item = NodeId>,
+        failed: impl IntoIterator<Item = NodeId>,
+        history: Vec<MembershipChange>,
+        scheme: AllocationScheme,
+        policy: ReplicationPolicy,
+    ) -> Self {
+        let mut m = Self::with_policy(live, scheme, policy);
+        m.failed = failed.into_iter().collect();
+        m.failed.sort_unstable();
+        m.failed.dedup();
+        m.history = history;
+        m
     }
 
     /// The live participants (sorted by node id).
@@ -65,9 +105,24 @@ impl Membership {
         &self.live
     }
 
-    /// Nodes that have failed over the lifetime of the membership.
+    /// Nodes that have failed over the lifetime of the membership, as a
+    /// bitset for the engine's recovery paths.
+    ///
+    /// Panics if any failed node id is ≥ [`NodeSet::CAPACITY`]; clusters
+    /// beyond that (the 1000-node gossip scenarios) should use
+    /// [`Membership::failed_ids`] instead.
     pub fn failed_nodes(&self) -> NodeSet {
-        self.failed
+        NodeSet::from_iter(self.failed.iter().copied())
+    }
+
+    /// Nodes that have failed, sorted by id, with no capacity limit.
+    pub fn failed_ids(&self) -> &[NodeId] {
+        &self.failed
+    }
+
+    /// The placement policy in force.
+    pub fn policy(&self) -> ReplicationPolicy {
+        self.policy
     }
 
     /// Number of live participants.
@@ -94,7 +149,7 @@ impl Membership {
         }
         self.live.push(node);
         self.live.sort_unstable();
-        self.failed.remove(node);
+        self.failed.retain(|n| *n != node);
         self.history.push(MembershipChange::Joined(node));
         Ok(())
     }
@@ -110,7 +165,10 @@ impl Membership {
     /// [`Membership::failed_nodes`] so recovery logic can consult it.
     pub fn fail(&mut self, node: NodeId) -> Result<()> {
         self.remove(node)?;
-        self.failed.insert(node);
+        if !self.failed.contains(&node) {
+            self.failed.push(node);
+            self.failed.sort_unstable();
+        }
         self.history.push(MembershipChange::Failed(node));
         Ok(())
     }
@@ -133,10 +191,10 @@ impl Membership {
                 "cannot build a routing table with no live nodes".into(),
             ));
         }
-        Ok(RoutingTable::build(
+        Ok(RoutingTable::build_with_policy(
             &self.live,
             self.scheme,
-            self.replication_factor,
+            self.policy,
         ))
     }
 
@@ -197,5 +255,57 @@ mod tests {
         m.fail(NodeId(0)).unwrap();
         assert!(m.routing_table().is_err());
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn history_preserves_event_order() {
+        let mut m = membership(4);
+        m.join(NodeId(9)).unwrap();
+        m.fail(NodeId(1)).unwrap();
+        m.leave(NodeId(2)).unwrap();
+        m.join(NodeId(1)).unwrap();
+        assert_eq!(
+            m.history(),
+            &[
+                MembershipChange::Joined(NodeId(9)),
+                MembershipChange::Failed(NodeId(1)),
+                MembershipChange::Left(NodeId(2)),
+                MembershipChange::Joined(NodeId(1)),
+            ],
+            "history must record events oldest-first in application order"
+        );
+        // A rejoin appends; it never rewrites the earlier failure record.
+        assert_eq!(m.history()[1], MembershipChange::Failed(NodeId(1)));
+        assert!(!m.failed_nodes().contains(NodeId(1)));
+    }
+
+    #[test]
+    fn derived_view_reports_failures_beyond_nodeset_capacity() {
+        // A 1000-node gossip view must be expressible even though NodeSet
+        // caps at 256 ids; failed_ids() is the capacity-free accessor.
+        let live = (0..1000u16).filter(|n| *n != 900).map(NodeId);
+        let m = Membership::derived(
+            live,
+            [NodeId(900)],
+            vec![MembershipChange::Failed(NodeId(900))],
+            AllocationScheme::Balanced,
+            ReplicationPolicy::PercentageOfNodes(0.01),
+        );
+        assert_eq!(m.len(), 999);
+        assert_eq!(m.failed_ids(), &[NodeId(900)]);
+        assert_eq!(m.history().len(), 1);
+        let table = m.routing_table().unwrap();
+        assert_eq!(table.replication_factor(), 10);
+    }
+
+    #[test]
+    fn policy_flows_into_routing_table() {
+        let policy = ReplicationPolicy::GeoSpread {
+            zones: 2,
+            copies_per_zone: 1,
+        };
+        let m = Membership::with_policy((0..8).map(NodeId), AllocationScheme::Balanced, policy);
+        assert_eq!(m.policy(), policy);
+        assert_eq!(m.routing_table().unwrap().policy(), policy);
     }
 }

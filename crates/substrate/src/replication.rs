@@ -1,0 +1,151 @@
+//! Policy-driven replica placement.
+//!
+//! The paper fixes the replication degree to a small constant ("small
+//! factors such as 3") chosen for a stable cluster of dozens of nodes.
+//! At hundreds-to-thousands of participants under sustained churn that
+//! single knob is no longer enough: the probability that *every* holder
+//! of a range is lost within one anti-entropy interval grows with the
+//! churn rate, and wide-area deployments additionally want copies spread
+//! across failure domains (the WAN `ClusterProfile` axis of Figure 17).
+//! [`ReplicationPolicy`] captures the three placement regimes:
+//!
+//! * [`ReplicationPolicy::FixedFactor`] — the paper's behaviour, and the
+//!   default everywhere: `r` copies at ring neighbours.
+//! * [`ReplicationPolicy::PercentageOfNodes`] — the degree scales with
+//!   the membership (`⌈p·n⌉`, clamped to `[1, n]`), so a cluster that
+//!   grows from 100 to 1000 nodes keeps the same *fraction* of the
+//!   membership holding each item.
+//! * [`ReplicationPolicy::GeoSpread`] — copies are forced across
+//!   geographic zones: nodes are assigned round-robin to `zones` failure
+//!   domains ([`zone_of`]), and the replica walk skips candidates whose
+//!   zone already holds `copies_per_zone` copies until every zone is
+//!   covered.  Losing an entire zone (a WAN partition) leaves
+//!   `copies_per_zone × (zones − 1)` copies alive.
+//!
+//! The policy lives on the [`crate::routing::RoutingTable`] and is
+//! consulted by `replicas_of_node`, so everything downstream — storage
+//! insertion, anti-entropy repair, recovery reassignment — follows the
+//! policy without further plumbing.
+
+use orchestra_common::NodeId;
+
+/// How many copies of each item to keep, and where to put them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReplicationPolicy {
+    /// A constant replication degree (the paper's scheme): the owner
+    /// plus ring neighbours up to `factor` total copies.
+    FixedFactor(usize),
+    /// The degree scales with the live membership: `⌈fraction·n⌉`
+    /// copies, clamped to `[1, n]`.  `PercentageOfNodes(0.05)` keeps 5%
+    /// of a 1000-node cluster — 50 copies — holding each item.
+    PercentageOfNodes(f64),
+    /// Copies are spread across `zones` round-robin failure domains,
+    /// at most `copies_per_zone` per zone, `zones × copies_per_zone`
+    /// total.  Models rack- or region-aware placement over a WAN
+    /// deployment.
+    GeoSpread {
+        /// Number of failure domains (racks, regions).
+        zones: usize,
+        /// Copies tolerated inside one domain.
+        copies_per_zone: usize,
+    },
+}
+
+// The percentage variant holds an f64, which is only ever a positive
+// finite fraction (enforced in `factor_for`), so equality is total in
+// practice and the marker is sound.
+impl Eq for ReplicationPolicy {}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        ReplicationPolicy::FixedFactor(3)
+    }
+}
+
+impl ReplicationPolicy {
+    /// The effective replication degree for a cluster of `n` live nodes,
+    /// always clamped to `[1, n]`.
+    pub fn factor_for(&self, n: usize) -> usize {
+        let n = n.max(1);
+        let raw = match *self {
+            ReplicationPolicy::FixedFactor(f) => f,
+            ReplicationPolicy::PercentageOfNodes(p) => {
+                assert!(
+                    p.is_finite() && p > 0.0,
+                    "PercentageOfNodes needs a positive finite fraction, got {p}"
+                );
+                (p * n as f64).ceil() as usize
+            }
+            ReplicationPolicy::GeoSpread {
+                zones,
+                copies_per_zone,
+            } => zones * copies_per_zone,
+        };
+        raw.clamp(1, n)
+    }
+
+    /// The zone bound this policy imposes, if any: `Some((zones,
+    /// copies_per_zone))` for [`ReplicationPolicy::GeoSpread`].
+    pub fn zone_bound(&self) -> Option<(usize, usize)> {
+        match *self {
+            ReplicationPolicy::GeoSpread {
+                zones,
+                copies_per_zone,
+            } => Some((zones.max(1), copies_per_zone.max(1))),
+            _ => None,
+        }
+    }
+}
+
+/// The failure domain `node` belongs to under a `zones`-zone deployment.
+///
+/// Zones are assigned round-robin by node id — the deterministic stand-in
+/// for a rack/region map, matching how the simulated cluster numbers its
+/// nodes.
+pub fn zone_of(node: NodeId, zones: usize) -> usize {
+    node.index() % zones.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_factor_clamps_to_cluster_size() {
+        let p = ReplicationPolicy::FixedFactor(3);
+        assert_eq!(p.factor_for(100), 3);
+        assert_eq!(p.factor_for(2), 2);
+        assert_eq!(p.factor_for(0), 1);
+    }
+
+    #[test]
+    fn percentage_scales_with_membership() {
+        let p = ReplicationPolicy::PercentageOfNodes(0.05);
+        assert_eq!(p.factor_for(100), 5);
+        assert_eq!(p.factor_for(1000), 50);
+        // Always at least one copy, never more than the cluster.
+        assert_eq!(p.factor_for(3), 1);
+        assert_eq!(ReplicationPolicy::PercentageOfNodes(2.0).factor_for(8), 8);
+    }
+
+    #[test]
+    fn geo_spread_factor_is_zones_times_copies() {
+        let p = ReplicationPolicy::GeoSpread {
+            zones: 3,
+            copies_per_zone: 2,
+        };
+        assert_eq!(p.factor_for(100), 6);
+        assert_eq!(p.factor_for(4), 4);
+        assert_eq!(p.zone_bound(), Some((3, 2)));
+        assert_eq!(ReplicationPolicy::FixedFactor(3).zone_bound(), None);
+    }
+
+    #[test]
+    fn zones_partition_the_nodes_round_robin() {
+        assert_eq!(zone_of(NodeId(0), 3), 0);
+        assert_eq!(zone_of(NodeId(1), 3), 1);
+        assert_eq!(zone_of(NodeId(5), 3), 2);
+        // Degenerate zone counts never divide by zero.
+        assert_eq!(zone_of(NodeId(7), 0), 0);
+    }
+}

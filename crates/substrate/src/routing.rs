@@ -16,6 +16,7 @@
 //! evenly among the surviving replica holders (Section V-D, stage 1).
 
 use crate::allocation::AllocationScheme;
+use crate::replication::{zone_of, ReplicationPolicy};
 use crate::ring::{sorted_ring, RingNode};
 use orchestra_common::{Key160, KeyRange, NodeId, NodeSet, OrchestraError, Result};
 use std::sync::Arc;
@@ -43,6 +44,9 @@ pub struct RoutingTable {
     /// Replication factor `r`: every item lives at its owner plus
     /// ⌊r/2⌋ clockwise and ⌊r/2⌋ counter-clockwise ring neighbours.
     replication_factor: usize,
+    /// The placement policy that chose `replication_factor` and shapes
+    /// the replica walk (zone-aware for geo-spread deployments).
+    policy: ReplicationPolicy,
     /// The allocation scheme that produced the primary ownership ranges.
     scheme: AllocationScheme,
 }
@@ -62,6 +66,33 @@ impl RoutingTable {
         replication_factor: usize,
     ) -> RoutingTable {
         assert!(replication_factor >= 1, "replication factor must be >= 1");
+        Self::build_with_policy(
+            nodes,
+            scheme,
+            ReplicationPolicy::FixedFactor(replication_factor),
+        )
+    }
+
+    /// Build a routing table whose replication degree and placement are
+    /// driven by `policy` (see [`ReplicationPolicy`]).  With
+    /// [`ReplicationPolicy::FixedFactor`] this is byte-for-byte identical
+    /// to [`RoutingTable::build`]; the other policies derive the degree
+    /// from the membership size and, for geo-spread, constrain the replica
+    /// walk to cover failure zones.
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn build_with_policy(
+        nodes: &[NodeId],
+        scheme: AllocationScheme,
+        policy: ReplicationPolicy,
+    ) -> RoutingTable {
+        let replication_factor = match policy {
+            // Preserve the historical contract: a fixed factor is stored as
+            // given (replica walks clamp to the ring themselves), so every
+            // pre-policy figure stays bit-identical.
+            ReplicationPolicy::FixedFactor(f) => f.max(1),
+            _ => policy.factor_for(nodes.len()),
+        };
         let mut entries: Vec<RangeAssignment> = scheme
             .allocate(nodes)
             .into_iter()
@@ -72,8 +103,14 @@ impl RoutingTable {
             entries,
             ring: sorted_ring(nodes),
             replication_factor,
+            policy,
             scheme,
         }
+    }
+
+    /// The placement policy this table was built with.
+    pub fn policy(&self) -> ReplicationPolicy {
+        self.policy
     }
 
     /// The allocation scheme this table was built with.
@@ -150,12 +187,20 @@ impl RoutingTable {
     }
 
     /// The replica set for data owned by `node` (the node itself first).
+    ///
+    /// Under a geo-spread policy the neighbour walk is zone-aware: a ring
+    /// neighbour is skipped while its failure zone already holds
+    /// `copies_per_zone` copies, so the set covers `zones` distinct zones
+    /// whenever the ring contains them.
     pub fn replicas_of_node(&self, node: NodeId) -> Vec<NodeId> {
-        let half = self.replication_factor / 2;
         let n = self.ring.len();
         let Some(pos) = self.ring.iter().position(|r| r.node == node) else {
             return vec![node];
         };
+        if let Some((zones, per_zone)) = self.policy.zone_bound() {
+            return self.zone_aware_replicas(pos, zones, per_zone);
+        }
+        let half = self.replication_factor / 2;
         let mut out = vec![node];
         for step in 1..=half {
             let cw = self.ring[(pos + step) % n].node;
@@ -165,6 +210,45 @@ impl RoutingTable {
             let ccw = self.ring[(pos + n - (step % n)) % n].node;
             if !out.contains(&ccw) {
                 out.push(ccw);
+            }
+        }
+        out
+    }
+
+    /// Greedy clockwise walk from ring position `pos` that accepts a
+    /// candidate only while its zone holds fewer than `per_zone` copies;
+    /// once every zone present on the ring is saturated the walk falls
+    /// back to the nearest remaining neighbours to reach the configured
+    /// degree.
+    fn zone_aware_replicas(&self, pos: usize, zones: usize, per_zone: usize) -> Vec<NodeId> {
+        let n = self.ring.len();
+        let target = self.replication_factor.min(n);
+        let owner = self.ring[pos].node;
+        let mut counts = vec![0usize; zones];
+        counts[zone_of(owner, zones)] = 1;
+        let mut out = vec![owner];
+        for step in 1..n {
+            if out.len() == target {
+                break;
+            }
+            let cand = self.ring[(pos + step) % n].node;
+            let zone = zone_of(cand, zones);
+            if counts[zone] < per_zone && !out.contains(&cand) {
+                counts[zone] += 1;
+                out.push(cand);
+            }
+        }
+        // The ring may not contain enough distinct zones (or enough nodes
+        // per zone) to satisfy the bound; degree still wins over spread.
+        if out.len() < target {
+            for step in 1..n {
+                if out.len() == target {
+                    break;
+                }
+                let cand = self.ring[(pos + step) % n].node;
+                if !out.contains(&cand) {
+                    out.push(cand);
+                }
             }
         }
         out
@@ -220,7 +304,11 @@ impl RoutingTable {
         Ok(RoutingTable {
             entries: new_entries,
             ring: survivors,
+            // The degree was fixed when the table was built; recovery keeps
+            // it (and the policy) so heirs are chosen consistently with the
+            // snapshot the query was planned against.
             replication_factor: self.replication_factor,
+            policy: self.policy,
             scheme: self.scheme,
         })
     }
@@ -418,6 +506,75 @@ mod tests {
                 assert!(!failed.contains(t2.owner_of(key)));
             }
         }
+    }
+
+    #[test]
+    fn policy_build_with_fixed_factor_matches_plain_build() {
+        let plain = table(16, 3);
+        let policied = RoutingTable::build_with_policy(
+            &nodes(16),
+            AllocationScheme::Balanced,
+            ReplicationPolicy::FixedFactor(3),
+        );
+        assert_eq!(plain, policied);
+        assert_eq!(policied.policy(), ReplicationPolicy::FixedFactor(3));
+    }
+
+    #[test]
+    fn percentage_policy_scales_degree_with_ring() {
+        let t = RoutingTable::build_with_policy(
+            &nodes(40),
+            AllocationScheme::Balanced,
+            ReplicationPolicy::PercentageOfNodes(0.1),
+        );
+        assert_eq!(t.replication_factor(), 4);
+        let reps = t.replicas_of(Key160::hash(b"scaled"));
+        assert!(reps.len() >= 4, "expected >=4 replicas, got {reps:?}");
+    }
+
+    #[test]
+    fn geo_spread_covers_all_zones() {
+        let policy = ReplicationPolicy::GeoSpread {
+            zones: 3,
+            copies_per_zone: 2,
+        };
+        let t = RoutingTable::build_with_policy(&nodes(24), AllocationScheme::Balanced, policy);
+        assert_eq!(t.replication_factor(), 6);
+        for probe in 0..50u64 {
+            let key = Key160::hash(&probe.to_be_bytes());
+            let reps = t.replicas_of(key);
+            assert_eq!(reps.len(), 6);
+            let mut per_zone = [0usize; 3];
+            for r in &reps {
+                per_zone[zone_of(*r, 3)] += 1;
+            }
+            assert_eq!(per_zone, [2, 2, 2], "zone spread violated for {reps:?}");
+        }
+    }
+
+    #[test]
+    fn geo_spread_degrades_gracefully_when_zones_are_thin() {
+        // Only nodes 0..4 exist: zone 2 of a 3-zone layout holds just
+        // nodes {2}; degree still reaches min(target, ring size).
+        let policy = ReplicationPolicy::GeoSpread {
+            zones: 3,
+            copies_per_zone: 2,
+        };
+        let t = RoutingTable::build_with_policy(&nodes(4), AllocationScheme::Balanced, policy);
+        let reps = t.replicas_of(Key160::hash(b"thin"));
+        assert_eq!(reps.len(), 4);
+    }
+
+    #[test]
+    fn reassignment_preserves_policy() {
+        let policy = ReplicationPolicy::GeoSpread {
+            zones: 2,
+            copies_per_zone: 2,
+        };
+        let t = RoutingTable::build_with_policy(&nodes(10), AllocationScheme::Balanced, policy);
+        let t2 = t.reassign_failed(&NodeSet::singleton(NodeId(4))).unwrap();
+        assert_eq!(t2.policy(), policy);
+        assert_eq!(t2.replication_factor(), t.replication_factor());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! [`orchestra_storage::UpdateBatch`] so data flows through the same
 //! versioned-publication path the paper's participants use.
 
+pub mod churn;
 pub mod epochs;
 pub mod stbenchmark;
 pub mod tpch;
@@ -38,6 +39,7 @@ use orchestra_storage::{DistributedStorage, StorageConfig, Update, UpdateBatch};
 use orchestra_substrate::{AllocationScheme, RoutingTable};
 use std::collections::BTreeMap;
 
+pub use churn::{churn_stream, ChurnSpec, ChurnStream};
 pub use epochs::{epoch_stream, EpochSpec, EpochStream};
 pub use stbenchmark::{ConcatenateScenario, CopyScenario};
 pub use tpch::{TpchDataset, TpchQuery, TpchWorkload};
