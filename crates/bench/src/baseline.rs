@@ -9,8 +9,10 @@
 //! every serving point's shipped bytes and cache hit rate
 //! ([`check_serving_baseline`]), every subscriptions sweep's shared
 //! shipped-bytes and delta-derivation totals
-//! ([`check_subscriptions_baseline`]), and every gossip convergence
-//! point's rounds and rumor bytes ([`check_churn_baseline`]) must stay
+//! ([`check_subscriptions_baseline`]), every gossip convergence
+//! point's rounds and rumor bytes ([`check_churn_baseline`]), and every
+//! adaptivity workload's calibrated predicted-vs-actual error and
+//! drift-recompilation count ([`check_adaptivity_baseline`]) must stay
 //! within `tolerance` (CI uses 5%) of the baseline.  A value moving in the *good* direction —
 //! lower cost/bytes, higher hit rate — always passes; the gate only
 //! catches regressions.
@@ -382,6 +384,102 @@ pub fn check_churn_baseline(
     }
 }
 
+/// The `adaptivity` fields gated per workload.  Both gate *upward*: a
+/// higher calibrated predicted-vs-actual cardinality error means the
+/// feedback loop learns less from the same stream, and more drift
+/// recompilations than the committed baseline means the monitor became
+/// trigger-happy (each recompile pays a dissemination epoch).  Lower is
+/// always fine.
+const GATED_ADAPTIVITY_FIELDS: [&str; 2] = ["final_cardinality_error", "recompiles"];
+
+/// Compare the top-level `adaptivity` sections of `current` against
+/// `baseline`: per workload, the end-of-stream cardinality error and
+/// the drift-recompilation count must not rise beyond `tolerance`
+/// (plus a tiny absolute slack so an exactly-zero baseline error does
+/// not gate on floating-point dust).
+pub fn check_adaptivity_baseline(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passed = Vec::new();
+    let mut violations = Vec::new();
+
+    let baseline_workloads = match adaptivity_workloads_of(baseline) {
+        Ok(w) => w,
+        Err(e) => return Err(vec![format!("baseline document: {e}")]),
+    };
+    let current_workloads = match adaptivity_workloads_of(current) {
+        Ok(w) => w,
+        Err(e) => return Err(vec![format!("current document: {e}")]),
+    };
+
+    for (name, base_entry) in &baseline_workloads {
+        let Some(cur_entry) = current_workloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
+        else {
+            violations.push(format!(
+                "adaptivity workload {name} present in the baseline but missing from the \
+                 current run"
+            ));
+            continue;
+        };
+        for field in GATED_ADAPTIVITY_FIELDS {
+            let (Some(base), Some(cur)) = (
+                base_entry.get(field).and_then(Json::as_f64),
+                cur_entry.get(field).and_then(Json::as_f64),
+            ) else {
+                violations.push(format!("adaptivity workload {name}: field {field} missing"));
+                continue;
+            };
+            if cur > base * (1.0 + tolerance) + 1e-9 {
+                violations.push(format!(
+                    "adaptivity workload {name}: {field} regressed {cur:.4} > {base:.4} \
+                     (+{:.1}% exceeds the {:.0}% tolerance)",
+                    (cur / base.max(f64::MIN_POSITIVE) - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else {
+                passed.push(format!(
+                    "adaptivity workload {name}: {field} {cur:.4} within {base:.4} +{:.0}%",
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(passed)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Extract `(workload name, workload entry)` pairs from a bench
+/// document's top-level `adaptivity` section.
+fn adaptivity_workloads_of(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+    let workloads = doc
+        .get("adaptivity")
+        .ok_or("no \"adaptivity\" section")?
+        .get("workloads")
+        .and_then(Json::items)
+        .ok_or("adaptivity section has no \"workloads\" array")?;
+    let mut out = Vec::with_capacity(workloads.len());
+    for entry in workloads {
+        let name = entry
+            .get("workload")
+            .and_then(Json::as_str_val)
+            .ok_or("adaptivity workload entry without a \"workload\" name")?;
+        out.push((name.to_string(), entry));
+    }
+    if out.is_empty() {
+        return Err("empty adaptivity \"workloads\" array".into());
+    }
+    Ok(out)
+}
+
 /// Extract `("n=<size>", point)` pairs from a bench document's
 /// top-level `churn` section, plus a synthetic `("totals", churn
 /// object)` entry carrying the experiment-wide totals.
@@ -747,6 +845,51 @@ mod tests {
         // A document without a churn section is malformed.
         let bare = Json::object(vec![("experiments", Json::Array(vec![]))]);
         assert!(check_churn_baseline(&bare, &baseline, 0.05).is_err());
+    }
+
+    fn adaptivity_doc(final_error: f64, recompiles: u64) -> Json {
+        Json::object(vec![(
+            "adaptivity",
+            Json::object(vec![(
+                "workloads",
+                Json::Array(vec![Json::object(vec![
+                    ("workload", Json::str("tpch-q3")),
+                    ("final_cardinality_error", Json::Float(final_error)),
+                    ("recompiles", Json::UInt(recompiles)),
+                ])]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn adaptivity_workloads_gate_error_and_recompiles_upward() {
+        let baseline = adaptivity_doc(0.50, 1);
+        // Within tolerance, and improvements, pass.
+        let ok = check_adaptivity_baseline(&adaptivity_doc(0.52, 1), &baseline, 0.05).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(check_adaptivity_baseline(&adaptivity_doc(0.10, 0), &baseline, 0.05).is_ok());
+        // A worse calibrated error is a regression of the feedback loop…
+        let violations =
+            check_adaptivity_baseline(&adaptivity_doc(0.60, 1), &baseline, 0.05).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("final_cardinality_error"),
+            "{violations:?}"
+        );
+        assert!(violations[0].contains("tpch-q3"), "{violations:?}");
+        // …and so is a trigger-happy drift monitor.
+        let violations =
+            check_adaptivity_baseline(&adaptivity_doc(0.50, 2), &baseline, 0.05).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("recompiles"), "{violations:?}");
+        // An exactly-zero baseline error tolerates floating-point dust
+        // but not a real rise.
+        let zero = adaptivity_doc(0.0, 1);
+        assert!(check_adaptivity_baseline(&adaptivity_doc(0.0, 1), &zero, 0.05).is_ok());
+        assert!(check_adaptivity_baseline(&adaptivity_doc(0.01, 1), &zero, 0.05).is_err());
+        // A document without an adaptivity section is malformed.
+        let bare = Json::object(vec![("experiments", Json::Array(vec![]))]);
+        assert!(check_adaptivity_baseline(&bare, &baseline, 0.05).is_err());
     }
 
     #[test]

@@ -41,7 +41,19 @@
 //!   burst (convergence within `3·⌈log2 n⌉ + 4` rounds at fanout 2,
 //!   enforced for n = 100 and n = 1000) and under sustained Poisson
 //!   churn, where each epoch's query runs against the initiator's
-//!   possibly stale gossip view and must still match the reference.
+//!   possibly stale gossip view and must still match the reference;
+//! * **adaptive statistics** — [`run_adaptivity`]: the full adaptive
+//!   loop per workload — a churned calibration stream whose measured
+//!   cardinalities and bytes fold into
+//!   [`orchestra_optimizer::CostFeedback`] (predicted-vs-actual error
+//!   must never rise, and broadcast joins switch on once calibrated), a
+//!   growth stream where a [`orchestra_optimizer::DriftMonitor`]
+//!   triggers delta-leg recompilation whose steady-state refresh bytes
+//!   must not exceed the stale legs it replaced (dissemination paid by
+//!   the reinstall epoch, reported explicitly), and an
+//!   incremental-vs-recompute crossover sweep over delta fractions from
+//!   0.1% to 200% where calibrated byte estimates must track the
+//!   measured figures at least as closely as cold ones.
 //!
 //! Queries reach the executor through the optimizer: every experiment
 //! compiles the workload's [`orchestra_optimizer::LogicalQuery`] against
@@ -59,6 +71,7 @@
 //! are plotted from.  Bandwidth-sensitivity sweeps (Figure 17) reuse
 //! [`run_scale_out`] with WAN [`orchestra_simnet::ClusterProfile`]s.
 
+pub mod adaptivity;
 pub mod baseline;
 pub mod churn;
 pub mod equiv;
@@ -71,9 +84,13 @@ pub mod throughput;
 
 use orchestra_simnet::SimTime;
 
+pub use adaptivity::{
+    run_adaptivity, AdaptivityReport, AdaptivitySpec, AdaptivityWorkload, CrossoverPoint,
+    CrossoverReport, DriftEpochPoint, DriftReport, FeedbackPoint, HeavyFeedbackPoint,
+};
 pub use baseline::{
-    check_churn_baseline, check_maintenance_baseline, check_plan_quality_baseline,
-    check_serving_baseline, check_subscriptions_baseline,
+    check_adaptivity_baseline, check_churn_baseline, check_maintenance_baseline,
+    check_plan_quality_baseline, check_serving_baseline, check_subscriptions_baseline,
 };
 pub use churn::{
     run_churn, ChurnBenchSpec, ChurnEpochPoint, ChurnReport, ConvergencePoint, HeavyEpochPoint,

@@ -18,33 +18,37 @@
 //! valid set (one name per line) and exits zero, the machine-readable
 //! form CI's loops iterate.  The pseudo-experiment `baseline` runs
 //! exactly the gated set (`plan_quality` + `maintenance` + `serving` +
-//! `subscriptions` + `churn`); its output is what
+//! `subscriptions` + `churn` + `adaptivity`); its output is what
 //! `BENCH_BASELINE.json` commits.  `--check-baseline <path>` runs that
 //! set and fails (exit 1) if any estimated cost, measured traffic,
 //! maintenance shipped-bytes total, serving shipped-bytes total,
 //! serving cache hit rate, shared-maintenance shipped-bytes total,
-//! shared delta-derivation count, gossip convergence-rounds total, or
-//! rumor-bytes total regressed more than 5% versus the committed
-//! baseline; refresh it with
+//! shared delta-derivation count, gossip convergence-rounds total,
+//! rumor-bytes total, adaptive calibrated predicted-vs-actual error, or
+//! drift-recompilation count regressed more than 5% versus the
+//! committed baseline; refresh it with
 //! `cargo run --release -p orchestra-bench -- --experiment baseline > BENCH_BASELINE.json`.
 //! `--heavy` adds the slow scale points (a thousands-of-sessions
-//! serving run, a 256-subscriber fan-out sweep and a 1000-node
-//! sustained-churn stream) to explicitly selected runs; the
-//! committed-baseline set never includes them.
+//! serving run, a 256-subscriber fan-out sweep, a 1000-node
+//! sustained-churn stream and a long adaptive-calibration stream) to
+//! explicitly selected runs; the committed-baseline set never includes
+//! them.
 //!
 //! Exit status is non-zero (with a message on stderr) if any experiment
 //! fails — including any distributed or *maintained* answer that
 //! disagrees with its workload's single-node reference.
 
 use orchestra_bench::{
-    check_churn_baseline, check_maintenance_baseline, check_plan_quality_baseline,
-    check_serving_baseline, check_subscriptions_baseline, run_churn, run_maintenance,
-    run_plan_quality, run_recovery_sweep, run_scale_out, run_serving_experiment, run_subscriptions,
-    run_tagging_overhead, run_throughput, run_wall_clock, ChurnBenchSpec, Json,
-    MaintenanceSweepSpec, ServingSpec, SubscriptionsSpec,
+    check_adaptivity_baseline, check_churn_baseline, check_maintenance_baseline,
+    check_plan_quality_baseline, check_serving_baseline, check_subscriptions_baseline,
+    run_adaptivity, run_churn, run_maintenance, run_plan_quality, run_recovery_sweep,
+    run_scale_out, run_serving_experiment, run_subscriptions, run_tagging_overhead, run_throughput,
+    run_wall_clock, AdaptivitySpec, ChurnBenchSpec, Json, MaintenanceSweepSpec, ServingSpec,
+    SubscriptionsSpec,
 };
 use orchestra_common::{NodeId, Result};
 use orchestra_engine::{AdmissionPolicy, EngineConfig, EvictionPolicy};
+use orchestra_optimizer::DriftConfig;
 use orchestra_workloads::{CopyScenario, EpochSpec, TpchQuery, TpchWorkload, Workload};
 
 /// Cluster sizes of the scale-out experiment.
@@ -139,6 +143,48 @@ const SUBSCRIPTION_SWEEPS: [MaintenanceSweepSpec; 2] = [
         epochs: 2,
     },
 ];
+/// Seed of the adaptivity experiment's data and churn streams.
+const ADAPTIVITY_SEED: u64 = 42;
+/// Rows per workload in the adaptivity experiment.  The maintenance
+/// scale, not the 240-row ad-hoc scale: the answers must be non-trivial
+/// (a near-empty group-by makes every cardinality figure degenerate)
+/// and per-refresh fixed costs must not drown the crossover contrast.
+const ADAPTIVITY_ROWS: usize = 600;
+/// Cluster size of the adaptivity experiment.
+const ADAPTIVITY_NODES: u16 = 6;
+/// Calibration epochs of the adaptivity feedback stream — enough for
+/// the ad-hoc channel to cross its broadcast-calibration sample floor.
+const ADAPTIVITY_FEEDBACK_EPOCHS: usize = 4;
+/// Per-epoch churn of the calibration stream: small and mixed, so the
+/// enriched statistics track gentle drift without moving the baseline.
+const ADAPTIVITY_FEEDBACK_CHURN: EpochSpec = EpochSpec {
+    inserts: 3,
+    modifies: 2,
+    deletes: 2,
+};
+/// Per-epoch growth of the drift stream: 1.5× the base rows per epoch,
+/// enough to cross the drift monitor's log2 threshold within its
+/// patience window.
+const ADAPTIVITY_DRIFT_CHURN: EpochSpec = EpochSpec {
+    inserts: 900,
+    modifies: 0,
+    deletes: 0,
+};
+/// Epochs of the drift stream: fire, pay dissemination, then hold two
+/// steady-state epochs where recompiled legs must not cost more.
+const ADAPTIVITY_DRIFT_EPOCHS: usize = 5;
+/// Signed-delta fractions of the crossover sweep: 0.1% … 200% of the
+/// base rows, spanning clearly-incremental to clearly-recompute.
+/// Swept from the large end *down*: big-delta epochs are dominated by
+/// real data movement, so the byte channels calibrate on clean signal
+/// before reaching the overhead-dominated tail where per-leg framing
+/// swamps the few delta rows.
+const ADAPTIVITY_FRACTIONS: [f64; 6] = [2.0, 1.0, 0.5, 0.1, 0.01, 0.001];
+/// Maintained epochs per crossover fraction.
+const ADAPTIVITY_CROSSOVER_EPOCHS: usize = 1;
+/// Calibration epochs of the long stream `--heavy` adds (the nightly's
+/// does-the-error-keep-shrinking point; too slow for the default gates).
+const ADAPTIVITY_HEAVY_EPOCHS: usize = 32;
 /// The maintenance experiment's delta-size × epoch-count sweep: a
 /// small-delta stream the cost model should absorb incrementally, and a
 /// churn stream (the modify count swamps every relation) it should flip
@@ -166,12 +212,12 @@ const MAINTENANCE_SWEEPS: [MaintenanceSweepSpec; 2] = [
 
 /// The selectable experiments, in documentation order.  `baseline` is
 /// the committed-baseline subset: exactly `plan_quality`,
-/// `maintenance`, `serving`, `subscriptions` and `churn`, the
-/// experiments `--check-baseline` gates.
+/// `maintenance`, `serving`, `subscriptions`, `churn` and `adaptivity`,
+/// the experiments `--check-baseline` gates.
 /// `wall_clock` (the columnar-vs-legacy host-throughput comparison) runs
 /// only when selected explicitly: its figures measure the host machine
 /// and are inherently nondeterministic.
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "all",
     "scale_out",
     "recovery_sweep",
@@ -182,6 +228,7 @@ const EXPERIMENTS: [&str; 12] = [
     "serving",
     "subscriptions",
     "churn",
+    "adaptivity",
     "wall_clock",
     "baseline",
 ];
@@ -321,6 +368,14 @@ fn run(options: &RunOptions) -> Result<Json> {
         rows: MAINTENANCE_ROWS,
     };
     let maintenance_workloads: [&dyn Workload; 3] = [&m_tpch, &m_tpch_joins, &m_stbenchmark];
+    // The adaptivity experiment runs the same trio at its own scale.
+    let a_tpch = TpchWorkload::scaled(TpchQuery::Q1, ADAPTIVITY_SEED, ADAPTIVITY_ROWS);
+    let a_tpch_joins = TpchWorkload::scaled(TpchQuery::Q3, ADAPTIVITY_SEED, ADAPTIVITY_ROWS);
+    let a_stbenchmark = CopyScenario {
+        seed: ADAPTIVITY_SEED,
+        rows: ADAPTIVITY_ROWS,
+    };
+    let adaptivity_workloads: [&dyn Workload; 3] = [&a_tpch, &a_tpch_joins, &a_stbenchmark];
     let all = experiment == "all";
 
     let config = EngineConfig {
@@ -480,6 +535,33 @@ fn run(options: &RunOptions) -> Result<Json> {
         doc.push(("churn", report.to_json()));
     }
 
+    if all || baseline || experiment == "adaptivity" {
+        let report = run_adaptivity(
+            &adaptivity_workloads,
+            &AdaptivitySpec {
+                seed: ADAPTIVITY_SEED,
+                rows: ADAPTIVITY_ROWS,
+                nodes: ADAPTIVITY_NODES,
+                feedback_epochs: ADAPTIVITY_FEEDBACK_EPOCHS,
+                feedback_churn: ADAPTIVITY_FEEDBACK_CHURN,
+                drift: DriftConfig::default(),
+                drift_churn: ADAPTIVITY_DRIFT_CHURN,
+                drift_epochs: ADAPTIVITY_DRIFT_EPOCHS,
+                delta_fractions: &ADAPTIVITY_FRACTIONS,
+                crossover_epochs: ADAPTIVITY_CROSSOVER_EPOCHS,
+                // The long calibration stream is nightly-only; the
+                // committed baseline document stays fast and fixed-shape.
+                heavy_epochs: if options.heavy && !baseline {
+                    ADAPTIVITY_HEAVY_EPOCHS
+                } else {
+                    0
+                },
+            },
+            &config,
+        )?;
+        doc.push(("adaptivity", report.to_json()));
+    }
+
     if all || baseline || experiment == "subscriptions" {
         let counts: &[usize] = if options.heavy && !baseline {
             &HEAVY_SUBSCRIBER_COUNTS
@@ -521,6 +603,7 @@ fn check_baseline(path: &str) -> Result<()> {
         check_serving_baseline(&current, &baseline, BASELINE_TOLERANCE),
         check_subscriptions_baseline(&current, &baseline, BASELINE_TOLERANCE),
         check_churn_baseline(&current, &baseline, BASELINE_TOLERANCE),
+        check_adaptivity_baseline(&current, &baseline, BASELINE_TOLERANCE),
     ] {
         match result {
             Ok(passed) => {

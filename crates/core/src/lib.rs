@@ -30,12 +30,12 @@ pub use orchestra_substrate as substrate;
 pub use orchestra_workloads as workloads;
 
 pub use orchestra_bench::{
-    failure_sweep_points, poisson_arrivals, run_churn, run_maintenance, run_plan_quality,
-    run_recovery_sweep, run_scale_out, run_serving_experiment, run_subscriptions,
-    run_tagging_overhead, run_throughput, trace_arrivals, ChurnBenchSpec, ChurnReport,
-    MaintenanceReport, MaintenanceSweepSpec, PlanQuality, RecoverySweep, ScaleOutPoint,
-    ServingPoint, ServingSpec, ServingSweep, SubscriptionSweep, SubscriptionsReport,
-    SubscriptionsSpec, TaggingOverhead, ThroughputPoint, ThroughputSweep,
+    failure_sweep_points, poisson_arrivals, run_adaptivity, run_churn, run_maintenance,
+    run_plan_quality, run_recovery_sweep, run_scale_out, run_serving_experiment, run_subscriptions,
+    run_tagging_overhead, run_throughput, trace_arrivals, AdaptivityReport, AdaptivitySpec,
+    ChurnBenchSpec, ChurnReport, MaintenanceReport, MaintenanceSweepSpec, PlanQuality,
+    RecoverySweep, ScaleOutPoint, ServingPoint, ServingSpec, ServingSweep, SubscriptionSweep,
+    SubscriptionsReport, SubscriptionsSpec, TaggingOverhead, ThroughputPoint, ThroughputSweep,
 };
 pub use orchestra_common::{Epoch, NodeId, QueryFingerprint, Relation, Schema, Tuple, Value};
 pub use orchestra_engine::{

@@ -45,16 +45,22 @@
 //! the participants by the first refresh; later refreshes ship only the
 //! epoch parameters and the routing snapshot.
 //!
-//! `COUNT`/`SUM`/`AVG` are subtractable and maintainable; a view over
-//! `MIN`/`MAX`, over replicated/covering scans (no delta path), or over
-//! a self-join reports itself recompute-only.
+//! `COUNT`/`SUM`/`AVG` are subtractable and maintainable.  An
+//! initiator-side (`Single`) `MIN`/`MAX` is maintained through a
+//! bounded per-group [`ExtremumSketch`]: retractions fold exactly from
+//! the tracked runners-up, and only when deletions exhaust a group's
+//! tracked set does [`refresh_view`] fall back to one recompute (which
+//! rebuilds every sketch).  A *distributed partial* `MIN`/`MAX`
+//! collapses runner-up multiplicity before shipping, so it — like views
+//! over replicated/covering scans (no delta path) or over a self-join —
+//! reports itself recompute-only.
 
 use super::scheduler::{
     AdmissionPolicy, QuerySession, SchedulerConfig, SessionReport, SessionScheduler,
 };
 use super::{EngineConfig, FailureSpec};
 use crate::expr::AggFunc;
-use crate::ops::Accumulator;
+use crate::ops::{Accumulator, ExtremumKind, ExtremumSketch, EXTREMUM_SKETCH_K};
 use crate::plan::{AggMode, OpId, OperatorKind, PhysicalPlan, PlanBuilder};
 use orchestra_common::{Epoch, NodeId, OrchestraError, Result, Tuple, Value};
 use orchestra_simnet::SimTime;
@@ -257,19 +263,19 @@ impl MaintenancePlan {
         let fold = fold_of(&shape.stripped, &plan);
 
         let mut recompute_only = None;
-        let funcs: Vec<AggFunc> = match &fold {
-            FoldMode::Multiset => Vec::new(),
-            FoldMode::Raw { aggs, .. } | FoldMode::Partial { aggs, .. } => {
-                aggs.iter().map(|(f, _)| *f).collect()
+        // Raw (initiator-side) MIN/MAX folds through a bounded
+        // `ExtremumSketch` and stays incremental; a distributed partial
+        // MIN/MAX collapses runner-up multiplicity before shipping, so
+        // its retractions genuinely cannot be folded.
+        if let FoldMode::Partial { aggs, .. } = &fold {
+            if let Some((f, _)) = aggs
+                .iter()
+                .find(|(f, _)| !Accumulator::new(*f).is_subtractable())
+            {
+                recompute_only = Some(format!(
+                    "distributed partial {f:?} collapses runners-up; retractions cannot be folded"
+                ));
             }
-        };
-        if let Some(f) = funcs
-            .iter()
-            .find(|f| !Accumulator::new(**f).is_subtractable())
-        {
-            recompute_only = Some(format!(
-                "{f:?} is not subtractable; retractions cannot be folded"
-            ));
         }
         if let Some((_, relation)) = scans
             .iter()
@@ -584,11 +590,15 @@ fn rebuild_leg(
 }
 
 /// Mergeable state of one view group: the accumulators plus the hidden
-/// support count that decides when the group disappears.
+/// support count that decides when the group disappears.  A raw-fold
+/// MIN/MAX position carries an [`ExtremumSketch`] instead of using its
+/// (placeholder) accumulator, making retractions foldable up to sketch
+/// exhaustion.
 #[derive(Clone, Debug)]
 struct GroupState {
     support: i64,
     accs: Vec<Accumulator>,
+    sketches: Vec<Option<ExtremumSketch>>,
 }
 
 /// A materialized workload answer maintained across epochs.
@@ -716,7 +726,18 @@ impl MaterializedView {
                 .iter()
                 .map(|(key, state)| {
                     let mut values = key.clone();
-                    values.extend(state.accs.iter().map(Accumulator::final_value));
+                    values.extend(state.accs.iter().zip(&state.sketches).map(|(acc, sketch)| {
+                        match sketch {
+                            Some(s) => {
+                                debug_assert!(
+                                    !s.is_exhausted(),
+                                    "an exhausted sketch must have triggered a recompute"
+                                );
+                                s.best().cloned().unwrap_or(Value::Null)
+                            }
+                            None => acc.final_value(),
+                        }
+                    }));
                     Tuple::new(values)
                 })
                 .collect(),
@@ -768,10 +789,15 @@ impl MaterializedView {
             }
             FoldMode::Raw { group_by, aggs } => {
                 for (tuple, sign) in rows {
-                    let state = self.group_entry(&group_by, &aggs, tuple);
+                    let state = self.group_entry(&group_by, &aggs, tuple, true);
                     state.support += *sign as i64;
                     for (i, (_, col)) in aggs.iter().enumerate() {
-                        state.accs[i].update_signed(tuple.value(*col), *sign as i64);
+                        match state.sketches[i].as_mut() {
+                            Some(sketch) => {
+                                sketch.update_signed(tuple.value(*col), *sign as i64);
+                            }
+                            None => state.accs[i].update_signed(tuple.value(*col), *sign as i64),
+                        }
                     }
                     self.drop_if_unsupported(&group_by, tuple);
                 }
@@ -782,7 +808,7 @@ impl MaterializedView {
                 count_col,
             } => {
                 for (tuple, sign) in rows {
-                    let state = self.group_entry(&group_by, &aggs, tuple);
+                    let state = self.group_entry(&group_by, &aggs, tuple, false);
                     state.support += *sign as i64 * tuple.value(count_col).as_int().unwrap_or(0);
                     for (i, (f, col)) in aggs.iter().enumerate() {
                         let slice: Vec<Value> = (0..f.partial_width())
@@ -801,11 +827,36 @@ impl MaterializedView {
         group_by: &[usize],
         aggs: &[(AggFunc, usize)],
         tuple: &Tuple,
+        raw: bool,
     ) -> &mut GroupState {
         let key: Vec<Value> = group_by.iter().map(|c| tuple.value(*c).clone()).collect();
         self.groups.entry(key).or_insert_with(|| GroupState {
             support: 0,
             accs: aggs.iter().map(|(f, _)| Accumulator::new(*f)).collect(),
+            sketches: aggs
+                .iter()
+                .map(|(f, _)| match f {
+                    AggFunc::Min if raw => {
+                        Some(ExtremumSketch::new(ExtremumKind::Min, EXTREMUM_SKETCH_K))
+                    }
+                    AggFunc::Max if raw => {
+                        Some(ExtremumSketch::new(ExtremumKind::Max, EXTREMUM_SKETCH_K))
+                    }
+                    _ => None,
+                })
+                .collect(),
+        })
+    }
+
+    /// Has any group's extremum sketch been exhausted by retractions?
+    /// When true, the maintained MIN/MAX is unknowable from retained
+    /// state and the refresh must fall back to a recompute.
+    pub fn sketch_exhausted(&self) -> bool {
+        self.groups.values().any(|g| {
+            g.sketches
+                .iter()
+                .flatten()
+                .any(ExtremumSketch::is_exhausted)
         })
     }
 
@@ -851,6 +902,10 @@ pub struct MaintenanceRun {
     pub recovered: bool,
     /// Signed rows folded into the view.
     pub rows_folded: usize,
+    /// Did an incremental refresh exhaust an extremum sketch and fall
+    /// back to a recompute?  The recompute's traffic is included in this
+    /// run's totals.
+    pub sketch_fallback: bool,
     /// Per-leg session reports (empty when no leg ran).
     pub sessions: Vec<SessionReport>,
 }
@@ -927,6 +982,7 @@ pub fn refresh_view(
         makespan: SimTime::ZERO,
         recovered: false,
         rows_folded: 0,
+        sketch_fallback: false,
         sessions: Vec::new(),
     };
     if sessions.is_empty() {
@@ -976,6 +1032,30 @@ pub fn refresh_view(
     run.shipped_messages = report.total_messages;
     run.makespan = report.makespan;
     run.sessions = report.sessions;
+
+    // Delete-heavy retractions can exhaust a group's extremum sketch:
+    // the MIN/MAX is now among discarded runners-up and no retained
+    // state can recover it.  Fall back to one recompute — it rebuilds
+    // every sketch — and charge its traffic to this run.
+    if mode == MaintenanceMode::Incremental && view.sketch_exhausted() {
+        let recompute = refresh_view(
+            view,
+            storage,
+            engine,
+            MaintenanceMode::Recompute,
+            to_epoch,
+            initiator,
+            None,
+        )?;
+        run.sketch_fallback = true;
+        run.legs += recompute.legs;
+        run.shipped_bytes += recompute.shipped_bytes;
+        run.shipped_messages += recompute.shipped_messages;
+        run.makespan += recompute.makespan;
+        run.recovered |= recompute.recovered;
+        run.rows_folded += recompute.rows_folded;
+        run.sessions.extend(recompute.sessions);
+    }
     Ok(run)
 }
 

@@ -41,6 +41,7 @@ use super::scheduler::{
     AdmissionPolicy, QuerySession, SchedulerConfig, SessionScheduler, WorkloadReport,
 };
 use super::{EngineConfig, FailureSpec};
+use crate::plan::PhysicalPlan;
 use orchestra_common::{Epoch, NodeId, OrchestraError, QueryFingerprint, Result, Tuple};
 use orchestra_simnet::SimTime;
 use orchestra_storage::DistributedStorage;
@@ -109,6 +110,10 @@ pub struct RegistryRefresh {
     /// registered.  (A failure refresh recovers against per-session
     /// scratch storage whose derivations are invisible here.)
     pub delta_derivations: u64,
+    /// Views whose extremum sketches were exhausted by this refresh's
+    /// retractions and that therefore fell back to a recompute (the
+    /// recompute traffic is included in the totals above).
+    pub sketch_fallbacks: usize,
     /// Per-subscriber signed diffs, in registration order.
     pub diffs: Vec<ViewDiff>,
 }
@@ -125,6 +130,7 @@ pub struct ViewRegistry {
     initiator: NodeId,
     views: Vec<MaterializedView>,
     acked: Vec<Vec<Tuple>>,
+    recompiles: u64,
 }
 
 impl ViewRegistry {
@@ -134,6 +140,7 @@ impl ViewRegistry {
             initiator: node,
             views: Vec::new(),
             acked: Vec::new(),
+            recompiles: 0,
         }
     }
 
@@ -158,6 +165,25 @@ impl ViewRegistry {
     /// The registered view behind subscriber `id`.
     pub fn view(&self, id: usize) -> &MaterializedView {
         &self.views[id]
+    }
+
+    /// Replace subscriber `id`'s delta legs with freshly compiled leg
+    /// inputs — the drift-triggered re-optimization hook.  Delegates to
+    /// [`MaterializedView::install_leg_plans`] (same coverage and
+    /// fold-compatibility checks) and counts the recompilation.  The
+    /// replaced dataflows are new to the participants, so the next
+    /// refresh pays their full dissemination again — those bytes land in
+    /// [`RegistryRefresh::shipped_bytes`], making the cost of a
+    /// re-optimization explicit rather than amortized away.
+    pub fn reinstall_legs(&mut self, id: usize, legs: &[(String, PhysicalPlan)]) -> Result<()> {
+        self.views[id].install_leg_plans(legs)?;
+        self.recompiles += 1;
+        Ok(())
+    }
+
+    /// Drift-triggered leg recompilations performed so far.
+    pub fn recompiles(&self) -> u64 {
+        self.recompiles
     }
 
     /// Refresh every registered view to `to_epoch` with one scheduler
@@ -236,6 +262,7 @@ impl ViewRegistry {
             makespan: SimTime::ZERO,
             recovered: false,
             delta_derivations: 0,
+            sketch_fallbacks: 0,
             diffs: Vec::new(),
         };
 
@@ -276,6 +303,60 @@ impl ViewRegistry {
             refresh.shipped_bytes = report.total_bytes;
             refresh.shipped_messages = report.total_messages;
             refresh.makespan = report.makespan;
+        }
+
+        // Delete-heavy retractions can exhaust a view's extremum
+        // sketches: its MIN/MAX is now among discarded runners-up.  Run
+        // one recompute per affected view (deduplicated like any other
+        // session) to rebuild the sketches before diffs are shipped.
+        let exhausted: Vec<usize> = self
+            .views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.sketch_exhausted())
+            .map(|(id, _)| id)
+            .collect();
+        if !exhausted.is_empty() {
+            let mut fallback: Vec<SharedSession> = Vec::new();
+            let mut by_fingerprint: BTreeMap<QueryFingerprint, usize> = BTreeMap::new();
+            for &id in &exhausted {
+                let (session, fold, contribution) =
+                    recompute_session(&self.views[id], to_epoch, self.initiator);
+                let fp = session_fingerprint(&session);
+                match by_fingerprint.get(&fp) {
+                    Some(&slot) => fallback[slot].members.push((id, fold, contribution)),
+                    None => {
+                        by_fingerprint.insert(fp, fallback.len());
+                        fallback.push(SharedSession {
+                            session,
+                            members: vec![(id, fold, contribution)],
+                        });
+                    }
+                }
+            }
+            let scheduler = SessionScheduler::new(SchedulerConfig {
+                max_concurrent: fallback.len(),
+                queue_capacity: fallback.len(),
+                policy: AdmissionPolicy::Fifo,
+                slo: None,
+            });
+            let submitted: Vec<QuerySession> = fallback.iter().map(|g| g.session.clone()).collect();
+            let report = scheduler.run(storage, engine, &submitted)?;
+            for (session_report, group) in report.sessions.iter().zip(&fallback) {
+                refresh.recovered |= session_report.report.recovered;
+                for (id, fold, _) in &group.members {
+                    let view = &mut self.views[*id];
+                    view.reset();
+                    view.fold(fold, &session_report.report.signed_rows);
+                    view.mark_base_installed();
+                }
+            }
+            refresh.leg_instances += exhausted.len();
+            refresh.sessions_run += fallback.len();
+            refresh.shipped_bytes += report.total_bytes;
+            refresh.shipped_messages += report.total_messages;
+            refresh.makespan += report.makespan;
+            refresh.sketch_fallbacks = exhausted.len();
         }
 
         for (id, view) in self.views.iter_mut().enumerate() {

@@ -120,6 +120,24 @@ pub struct QueryReport {
     pub wall_clock: WallClock,
 }
 
+impl QueryReport {
+    /// The measured output cardinality — the answer's row count.  With
+    /// the predicted root cardinality from the optimizer's cost walk,
+    /// this is the predicted-vs-actual pair the adaptive feedback loop
+    /// folds into its calibration.
+    pub fn output_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Measured rows processed per operator class (slot order
+    /// [`WallClock::NAMES`]).  Unlike the nanosecond timings beside
+    /// them, these counts are a function of the data alone and are
+    /// deterministic across runs.
+    pub fn operator_rows(&self) -> &[u64; 8] {
+        &self.wall_clock.op_rows
+    }
+}
+
 impl Runtime<'_> {
     pub(super) fn into_report(self) -> QueryReport {
         let out = self.output.into_columnar();

@@ -940,7 +940,9 @@ fn maintenance_plan_strips_final_and_appends_support_count() {
     let m = MaintenancePlan::derive(&scan_ship_plan()).unwrap();
     assert_eq!(*m.fold(), FoldMode::Multiset);
 
-    // MIN is not subtractable: the view exists but is recompute-only.
+    // An initiator-side (Single) MIN folds raw input rows, so its
+    // retractions route through the bounded extremum sketch: the view
+    // stays incremental.
     let mut b = PlanBuilder::new();
     let scan = b.scan("R", 3, None);
     let ship = b.ship(scan);
@@ -952,7 +954,28 @@ fn maintenance_plan_strips_final_and_appends_support_count() {
     );
     let min_plan = b.output(agg);
     let m = MaintenancePlan::derive(&min_plan).unwrap();
-    assert!(m.recompute_only().unwrap().contains("subtractable"));
+    assert!(m.recompute_only().is_none());
+
+    // A distributed partial MIN collapses runner-up multiplicity before
+    // shipping: still recompute-only.
+    let mut b = PlanBuilder::new();
+    let scan = b.scan("R", 3, None);
+    let partial = b.aggregate(
+        scan,
+        vec![1],
+        vec![(AggFunc::Min, 2)],
+        crate::plan::AggMode::Partial,
+    );
+    let ship = b.ship(partial);
+    let fin = b.aggregate(
+        ship,
+        vec![0],
+        vec![(AggFunc::Min, 1)],
+        crate::plan::AggMode::Final,
+    );
+    let partial_min_plan = b.output(fin);
+    let m = MaintenancePlan::derive(&partial_min_plan).unwrap();
+    assert!(m.recompute_only().unwrap().contains("runners-up"));
 }
 
 #[test]
@@ -1079,6 +1102,76 @@ fn aggregate_view_incremental_matches_full_runs_across_epochs() {
             "maintained answer diverged at epoch {epoch}"
         );
     }
+}
+
+#[test]
+fn min_view_absorbs_a_delete_heavy_stream_incrementally() {
+    // Before the extremum sketch, a MIN view was recompute-only: every
+    // one of the 8 delete-heavy epochs below would have recomputed.
+    // With the sketch, retractions fold from the tracked runners-up and
+    // only genuine exhaustion falls back — the recompute count drops
+    // from one-per-epoch to the handful of exhaustion events.
+    let mut s = cluster(4);
+    publish_r(&mut s, 60); // epoch 0
+    let mut b = PlanBuilder::new();
+    let scan = b.scan("R", 3, None);
+    let ship = b.ship(scan);
+    let agg = b.aggregate(
+        ship,
+        vec![1],
+        vec![(AggFunc::Min, 2)],
+        crate::plan::AggMode::Single,
+    );
+    let plan = b.output(agg);
+    let mut view = MaterializedView::new("min", &plan).unwrap();
+    assert!(view.supports_incremental());
+    refresh_view(
+        &mut view,
+        &s,
+        &EngineConfig::default(),
+        MaintenanceMode::Recompute,
+        Epoch(0),
+        NodeId(0),
+        None,
+    )
+    .unwrap();
+    assert_eq!(view.answer(), full_run(&s, &plan, Epoch(0)));
+
+    // Eight epochs that do nothing but delete the smallest surviving
+    // keys — each one retracts the current per-group minima.
+    let mut fallbacks = 0usize;
+    for epoch in 1..=8u64 {
+        let mut b = UpdateBatch::new();
+        for k in (epoch as i64 - 1) * 6..epoch as i64 * 6 {
+            b.delete("R", vec![Value::Int(k)]);
+        }
+        s.publish(&b).unwrap();
+        let run = refresh_view(
+            &mut view,
+            &s,
+            &EngineConfig::default(),
+            MaintenanceMode::Incremental,
+            Epoch(epoch),
+            NodeId(0),
+            None,
+        )
+        .unwrap();
+        assert_eq!(run.mode, MaintenanceMode::Incremental);
+        fallbacks += run.sketch_fallback as usize;
+        assert_eq!(
+            view.answer(),
+            full_run(&s, &plan, Epoch(epoch)),
+            "maintained MIN diverged at epoch {epoch}"
+        );
+    }
+    assert!(
+        fallbacks >= 1,
+        "the stream deletes past the tracked runners-up at least once"
+    );
+    assert!(
+        fallbacks < 8,
+        "recompute decisions must drop well below one-per-epoch, got {fallbacks}"
+    );
 }
 
 #[test]

@@ -77,5 +77,6 @@ pub use exec::{
     SessionScheduler, ShedEvent, ViewDiff, ViewRegistry, WallClock, WorkloadReport,
 };
 pub use expr::{AggFunc, CmpOp, Predicate, ScalarExpr};
+pub use ops::{ExtremumKind, ExtremumSketch, EXTREMUM_SKETCH_K};
 pub use plan::{AggMode, OpId, Operator, OperatorKind, PhysicalPlan, PlanBuilder};
 pub use provenance::{Phase, TaggedTuple};

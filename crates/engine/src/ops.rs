@@ -345,6 +345,148 @@ fn signed_value(value: &Value, sign: i64) -> Value {
     }
 }
 
+/// Which extremum an [`ExtremumSketch`] maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtremumKind {
+    /// Track the smallest values (MIN).
+    Min,
+    /// Track the largest values (MAX).
+    Max,
+}
+
+/// Default number of distinct runner-up values an [`ExtremumSketch`]
+/// retains per group.
+pub const EXTREMUM_SKETCH_K: usize = 8;
+
+/// Bounded per-group top-k state that makes MIN/MAX *retractable up to
+/// exhaustion*: the `k` best distinct values are tracked exactly (with
+/// multiplicities), everything worse is a single overflow count.
+///
+/// Invariant: every untracked row's value is no better than the worst
+/// tracked value (the *boundary*).  Inserts respect it by routing
+/// boundary-or-worse values into the overflow count whenever overflow
+/// rows exist; deletes of tracked values simply decrement, and deletes
+/// of untracked values decrement the overflow count — sound because a
+/// value absent from the tracked set can only live on the far side of
+/// the boundary.  The extremum is therefore always the best tracked
+/// value, exactly — never an approximation — until deletions empty the
+/// tracked set while overflow rows remain ([`Self::is_exhausted`]), at
+/// which point the discarded runners-up are genuinely unknown and the
+/// caller must recompute.  This is the classic bounded-heap fallback
+/// that lets delete-heavy MIN/MAX views refresh incrementally instead
+/// of recomputing on every retraction.
+#[derive(Clone, Debug)]
+pub struct ExtremumSketch {
+    kind: ExtremumKind,
+    k: usize,
+    /// Distinct tracked values with multiplicities, best-first for MIN
+    /// (the map's natural order) and worst-first for MAX.
+    tracked: std::collections::BTreeMap<Value, i64>,
+    /// Rows whose values were at-or-beyond the boundary when they
+    /// arrived (or were evicted across it).
+    untracked: i64,
+}
+
+impl ExtremumSketch {
+    /// A fresh sketch tracking `k` distinct values (clamped to at least
+    /// one).
+    pub fn new(kind: ExtremumKind, k: usize) -> ExtremumSketch {
+        ExtremumSketch {
+            kind,
+            k: k.max(1),
+            tracked: std::collections::BTreeMap::new(),
+            untracked: 0,
+        }
+    }
+
+    /// Is `a` strictly better than `b` for this extremum?
+    fn better(&self, a: &Value, b: &Value) -> bool {
+        match self.kind {
+            ExtremumKind::Min => a < b,
+            ExtremumKind::Max => a > b,
+        }
+    }
+
+    /// The worst tracked value — the boundary between exact and counted.
+    fn boundary(&self) -> Option<&Value> {
+        match self.kind {
+            ExtremumKind::Min => self.tracked.keys().next_back(),
+            ExtremumKind::Max => self.tracked.keys().next(),
+        }
+    }
+
+    /// Fold one signed raw value.  Nulls never participate in MIN/MAX.
+    pub fn update_signed(&mut self, value: &Value, sign: i64) {
+        if value.is_null() || sign == 0 {
+            return;
+        }
+        if sign > 0 {
+            self.insert(value, sign);
+        } else {
+            self.delete(value, -sign);
+        }
+    }
+
+    fn insert(&mut self, value: &Value, count: i64) {
+        if let Some(m) = self.tracked.get_mut(value) {
+            *m += count;
+            return;
+        }
+        let beats_boundary = self.boundary().is_some_and(|b| self.better(value, b));
+        if self.untracked > 0 && !beats_boundary {
+            // Overflow rows exist whose rank against `value` is unknown;
+            // only strictly-better-than-boundary values may join the
+            // tracked set without breaking the invariant.  (In the
+            // exhausted state there is no boundary at all, so nothing
+            // re-enters until a recompute rebuilds the sketch.)
+            self.untracked += count;
+            return;
+        }
+        self.tracked.insert(value.clone(), count);
+        while self.tracked.len() > self.k {
+            let boundary = self.boundary().expect("tracked is non-empty").clone();
+            let evicted = self.tracked.remove(&boundary).unwrap_or(0);
+            self.untracked += evicted;
+        }
+    }
+
+    fn delete(&mut self, value: &Value, count: i64) {
+        if let Some(m) = self.tracked.get_mut(value) {
+            *m -= count;
+            if *m <= 0 {
+                self.tracked.remove(value);
+            }
+            return;
+        }
+        // Not tracked, so it lives beyond the boundary: it is one of the
+        // counted overflow rows.
+        self.untracked = (self.untracked - count).max(0);
+    }
+
+    /// The exact extremum, while the sketch can still prove one: the
+    /// best tracked value.  `None` when the group is empty *or*
+    /// exhausted — disambiguate with [`Self::is_exhausted`].
+    pub fn best(&self) -> Option<&Value> {
+        match self.kind {
+            ExtremumKind::Min => self.tracked.keys().next(),
+            ExtremumKind::Max => self.tracked.keys().next_back(),
+        }
+    }
+
+    /// Deletions consumed every tracked value but overflow rows remain:
+    /// the extremum is among discarded runners-up and only a recompute
+    /// can recover it.
+    pub fn is_exhausted(&self) -> bool {
+        self.tracked.is_empty() && self.untracked > 0
+    }
+
+    /// Signed rows currently represented (tracked multiplicities plus
+    /// overflow).
+    pub fn support(&self) -> i64 {
+        self.tracked.values().sum::<i64>() + self.untracked
+    }
+}
+
 /// One sub-group of an aggregate: the accumulators for a particular
 /// `(group key, provenance set, phase)` combination, plus whether it has
 /// already been emitted downstream.  Purged sub-groups are tombstoned
@@ -1203,6 +1345,81 @@ mod tests {
         r.buffer(NodeId(2), tagged(vec![Value::Int(2)], 0));
         assert_eq!(r.purge_tainted(&failed), 1);
         assert_eq!(r.take_buffer(NodeId(2)).len(), 1);
+    }
+
+    #[test]
+    fn extremum_sketch_is_exact_until_exhaustion() {
+        let mut s = ExtremumSketch::new(ExtremumKind::Min, 4);
+        for v in [7, 3, 9, 1, 5, 8, 2, 6] {
+            s.update_signed(&Value::Int(v), 1);
+        }
+        // Tracks the 4 smallest {1,2,3,5}; the rest are overflow.
+        assert_eq!(s.best(), Some(&Value::Int(1)));
+        assert_eq!(s.support(), 8);
+        // Retract the minimum twice: the sketch still answers exactly
+        // from the runners-up — where a bare accumulator would already
+        // force a recompute.
+        s.update_signed(&Value::Int(1), -1);
+        assert_eq!(s.best(), Some(&Value::Int(2)));
+        s.update_signed(&Value::Int(2), -1);
+        assert_eq!(s.best(), Some(&Value::Int(3)));
+        assert!(!s.is_exhausted());
+        // Drain the remaining tracked values: overflow rows survive but
+        // their order was discarded — the sketch declines to answer.
+        s.update_signed(&Value::Int(3), -1);
+        s.update_signed(&Value::Int(5), -1);
+        assert!(s.is_exhausted());
+        assert_eq!(s.best(), None);
+        assert_eq!(s.support(), 4);
+    }
+
+    #[test]
+    fn extremum_sketch_never_promotes_past_unknown_overflow() {
+        let mut s = ExtremumSketch::new(ExtremumKind::Min, 2);
+        for v in 1..=10 {
+            s.update_signed(&Value::Int(v), 1);
+        }
+        // Tracked {1,2}, overflow 3..=10.
+        for v in [1, 2] {
+            s.update_signed(&Value::Int(v), -1);
+        }
+        assert!(s.is_exhausted());
+        // A fresh value cannot become "best": overflow rows of unknown
+        // rank (3..=10) may beat it.  It must join the overflow until a
+        // recompute rebuilds the sketch.
+        s.update_signed(&Value::Int(100), 1);
+        assert!(s.is_exhausted());
+        assert_eq!(s.best(), None);
+        // A strictly-better-than-boundary value, by contrast, is always
+        // safe to track.
+        let mut t = ExtremumSketch::new(ExtremumKind::Min, 2);
+        for v in [5, 6, 7, 8] {
+            t.update_signed(&Value::Int(v), 1);
+        }
+        t.update_signed(&Value::Int(1), 1);
+        assert_eq!(t.best(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn extremum_sketch_max_mirrors_min() {
+        let mut s = ExtremumSketch::new(ExtremumKind::Max, 3);
+        for v in [4, 9, 2, 7, 5] {
+            s.update_signed(&Value::Int(v), 1);
+        }
+        assert_eq!(s.best(), Some(&Value::Int(9)));
+        s.update_signed(&Value::Int(9), -1);
+        assert_eq!(s.best(), Some(&Value::Int(7)));
+        // Deleting an untracked (small) value only touches the overflow.
+        s.update_signed(&Value::Int(2), -1);
+        assert_eq!(s.best(), Some(&Value::Int(7)));
+        assert_eq!(s.support(), 3);
+        // Duplicates share one tracked slot.
+        s.update_signed(&Value::Int(7), 1);
+        s.update_signed(&Value::Int(7), -1);
+        assert_eq!(s.best(), Some(&Value::Int(7)));
+        // Nulls never participate.
+        s.update_signed(&Value::Null, 1);
+        assert_eq!(s.support(), 3);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Drift detection between compile-time and current statistics.
+//!
+//! A materialized view's delta legs are compiled against one statistics
+//! snapshot and then reused epoch after epoch.  The monitor remembers the
+//! per-relation cardinalities a compilation ran under (its *baseline*)
+//! and scores every later snapshot by the largest absolute log2 ratio of
+//! any relation's cardinality against that baseline — symmetric in
+//! growth and shrinkage, and independent of absolute scale.
+//!
+//! Firing is debounced: drift must stay past the threshold for
+//! `patience` consecutive observations before [`DriftMonitor::observe`]
+//! reports a recompilation, and a firing resets the streak.  Oscillating
+//! churn that crosses the threshold on alternate epochs therefore never
+//! fires at all — the hysteresis that keeps a borderline workload from
+//! triggering a recompile storm.
+
+use crate::stats::Statistics;
+use std::collections::BTreeMap;
+
+/// Tunables of the drift monitor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftConfig {
+    /// Drift score past which an observation counts toward firing: the
+    /// largest `|log2(current / baseline)|` over all relations.  `1.0`
+    /// means a relation doubled or halved.
+    pub threshold: f64,
+    /// Consecutive over-threshold observations required to fire.
+    pub patience: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            threshold: 1.0,
+            patience: 2,
+        }
+    }
+}
+
+/// Watches statistics snapshots for drift against a compile-time
+/// baseline and decides when recompilation is worth its dissemination
+/// cost.
+#[derive(Clone, Debug)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    baseline: BTreeMap<String, usize>,
+    streak: usize,
+    fires: u64,
+}
+
+impl DriftMonitor {
+    /// A monitor with no baseline yet (the first [`Self::rebase`] sets it).
+    pub fn new(config: DriftConfig) -> DriftMonitor {
+        DriftMonitor {
+            config,
+            baseline: BTreeMap::new(),
+            streak: 0,
+            fires: 0,
+        }
+    }
+
+    /// Record `stats` as the snapshot the current plans were compiled
+    /// under; clears any accumulated streak.
+    pub fn rebase(&mut self, stats: &Statistics) {
+        self.baseline = stats
+            .tables()
+            .map(|t| (t.name.clone(), t.cardinality))
+            .collect();
+        self.streak = 0;
+    }
+
+    /// The drift score of `stats` against the baseline: the largest
+    /// `|log2((current + 1) / (baseline + 1))|` over all relations (the
+    /// +1 keeps empty relations finite).  Zero without a baseline.
+    pub fn drift(&self, stats: &Statistics) -> f64 {
+        let mut worst = 0.0f64;
+        for table in stats.tables() {
+            let base = match self.baseline.get(&table.name) {
+                Some(b) => *b,
+                None => continue,
+            };
+            let ratio = (table.cardinality as f64 + 1.0) / (base as f64 + 1.0);
+            worst = worst.max(ratio.log2().abs());
+        }
+        worst
+    }
+
+    /// Score one snapshot and report whether the caller should recompile
+    /// now.  Fires only after `patience` consecutive over-threshold
+    /// observations; firing resets the streak (the caller is expected to
+    /// recompile and [`Self::rebase`]).
+    pub fn observe(&mut self, stats: &Statistics) -> bool {
+        if self.baseline.is_empty() {
+            self.rebase(stats);
+            return false;
+        }
+        if self.drift(stats) > self.config.threshold {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.streak >= self.config.patience {
+            self.streak = 0;
+            self.fires += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many times the monitor has fired.
+    pub fn fires(&self) -> u64 {
+        self.fires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TableStats;
+    use orchestra_common::{ColumnType, Relation, Schema};
+
+    fn snapshot(cardinality: usize) -> Statistics {
+        let rel = Relation::partitioned(
+            "R",
+            Schema::keyed_on_first(vec![("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        );
+        Statistics::from_tables(4, vec![TableStats::from_relation(&rel, cardinality)])
+    }
+
+    #[test]
+    fn sustained_drift_fires_once_per_rebase() {
+        let mut m = DriftMonitor::new(DriftConfig {
+            threshold: 1.0,
+            patience: 2,
+        });
+        m.rebase(&snapshot(1000));
+        assert!(!m.observe(&snapshot(1050)), "no drift, no fire");
+        // The relation quadrupled: over threshold, but patience holds the
+        // first observation back.
+        assert!(!m.observe(&snapshot(4000)));
+        assert!(m.observe(&snapshot(4000)), "second consecutive fires");
+        assert_eq!(m.fires(), 1);
+        // Until the caller rebases, the streak rebuilds from zero.
+        assert!(!m.observe(&snapshot(4000)));
+        m.rebase(&snapshot(4000));
+        assert!(!m.observe(&snapshot(4100)), "rebase absorbs the drift");
+        assert!(m.drift(&snapshot(4100)) < 0.1);
+    }
+
+    #[test]
+    fn oscillating_churn_never_fires() {
+        // Drift alternates above and below the threshold every epoch:
+        // the streak resets each time it dips, so no recompile storm.
+        let mut m = DriftMonitor::new(DriftConfig {
+            threshold: 1.0,
+            patience: 2,
+        });
+        m.rebase(&snapshot(1000));
+        for _ in 0..20 {
+            assert!(!m.observe(&snapshot(4000)), "one hot epoch");
+            assert!(!m.observe(&snapshot(1100)), "back under threshold");
+        }
+        assert_eq!(m.fires(), 0);
+    }
+
+    #[test]
+    fn shrinkage_counts_like_growth() {
+        let mut m = DriftMonitor::new(DriftConfig {
+            threshold: 1.0,
+            patience: 1,
+        });
+        m.rebase(&snapshot(1000));
+        assert!(m.observe(&snapshot(100)), "a 10x shrink is drift too");
+    }
+
+    #[test]
+    fn first_observation_establishes_the_baseline() {
+        let mut m = DriftMonitor::new(DriftConfig::default());
+        assert!(!m.observe(&snapshot(1_000_000)));
+        assert_eq!(m.drift(&snapshot(1_000_000)), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Measured-vs-predicted feedback into the cost model.
+//!
+//! Every executed plan yields ground truth the estimator never had:
+//! actual shipped bytes ([`QueryReport::total_bytes`]) and actual output
+//! cardinalities.  [`CostFeedback`] folds both back in:
+//!
+//! * **Byte calibration** is kept *per channel* — ad-hoc plans,
+//!   incremental delta legs, and full recomputations systematically err
+//!   in different directions (a delta leg pays per-batch framing that
+//!   dwarfs its few rows; a broadcast duplicates CPU at every node; a
+//!   recompute amortizes both).  One global ratio would scale both sides
+//!   of every incremental-vs-recompute comparison identically and move
+//!   no decision at all; per-channel EWMA ratios are what let the
+//!   predicted crossover migrate toward the measured one.
+//! * **Cardinality calibration** keeps a *signed* EWMA of
+//!   `log2(actual / predicted)` over observed output row counts —
+//!   estimators err multiplicatively and consistently (a join formula
+//!   that overshoots once overshoots every epoch), so the learned
+//!   log-ratio applied to the next prediction
+//!   ([`CostFeedback::calibrate_rows`]) cancels the bias.  The
+//!   **cardinality error** is then a first-class number: an EWMA of the
+//!   *calibrated* prediction's `|log2(actual / predicted)|`, the figure
+//!   the adaptivity experiment requires to shrink as feedback
+//!   accumulates.
+//! * **Broadcast enablement**: once enough ad-hoc observations have
+//!   calibrated the model, [`CostFeedback::planner_options`] turns
+//!   [`PlannerOptions::broadcast_joins`] on for ad-hoc compilation — the
+//!   cautious default stays until the model has earned trust.
+//!
+//! [`QueryReport::total_bytes`]: orchestra_engine::QueryReport
+
+use crate::planner::PlannerOptions;
+
+/// Which execution path produced an observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostChannel {
+    /// An ad-hoc (freshly compiled, full-input) query plan.
+    Adhoc,
+    /// An incremental maintenance refresh (sum of its delta legs).
+    Incremental,
+    /// A full recomputation of a maintenance plan.
+    Recompute,
+}
+
+impl CostChannel {
+    fn index(self) -> usize {
+        match self {
+            CostChannel::Adhoc => 0,
+            CostChannel::Incremental => 1,
+            CostChannel::Recompute => 2,
+        }
+    }
+}
+
+/// One channel's running calibration.
+#[derive(Clone, Copy, Debug)]
+struct Channel {
+    /// EWMA of `actual / predicted` bytes; 1.0 until observed.
+    ratio: f64,
+    samples: u64,
+}
+
+/// Ad-hoc observations required before broadcast joins are trusted for
+/// ad-hoc plans.
+const BROADCAST_MIN_SAMPLES: u64 = 3;
+
+/// EWMA smoothing factor for all feedback signals.
+const ALPHA: f64 = 0.3;
+
+/// The feedback state folding measured traffic and cardinalities back
+/// into the cost model.
+#[derive(Clone, Debug)]
+pub struct CostFeedback {
+    channels: [Channel; 3],
+    cardinality_error_ewma: f64,
+    /// Signed EWMA of `log2((actual + 1) / (predicted + 1))` — the
+    /// estimator's learned multiplicative bias, in bits.
+    rows_log_ratio: f64,
+    cardinality_samples: u64,
+}
+
+impl Default for CostFeedback {
+    fn default() -> Self {
+        CostFeedback::new()
+    }
+}
+
+impl CostFeedback {
+    /// Fresh feedback state: every ratio 1.0, no samples.
+    pub fn new() -> CostFeedback {
+        CostFeedback {
+            channels: [Channel {
+                ratio: 1.0,
+                samples: 0,
+            }; 3],
+            cardinality_error_ewma: 0.0,
+            rows_log_ratio: 0.0,
+            cardinality_samples: 0,
+        }
+    }
+
+    /// Fold one measured byte count against its prediction.
+    pub fn observe_bytes(&mut self, channel: CostChannel, predicted: f64, actual: f64) {
+        if predicted <= 0.0 || !predicted.is_finite() || !actual.is_finite() {
+            return;
+        }
+        let c = &mut self.channels[channel.index()];
+        let observed = actual / predicted;
+        c.ratio = if c.samples == 0 {
+            observed
+        } else {
+            (1.0 - ALPHA) * c.ratio + ALPHA * observed
+        };
+        c.samples += 1;
+    }
+
+    /// A predicted byte count corrected by the channel's learned ratio.
+    pub fn calibrate(&self, channel: CostChannel, predicted: f64) -> f64 {
+        predicted * self.channels[channel.index()].ratio
+    }
+
+    /// The channel's learned `actual / predicted` ratio (1.0 unobserved).
+    pub fn ratio(&self, channel: CostChannel) -> f64 {
+        self.channels[channel.index()].ratio
+    }
+
+    /// Observations folded into the channel.
+    pub fn samples(&self, channel: CostChannel) -> u64 {
+        self.channels[channel.index()].samples
+    }
+
+    /// Fold one measured output cardinality against its prediction.
+    ///
+    /// The error EWMA scores the prediction *after* the bias learned
+    /// from earlier observations ([`Self::calibrate_rows`]) — the
+    /// number the adaptive loop actually acts on — then folds this
+    /// observation's raw ratio into the bias, so a consistently skewed
+    /// estimator converges toward zero error.
+    pub fn observe_rows(&mut self, predicted: f64, actual: f64) {
+        if !predicted.is_finite() || !actual.is_finite() || actual < 0.0 {
+            return;
+        }
+        let calibrated = self.calibrate_rows(predicted);
+        let err = ((actual + 1.0) / (calibrated + 1.0)).log2().abs();
+        let raw = ((actual + 1.0) / (predicted.max(0.0) + 1.0)).log2();
+        if self.cardinality_samples == 0 {
+            self.cardinality_error_ewma = err;
+            self.rows_log_ratio = raw;
+        } else {
+            self.cardinality_error_ewma = (1.0 - ALPHA) * self.cardinality_error_ewma + ALPHA * err;
+            self.rows_log_ratio = (1.0 - ALPHA) * self.rows_log_ratio + ALPHA * raw;
+        }
+        self.cardinality_samples += 1;
+    }
+
+    /// A predicted output cardinality corrected by the learned signed
+    /// log-ratio bias (the identity until the first observation).
+    pub fn calibrate_rows(&self, predicted: f64) -> f64 {
+        if self.cardinality_samples == 0 {
+            return predicted.max(0.0);
+        }
+        ((predicted.max(0.0) + 1.0) * self.rows_log_ratio.exp2() - 1.0).max(0.0)
+    }
+
+    /// The running predicted-vs-actual cardinality error: an EWMA of
+    /// the calibrated prediction's `|log2(actual / predicted)|`
+    /// (0.0 = perfect).
+    pub fn cardinality_error(&self) -> f64 {
+        self.cardinality_error_ewma
+    }
+
+    /// Cardinality observations folded so far.
+    pub fn cardinality_samples(&self) -> u64 {
+        self.cardinality_samples
+    }
+
+    /// Has the ad-hoc channel seen enough traffic to trust broadcast
+    /// joins in ad-hoc plans?
+    pub fn broadcast_ready(&self) -> bool {
+        self.channels[CostChannel::Adhoc.index()].samples >= BROADCAST_MIN_SAMPLES
+    }
+
+    /// The planner options ad-hoc compilation should use right now:
+    /// defaults until calibrated, broadcast joins once
+    /// [`Self::broadcast_ready`].
+    pub fn planner_options(&self) -> PlannerOptions {
+        PlannerOptions {
+            broadcast_joins: self.broadcast_ready(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_calibrate_independently() {
+        let mut f = CostFeedback::new();
+        // Incremental legs ship 3x the prediction, recomputes 0.8x.
+        f.observe_bytes(CostChannel::Incremental, 100.0, 300.0);
+        f.observe_bytes(CostChannel::Recompute, 1000.0, 800.0);
+        assert!((f.ratio(CostChannel::Incremental) - 3.0).abs() < 1e-12);
+        assert!((f.ratio(CostChannel::Recompute) - 0.8).abs() < 1e-12);
+        assert_eq!(f.ratio(CostChannel::Adhoc), 1.0);
+        // The calibrated crossover moves: a raw tie (100 vs 100) becomes
+        // a 300-vs-80 recompute win after calibration.
+        let inc = f.calibrate(CostChannel::Incremental, 100.0);
+        let rec = f.calibrate(CostChannel::Recompute, 100.0);
+        assert!(rec < inc);
+    }
+
+    #[test]
+    fn first_sample_seeds_then_ewma_smooths() {
+        let mut f = CostFeedback::new();
+        f.observe_bytes(CostChannel::Adhoc, 100.0, 200.0);
+        assert_eq!(f.ratio(CostChannel::Adhoc), 2.0);
+        f.observe_bytes(CostChannel::Adhoc, 100.0, 100.0);
+        let r = f.ratio(CostChannel::Adhoc);
+        assert!(r < 2.0 && r > 1.0, "smoothed between samples: {r}");
+    }
+
+    #[test]
+    fn cardinality_error_shrinks_under_consistent_estimator_bias() {
+        // The estimator overshoots by ~100x every single time — the
+        // realistic failure mode.  The learned log-ratio cancels the
+        // bias, so the calibrated error converges toward zero even
+        // though the raw predictions never improve.
+        let mut f = CostFeedback::new();
+        f.observe_rows(1000.0, 10.0);
+        let cold = f.cardinality_error();
+        assert!(
+            cold > 6.0,
+            "uncalibrated first error is the raw one: {cold}"
+        );
+        for _ in 0..10 {
+            f.observe_rows(1000.0, 10.0);
+        }
+        assert!(
+            f.cardinality_error() < cold * 0.2,
+            "{}",
+            f.cardinality_error()
+        );
+        assert_eq!(f.cardinality_samples(), 11);
+        // And the calibrated prediction itself lands near the truth.
+        let calibrated = f.calibrate_rows(1000.0);
+        assert!((calibrated - 10.0).abs() < 5.0, "{calibrated}");
+    }
+
+    #[test]
+    fn rows_calibration_is_identity_until_observed_and_ignores_garbage() {
+        let mut f = CostFeedback::new();
+        assert_eq!(f.calibrate_rows(500.0), 500.0);
+        f.observe_rows(f64::NAN, 10.0);
+        f.observe_rows(10.0, f64::INFINITY);
+        f.observe_rows(10.0, -3.0);
+        assert_eq!(f.cardinality_samples(), 0);
+        assert_eq!(f.calibrate_rows(500.0), 500.0);
+    }
+
+    #[test]
+    fn broadcast_turns_on_only_after_enough_adhoc_samples() {
+        let mut f = CostFeedback::new();
+        assert!(!f.planner_options().broadcast_joins);
+        for _ in 0..BROADCAST_MIN_SAMPLES {
+            f.observe_bytes(CostChannel::Adhoc, 50.0, 55.0);
+        }
+        assert!(f.planner_options().broadcast_joins);
+    }
+
+    #[test]
+    fn degenerate_observations_are_ignored() {
+        let mut f = CostFeedback::new();
+        f.observe_bytes(CostChannel::Adhoc, 0.0, 100.0);
+        f.observe_bytes(CostChannel::Adhoc, -5.0, 100.0);
+        f.observe_bytes(CostChannel::Adhoc, 100.0, f64::NAN);
+        assert_eq!(f.samples(CostChannel::Adhoc), 0);
+        assert_eq!(f.ratio(CostChannel::Adhoc), 1.0);
+    }
+}

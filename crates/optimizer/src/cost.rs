@@ -103,11 +103,13 @@ pub(crate) fn partial_state_bytes(aggs: &[(AggFunc, usize)]) -> f64 {
 }
 
 /// Bottom-up estimate of one operator subtree: output rows, per-column
-/// widths, and the largest base-relation cardinality underneath (the
-/// distinct-count proxy for joins above).
+/// widths, per-column distinct-count estimates (where the adaptive
+/// overlay has them), and the largest base-relation cardinality
+/// underneath (the distinct-count proxy when no sketch answers).
 struct SubtreeEst {
     rows: f64,
     widths: Vec<f64>,
+    distincts: Vec<Option<f64>>,
     max_base_cardinality: f64,
 }
 
@@ -124,9 +126,19 @@ pub fn estimate_plan_cost(
     plan: &PhysicalPlan,
     stats: &Statistics,
 ) -> Result<PlanCost, OrchestraError> {
+    Ok(estimate_plan_cost_and_rows(plan, stats)?.0)
+}
+
+/// [`estimate_plan_cost`] plus the plan's estimated *output cardinality*
+/// — the prediction the adaptive feedback loop compares against the
+/// measured answer size ([`crate::adaptive::CostFeedback::observe_rows`]).
+pub fn estimate_plan_cost_and_rows(
+    plan: &PhysicalPlan,
+    stats: &Statistics,
+) -> Result<(PlanCost, f64), OrchestraError> {
     let mut cost = PlanCost::default();
-    walk(plan, plan.root(), stats, &mut cost)?;
-    Ok(cost)
+    let root = walk(plan, plan.root(), stats, &mut cost)?;
+    Ok((cost, root.rows))
 }
 
 fn scan_est(
@@ -138,20 +150,45 @@ fn scan_est(
     let table = stats.table(relation).ok_or_else(|| {
         OrchestraError::Execution(format!("no statistics for relation {relation}"))
     })?;
-    let selectivity = predicate
-        .as_ref()
-        .map(Predicate::estimated_selectivity)
-        .unwrap_or(1.0);
-    let widths = if key_only {
-        table.column_widths[..table.key_len].to_vec()
+    let selectivity = table.selectivity(predicate.as_ref());
+    let (widths, distincts) = if key_only {
+        (
+            table.column_widths[..table.key_len].to_vec(),
+            table.distinct_counts[..table.key_len].to_vec(),
+        )
     } else {
-        table.column_widths.clone()
+        (table.column_widths.clone(), table.distinct_counts.clone())
     };
     Ok(SubtreeEst {
         rows: table.cardinality as f64 * selectivity,
         widths,
+        distincts,
         max_base_cardinality: table.cardinality as f64,
     })
+}
+
+/// Estimated group count of an aggregation over `child`, preferring the
+/// product of the group columns' distinct-count estimates (capped at the
+/// input cardinality) and falling back to the fixed
+/// [`group_count`] ratio when any group column lacks a sketch.
+fn group_estimate(child: &SubtreeEst, group_by: &[usize], grouped: bool) -> f64 {
+    if grouped && child.rows > 0.0 {
+        let mut product = 1.0;
+        let mut covered = !group_by.is_empty();
+        for c in group_by {
+            match child.distincts.get(*c).copied().flatten() {
+                Some(d) => product *= d.max(1.0),
+                None => {
+                    covered = false;
+                    break;
+                }
+            }
+        }
+        if covered {
+            return product.min(child.rows).max(1.0);
+        }
+    }
+    group_count(child.rows, grouped)
 }
 
 fn expr_width(expr: &ScalarExpr, child: &SubtreeEst) -> f64 {
@@ -206,24 +243,60 @@ fn walk(
                         .unwrap_or(NUMERIC_COLUMN_BYTES)
                 })
                 .collect();
-            SubtreeEst { widths, ..child }
+            let distincts = columns
+                .iter()
+                .map(|c| child.distincts.get(*c).copied().flatten())
+                .collect();
+            SubtreeEst {
+                widths,
+                distincts,
+                ..child
+            }
         }
         OperatorKind::ComputeFunction { exprs } => {
             let child = walk(plan, operator.children[0], stats, cost)?;
             let widths = exprs.iter().map(|e| expr_width(e, &child)).collect();
-            SubtreeEst { widths, ..child }
+            let distincts = exprs
+                .iter()
+                .map(|e| match e {
+                    ScalarExpr::Column(i) => child.distincts.get(*i).copied().flatten(),
+                    _ => None,
+                })
+                .collect();
+            SubtreeEst {
+                widths,
+                distincts,
+                ..child
+            }
         }
-        OperatorKind::HashJoin { .. } => {
+        OperatorKind::HashJoin {
+            left_keys,
+            right_keys,
+        } => {
             let left = walk(plan, operator.children[0], stats, cost)?;
             let right = walk(plan, operator.children[1], stats, cost)?;
-            let distinct = left.max_base_cardinality.max(right.max_base_cardinality);
+            let max_base = left.max_base_cardinality.max(right.max_base_cardinality);
+            // Prefer the key columns' sketched distinct counts; the
+            // base-cardinality proxy only stands in when no side knows.
+            let mut key_distinct: Option<f64> = None;
+            for (side, keys) in [(&left, left_keys), (&right, right_keys)] {
+                for k in keys {
+                    if let Some(d) = side.distincts.get(*k).copied().flatten() {
+                        key_distinct = Some(key_distinct.map_or(d, |cur| cur.max(d)));
+                    }
+                }
+            }
+            let distinct = key_distinct.unwrap_or(max_base);
             let rows = join_output_rows(left.rows, right.rows, distinct);
             let mut widths = left.widths;
             widths.extend(right.widths);
+            let mut distincts = left.distincts;
+            distincts.extend(right.distincts);
             SubtreeEst {
                 rows,
                 widths,
-                max_base_cardinality: distinct,
+                distincts,
+                max_base_cardinality: max_base,
             }
         }
         OperatorKind::Aggregate {
@@ -233,9 +306,13 @@ fn walk(
         } => {
             let child = walk(plan, operator.children[0], stats, cost)?;
             let grouped = !group_by.is_empty();
+            let group_distincts: Vec<Option<f64>> = group_by
+                .iter()
+                .map(|c| child.distincts.get(*c).copied().flatten())
+                .collect();
             match mode {
                 AggMode::Partial => {
-                    let groups = group_count(child.rows, grouped);
+                    let groups = group_estimate(&child, group_by, grouped);
                     let rows = child.rows.min(groups * stats.nodes as f64);
                     let mut widths: Vec<f64> = group_by
                         .iter()
@@ -248,20 +325,26 @@ fn walk(
                         })
                         .collect();
                     widths.push(partial_state_bytes(aggs));
+                    let mut distincts = group_distincts;
+                    distincts.push(None);
                     SubtreeEst {
                         rows,
                         widths,
+                        distincts,
                         max_base_cardinality: child.max_base_cardinality,
                     }
                 }
                 AggMode::Single | AggMode::Final => {
-                    let rows = group_count(child.rows, grouped).min(child.rows);
+                    let rows = group_estimate(&child, group_by, grouped).min(child.rows);
                     let widths = (0..group_by.len() + aggs.len())
                         .map(|_| NUMERIC_COLUMN_BYTES)
                         .collect();
+                    let mut distincts = group_distincts;
+                    distincts.extend(aggs.iter().map(|_| None));
                     SubtreeEst {
                         rows,
                         widths,
+                        distincts,
                         max_base_cardinality: child.max_base_cardinality,
                     }
                 }

@@ -20,7 +20,11 @@
 //! * [`cost`] — the network-aware cost model: a plan's cost is its
 //!   estimated inter-node traffic in bytes, with rehash and ship volumes
 //!   derived from the snapshot's node count and selectivities from
-//!   [`orchestra_engine::Predicate::estimated_selectivity`];
+//!   [`TableStats::selectivity`] — histogram- and sketch-informed when
+//!   the snapshot carries an adaptive overlay
+//!   ([`AdaptiveStats::overlay`]), reproducing the
+//!   [`orchestra_engine::Predicate::estimated_selectivity`] constants on
+//!   a bare snapshot;
 //!   [`estimate_plan_cost`] applies the same model to any already-built
 //!   [`orchestra_engine::PhysicalPlan`] so optimizer-chosen and
 //!   hand-built plans are comparable under one yardstick;
@@ -52,6 +56,7 @@
 //! plans against the hand-built oracles in its `plan_quality`
 //! experiment.
 
+pub mod adaptive;
 pub mod cost;
 pub mod fingerprint;
 pub mod logical;
@@ -59,14 +64,19 @@ pub mod maintenance;
 pub mod planner;
 pub mod stats;
 
-pub use cost::{estimate_plan_cost, PlanCost};
+pub use adaptive::{
+    AdaptiveStats, CostChannel, CostFeedback, DriftConfig, DriftMonitor, EquiDepthHistogram,
+    KmvSketch,
+};
+pub use cost::{estimate_plan_cost, estimate_plan_cost_and_rows, PlanCost};
 pub use fingerprint::{canonicalize, fingerprint};
 pub use logical::{col, Aggregation, ColRef, JoinEdge, LogicalExpr, LogicalQuery};
 pub use maintenance::{
-    choose_maintenance, compile_delta_legs, MaintenanceChoice, MaintenanceDecision,
+    choose_maintenance, compile_delta_legs, compile_delta_legs_with, MaintenanceChoice,
+    MaintenanceDecision,
 };
 pub use planner::{compile, compile_with, PlannerOptions};
-pub use stats::{Statistics, TableStats};
+pub use stats::{column_width_bytes, Statistics, TableStats};
 
 use orchestra_engine::Predicate;
 

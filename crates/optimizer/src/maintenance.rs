@@ -57,6 +57,21 @@ pub fn compile_delta_legs(
     query: &LogicalQuery,
     stats: &Statistics,
 ) -> Result<Vec<(String, PhysicalPlan)>, OrchestraError> {
+    compile_delta_legs_with(query, stats, &BTreeMap::new())
+}
+
+/// [`compile_delta_legs`] with *observed* per-relation delta sizes: each
+/// pivot is compiled at its relation's measured delta-row estimate (the
+/// EWMA the adaptive subsystem maintains,
+/// [`crate::adaptive::AdaptiveStats::delta_rows_estimate`]) instead of
+/// the nominal single row.  Relations absent from `delta_rows` keep the
+/// cold-start nominal, so an empty map reproduces [`compile_delta_legs`]
+/// exactly and existing figures stay stable.
+pub fn compile_delta_legs_with(
+    query: &LogicalQuery,
+    stats: &Statistics,
+    delta_rows: &BTreeMap<String, usize>,
+) -> Result<Vec<(String, PhysicalPlan)>, OrchestraError> {
     let options = PlannerOptions {
         broadcast_joins: true,
     };
@@ -64,7 +79,12 @@ pub fn compile_delta_legs(
         .relations
         .iter()
         .map(|relation| {
-            let leg_stats = stats.with_cardinality(relation, NOMINAL_DELTA_ROWS);
+            let rows = delta_rows
+                .get(relation)
+                .copied()
+                .unwrap_or(NOMINAL_DELTA_ROWS)
+                .max(1);
+            let leg_stats = stats.with_cardinality(relation, rows);
             Ok((relation.clone(), compile_with(query, &leg_stats, options)?))
         })
         .collect()

@@ -138,6 +138,20 @@ pub struct PlannerOptions {
     pub broadcast_joins: bool,
 }
 
+impl PlannerOptions {
+    /// The option set a *calibrated* deployment uses for ad-hoc plans:
+    /// broadcast joins join the search space once measured feedback has
+    /// validated the cost model's broadcast constants
+    /// ([`crate::adaptive::CostFeedback::broadcast_ready`]).  The
+    /// `Default` options stay conservative so cold-start compilations
+    /// remain reproducible.
+    pub fn calibrated() -> PlannerOptions {
+        PlannerOptions {
+            broadcast_joins: true,
+        }
+    }
+}
+
 /// Compile a logical query into a physical plan under the given
 /// statistics snapshot.  Deterministic: the same `(query, stats)` always
 /// yields the byte-identical plan.
@@ -346,10 +360,9 @@ impl<'a> Planner<'a> {
             ScanKind::CoveringIndex => table.key_len,
             _ => table.arity,
         };
-        let selectivity = predicate
-            .as_ref()
-            .map(Predicate::estimated_selectivity)
-            .unwrap_or(1.0);
+        // Histogram-aware when the statistics carry an adaptive overlay;
+        // reproduces the textbook constants on a bare snapshot.
+        let selectivity = table.selectivity(predicate.as_ref());
         Ok(Leaf {
             kind,
             predicate,

@@ -7,16 +7,32 @@
 //! (coordinator metadata), the schema shape from the catalog, and the
 //! participant count from the routing table the initiator would snapshot
 //! with the query.
+//!
+//! A collected snapshot is deliberately bare: fixed per-type column
+//! widths, no distribution information.  The adaptive subsystem
+//! ([`crate::adaptive::AdaptiveStats::overlay`]) enriches a snapshot with
+//! per-column [`EquiDepthHistogram`]s, KMV distinct counts and observed
+//! mean widths maintained from publication deltas; everything downstream
+//! ([`TableStats::selectivity`], the cost model, the planner) consults
+//! those when present and falls back to the textbook constants when not.
 
+use crate::adaptive::histogram::EquiDepthHistogram;
 use crate::cost::{NUMERIC_COLUMN_BYTES, TUPLE_OVERHEAD_BYTES};
 use orchestra_common::{ColumnType, Epoch, Relation};
+use orchestra_engine::{CmpOp, Predicate};
 use orchestra_storage::DistributedStorage;
 use std::collections::BTreeMap;
 
-/// Estimated wire bytes of one value of each column type (the engine's
-/// batch encoding: a tag byte plus the payload; strings are sized for the
-/// workloads' typical 25-character fields).
-fn column_width_bytes(ty: ColumnType) -> f64 {
+/// Estimated wire bytes of one value of each column type, unless an
+/// observed mean width is available.  The static fallbacks mirror the
+/// engine's batch encoding: a tag byte plus the payload, with strings
+/// sized for the workloads' typical 25-character fields.
+pub fn column_width_bytes(ty: ColumnType, observed: Option<f64>) -> f64 {
+    if let Some(width) = observed {
+        if width > 0.0 {
+            return width;
+        }
+    }
     match ty {
         ColumnType::Int | ColumnType::Double => NUMERIC_COLUMN_BYTES,
         ColumnType::Str => 30.0,
@@ -36,8 +52,14 @@ pub struct TableStats {
     pub key_len: usize,
     /// Is the relation replicated in full at every node?
     pub replicated: bool,
-    /// Estimated wire bytes per column value.
+    /// Estimated wire bytes per column value (catalog fallbacks, or
+    /// observed means once the adaptive overlay has data).
     pub column_widths: Vec<f64>,
+    /// Per-column value-distribution summaries (adaptive overlay only;
+    /// `None` in a bare collected snapshot).
+    pub histograms: Vec<Option<EquiDepthHistogram>>,
+    /// Per-column distinct-count estimates (adaptive overlay only).
+    pub distinct_counts: Vec<Option<f64>>,
 }
 
 impl TableStats {
@@ -51,8 +73,10 @@ impl TableStats {
             key_len: schema.key_len(),
             replicated: relation.is_replicated(),
             column_widths: (0..schema.arity())
-                .map(|i| column_width_bytes(schema.column_type(i)))
+                .map(|i| column_width_bytes(schema.column_type(i), None))
                 .collect(),
+            histograms: vec![None; schema.arity()],
+            distinct_counts: vec![None; schema.arity()],
         }
     }
 
@@ -64,6 +88,68 @@ impl TableStats {
     /// Estimated wire bytes of one key-only row (covering index scans).
     pub fn key_bytes(&self) -> f64 {
         TUPLE_OVERHEAD_BYTES + self.column_widths[..self.key_len].iter().sum::<f64>()
+    }
+
+    /// Estimated selectivity of `predicate` over this relation: the
+    /// per-column histogram answers when it can, distinct counts size
+    /// equality predicates when only they exist, and everything else
+    /// falls back to the engine's textbook constants
+    /// ([`Predicate::estimated_selectivity`]).  With no overlay attached
+    /// this reproduces the fallback constants exactly, so bare snapshots
+    /// compile byte-identical plans.
+    pub fn selectivity(&self, predicate: Option<&Predicate>) -> f64 {
+        match predicate {
+            None => 1.0,
+            Some(p) => self.predicate_fraction(p).clamp(0.0, 1.0),
+        }
+    }
+
+    fn predicate_fraction(&self, predicate: &Predicate) -> f64 {
+        let s = match predicate {
+            Predicate::True => 1.0,
+            Predicate::Compare { column, op, value } => self.compare_fraction(*column, *op, value),
+            Predicate::Between { column, low, high } => self
+                .histograms
+                .get(*column)
+                .and_then(Option::as_ref)
+                .and_then(|h| h.between_fraction(low, high))
+                .unwrap_or_else(|| predicate.estimated_selectivity()),
+            Predicate::CompareColumns { .. } => predicate.estimated_selectivity(),
+            Predicate::And(ps) => ps.iter().map(|p| self.predicate_fraction(p)).product(),
+            Predicate::Or(ps) => {
+                let none: f64 = ps
+                    .iter()
+                    .map(|p| 1.0 - self.predicate_fraction(p))
+                    .product();
+                1.0 - none
+            }
+            Predicate::Not(p) => 1.0 - self.predicate_fraction(p),
+        };
+        s.clamp(0.0, 1.0)
+    }
+
+    fn compare_fraction(&self, column: usize, op: CmpOp, value: &orchestra_common::Value) -> f64 {
+        if let Some(Some(h)) = self.histograms.get(column) {
+            if let Some(f) = h.fraction(op, value) {
+                return f;
+            }
+        }
+        // Equality against a known distinct count: 1/V under uniformity
+        // (the histogram already handled skewed low-cardinality columns).
+        if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+            if let Some(Some(d)) = self.distinct_counts.get(column) {
+                if *d >= 1.0 {
+                    let eq = (1.0 / d).min(1.0);
+                    return if op == CmpOp::Eq { eq } else { 1.0 - eq };
+                }
+            }
+        }
+        Predicate::Compare {
+            column,
+            op,
+            value: value.clone(),
+        }
+        .estimated_selectivity()
     }
 }
 
@@ -120,6 +206,12 @@ impl Statistics {
         self.tables.get(name)
     }
 
+    /// Mutable access to one relation's stats — the seam the adaptive
+    /// overlay enriches a snapshot through.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut TableStats> {
+        self.tables.get_mut(name)
+    }
+
     /// All table stats, ordered by relation name (deterministic).
     pub fn tables(&self) -> impl Iterator<Item = &TableStats> {
         self.tables.values()
@@ -129,7 +221,7 @@ impl Statistics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orchestra_common::{ColumnType, Schema};
+    use orchestra_common::{ColumnType, Schema, Value};
 
     fn stats_of(relation: &Relation, cardinality: usize) -> TableStats {
         TableStats::from_relation(relation, cardinality)
@@ -152,6 +244,8 @@ mod tests {
         assert!(!t.replicated);
         assert_eq!(t.row_bytes(), 2.0 + 9.0 + 30.0);
         assert_eq!(t.key_bytes(), 2.0 + 9.0);
+        assert_eq!(t.histograms, vec![None, None]);
+        assert_eq!(t.distinct_counts, vec![None, None]);
     }
 
     #[test]
@@ -172,5 +266,79 @@ mod tests {
         assert_eq!(names, vec!["a", "b"]);
         assert_eq!(s.table("b").unwrap().cardinality, 2);
         assert!(s.table("zzz").is_none());
+    }
+
+    #[test]
+    fn observed_widths_override_the_catalog_fallback() {
+        assert_eq!(column_width_bytes(ColumnType::Str, None), 30.0);
+        assert_eq!(column_width_bytes(ColumnType::Str, Some(6.5)), 6.5);
+        assert_eq!(column_width_bytes(ColumnType::Int, Some(0.0)), 9.0);
+        assert_eq!(column_width_bytes(ColumnType::Int, None), 9.0);
+    }
+
+    #[test]
+    fn bare_selectivity_reproduces_the_textbook_constants() {
+        let rel = Relation::partitioned(
+            "R",
+            Schema::keyed_on_first(vec![("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        );
+        let t = stats_of(&rel, 100);
+        for p in [
+            Predicate::cmp(1, CmpOp::Eq, 7i64),
+            Predicate::cmp(1, CmpOp::Ne, 7i64),
+            Predicate::cmp(1, CmpOp::Lt, 7i64),
+            Predicate::Between {
+                column: 1,
+                low: Value::Int(0),
+                high: Value::Int(9),
+            },
+            Predicate::And(vec![
+                Predicate::cmp(0, CmpOp::Eq, 1i64),
+                Predicate::cmp(1, CmpOp::Gt, 2i64),
+            ]),
+            Predicate::Not(Box::new(Predicate::cmp(1, CmpOp::Eq, 7i64))),
+            Predicate::Or(vec![
+                Predicate::cmp(0, CmpOp::Eq, 1i64),
+                Predicate::cmp(1, CmpOp::Eq, 2i64),
+            ]),
+            Predicate::True,
+        ] {
+            assert_eq!(t.selectivity(Some(&p)), p.estimated_selectivity(), "{p:?}");
+        }
+        assert_eq!(t.selectivity(None), 1.0);
+    }
+
+    #[test]
+    fn histogram_overrides_the_equality_guess() {
+        let rel = Relation::partitioned(
+            "R",
+            Schema::keyed_on_first(vec![("k", ColumnType::Int), ("seg", ColumnType::Str)]),
+        );
+        let mut t = stats_of(&rel, 100);
+        let mut h = EquiDepthHistogram::default();
+        for i in 0..100 {
+            let seg = if i % 5 == 0 { "BUILDING" } else { "OTHER" };
+            h.update(&Value::str(seg), 1);
+        }
+        t.histograms[1] = Some(h);
+        let eq = Predicate::cmp(1, CmpOp::Eq, Value::str("BUILDING"));
+        assert!((t.selectivity(Some(&eq)) - 0.2).abs() < 1e-12);
+        // Inside combinators too.
+        let conj = Predicate::And(vec![eq, Predicate::cmp(0, CmpOp::Lt, 50i64)]);
+        assert!((t.selectivity(Some(&conj)) - 0.2 * 0.33).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_count_sizes_equality_when_no_histogram_answers() {
+        let rel = Relation::partitioned(
+            "R",
+            Schema::keyed_on_first(vec![("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        );
+        let mut t = stats_of(&rel, 1000);
+        t.distinct_counts[1] = Some(50.0);
+        let eq = Predicate::cmp(1, CmpOp::Eq, 7i64);
+        assert!((t.selectivity(Some(&eq)) - 0.02).abs() < 1e-12);
+        let ne = Predicate::cmp(1, CmpOp::Ne, 7i64);
+        assert!((t.selectivity(Some(&ne)) - 0.98).abs() < 1e-12);
     }
 }

@@ -324,6 +324,23 @@ impl DistributedStorage {
         })
     }
 
+    /// The names of every registered relation whose visible version
+    /// differs between the snapshots at `from` and `to` — the relations
+    /// a consumer of the interval's deltas needs to ask about at all.
+    /// Costs one version-chain walk per relation, never a page diff, so
+    /// callers (registry refresh, adaptive statistics maintenance) can
+    /// probe cheaply before touching [`Self::delta`].  Names come back
+    /// sorted, so consumers that fold per relation stay deterministic.
+    pub fn changed_relations(&self, from: Epoch, to: Epoch) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .relations()
+            .filter(|r| self.version_at(r.name(), from) != self.version_at(r.name(), to))
+            .map(|r| r.name().to_string())
+            .collect();
+        names.sort();
+        names
+    }
+
     /// Scan the *delta* of `relation` between the snapshots at `from` and
     /// `to`, restricted to tuple-key hashes in `ranges`, on behalf of
     /// `node` — the storage half of the engine's maintenance scan.
@@ -448,6 +465,31 @@ mod tests {
         assert_eq!(delta.partitions[0].inserts.len(), 1);
         // Inverted intervals are rejected.
         assert!(s.delta("R", e1, e0).is_err());
+    }
+
+    #[test]
+    fn changed_relations_reports_only_touched_relations() {
+        let mut s = storage(3);
+        s.register_relation(Relation::partitioned(
+            "S",
+            Schema::keyed_on_first(vec![("k", ColumnType::Int)]),
+        ));
+        // A baseline epoch before either relation holds data.
+        let base = s.publish(&UpdateBatch::new()).unwrap();
+        let mut b0 = UpdateBatch::new();
+        b0.insert("R", r(1, "a"));
+        b0.insert("S", Tuple::new(vec![Value::Int(9)]));
+        let e0 = s.publish(&b0).unwrap();
+        // Second epoch touches only R.
+        let mut b1 = UpdateBatch::new();
+        b1.insert("R", r(2, "b"));
+        let e1 = s.publish(&b1).unwrap();
+
+        assert_eq!(s.changed_relations(base, e0), vec!["R", "S"]);
+        assert_eq!(s.changed_relations(e0, e1), vec!["R"]);
+        assert!(s.changed_relations(e1, e1).is_empty());
+        // Probing is version-chain walks only — no delta derivations.
+        assert_eq!(s.delta_derivations(), 0);
     }
 
     #[test]

@@ -110,12 +110,46 @@ pub fn compiled_plan(
     orchestra_optimizer::compile(&workload.logical(), &stats)
 }
 
+/// [`compiled_plan`] under explicit statistics and planner options — the
+/// adaptive path, where the snapshot carries an
+/// [`orchestra_optimizer::AdaptiveStats`] overlay and calibration may
+/// have enabled broadcast joins for ad-hoc plans.
+pub fn compiled_plan_with(
+    workload: &dyn Workload,
+    stats: &Statistics,
+    options: orchestra_optimizer::PlannerOptions,
+) -> Result<PhysicalPlan> {
+    orchestra_optimizer::compile_with(&workload.logical(), stats, options)
+}
+
 /// Stand up an `nodes`-node balanced cluster holding the workload's data:
 /// build the routing table (replication factor 3, capped at the cluster
 /// size), register the relations, publish the batch, and return the
 /// storage together with the epoch to query.
 pub fn deploy(workload: &dyn Workload, nodes: u16) -> Result<(DistributedStorage, Epoch)> {
     deploy_all(&[workload], nodes)
+}
+
+/// [`deploy`], with an empty *birth* epoch published ahead of the
+/// workload's data.  The returned `(storage, birth, base)` brackets the
+/// base batch as the delta interval `(birth, base]`, so adaptive
+/// statistics can absorb the initial contents exactly the way they
+/// absorb every later publication — from the signed delta, never by
+/// rescanning the base relations.
+pub fn deploy_staged(
+    workload: &dyn Workload,
+    nodes: u16,
+) -> Result<(DistributedStorage, Epoch, Epoch)> {
+    let ids: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+    let replication = 3.min(ids.len().max(1));
+    let routing = RoutingTable::build(&ids, AllocationScheme::Balanced, replication);
+    let mut storage = DistributedStorage::new(routing, StorageConfig::default());
+    for relation in workload.relations() {
+        storage.register_relation(relation);
+    }
+    let birth = storage.publish(&UpdateBatch::new())?;
+    let base = storage.publish(&workload.batch())?;
+    Ok((storage, birth, base))
 }
 
 /// Stand up one cluster holding the data of *several* workloads — the
@@ -359,6 +393,48 @@ mod tests {
         );
         let report = exec.execute(&w.reference_plan(), epoch, NodeId(0)).unwrap();
         assert_eq!(report.rows, w.reference());
+    }
+
+    #[test]
+    fn observed_widths_tighten_q3_byte_estimates() {
+        // The catalog prices every Str column at a fixed 30 bytes; the
+        // TPC-H strings are much narrower.  An adaptive overlay built
+        // from the publication delta must pull the Q3 cost estimate
+        // toward the measured traffic of the actual run.
+        use orchestra_optimizer::{estimate_plan_cost, AdaptiveStats};
+        let q3 = TpchWorkload::scaled(TpchQuery::Q3, 7, 240);
+        let ids: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let routing = RoutingTable::build(&ids, AllocationScheme::Balanced, 3);
+        let mut storage = DistributedStorage::new(routing, StorageConfig::default());
+        for relation in q3.relations() {
+            storage.register_relation(relation);
+        }
+        // A baseline epoch before the data, so the whole dataset arrives
+        // as one observable delta.
+        let base_epoch = storage.publish(&UpdateBatch::new()).unwrap();
+        let epoch = storage.publish(&q3.batch()).unwrap();
+
+        let mut adaptive = AdaptiveStats::new();
+        adaptive.absorb(&storage, base_epoch, epoch).unwrap();
+        let base = Statistics::collect(&storage, epoch);
+        let enriched = adaptive.overlay(&base);
+
+        let plan = compiled_plan(&q3, &storage, epoch).unwrap();
+        let exec = orchestra_engine::QueryExecutor::new(
+            &storage,
+            orchestra_engine::EngineConfig::default(),
+        );
+        let report = exec.execute(&plan, epoch, NodeId(0)).unwrap();
+        assert_eq!(report.rows, q3.reference());
+        let measured = report.total_bytes as f64;
+
+        let est_base = estimate_plan_cost(&plan, &base).unwrap().network_bytes;
+        let est_enriched = estimate_plan_cost(&plan, &enriched).unwrap().network_bytes;
+        assert!(
+            (est_enriched - measured).abs() < (est_base - measured).abs(),
+            "observed widths must tighten the estimate: \
+             base {est_base:.0}, enriched {est_enriched:.0}, measured {measured:.0}"
+        );
     }
 
     #[test]
